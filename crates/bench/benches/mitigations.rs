@@ -1,0 +1,83 @@
+//! Ablation benchmark: the simulated-cycle overhead of each Table 4
+//! mitigation on a representative enclave workload (create → run →
+//! stop/resume ×2 → destroy), per design.
+//!
+//! The paper leaves the performance evaluation of countermeasures to future
+//! work (§8); this bench supplies the missing measurement on the model:
+//! flush-based mitigations cost refills after every domain switch,
+//! serialized PMP checks lengthen every load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use teesec_isa::inst::MemWidth;
+use teesec_uarch::config::MitigationSet;
+use teesec_uarch::CoreConfig;
+
+use teesec::assemble::{assemble_case, CaseParams, Lifecycle};
+use teesec::paths::AccessPath;
+use teesec::runner::run_case;
+use teesec::testcase::{Actor, Step};
+
+/// A representative multi-switch workload.
+fn workload(cfg: &CoreConfig) -> teesec::TestCase {
+    let params = CaseParams {
+        lifecycle: Lifecycle::StopResumeStop,
+        warm_via_stores: true,
+        width: MemWidth::D,
+        ..CaseParams::default()
+    };
+    let mut tc = assemble_case(AccessPath::LoadL1Hit, params, cfg).expect("workload");
+    // Extra host activity after the switch to surface refill costs.
+    for k in 0..16u64 {
+        tc.push(
+            Actor::Host,
+            Step::Load { addr: teesec_tee::layout::SHARED_BASE + 64 * k, width: MemWidth::D },
+        );
+    }
+    tc
+}
+
+fn variants() -> Vec<(&'static str, MitigationSet)> {
+    vec![
+        ("baseline", MitigationSet::default()),
+        (
+            "flush_l1d",
+            MitigationSet { flush_l1d_on_domain_switch: true, ..MitigationSet::default() },
+        ),
+        (
+            "clear_illegal",
+            MitigationSet { clear_illegal_data_returns: true, ..MitigationSet::default() },
+        ),
+        (
+            "serialize_pmp",
+            MitigationSet { serialize_pmp_check: true, ..MitigationSet::default() },
+        ),
+        ("flush_everything", MitigationSet::flush_everything()),
+        ("all", MitigationSet::all()),
+    ]
+}
+
+fn bench_mitigation_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mitigation_overhead");
+    g.sample_size(10);
+    for base in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        for (label, m) in variants() {
+            let cfg = base.clone().with_mitigations(m);
+            let tc = workload(&cfg);
+            g.bench_with_input(
+                BenchmarkId::new(label, &base.name),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let out = run_case(&tc, cfg).expect("run");
+                        out.cycles // simulated cycles are the figure of merit
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mitigation_overhead);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the three TEESec phases (the Table 2 cost
+//! shape): verification-plan profiling, test-case construction, and the
+//! simulate+check loop, per design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use teesec::assemble::{assemble_case, CaseParams};
+use teesec::checker::check_case;
+use teesec::fuzz::Fuzzer;
+use teesec::paths::AccessPath;
+use teesec::runner::run_case;
+use teesec::VerificationPlan;
+use teesec_uarch::CoreConfig;
+
+fn configs() -> Vec<CoreConfig> {
+    vec![CoreConfig::boom(), CoreConfig::xiangshan()]
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verification_plan");
+    for cfg in configs() {
+        g.bench_with_input(BenchmarkId::from_parameter(&cfg.name), &cfg, |b, cfg| {
+            b.iter(|| VerificationPlan::profile(cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_construct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gadget_construction");
+    g.sample_size(20);
+    for cfg in configs() {
+        g.bench_with_input(BenchmarkId::new("corpus_60", &cfg.name), &cfg, |b, cfg| {
+            b.iter(|| Fuzzer::with_target(60).generate(cfg));
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_case");
+    g.sample_size(10);
+    for cfg in configs() {
+        // The Figure-5-style demand-load case: the workhorse of the corpus.
+        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg)
+            .expect("case");
+        g.bench_with_input(BenchmarkId::new("load_l1_hit", &cfg.name), &cfg, |b, cfg| {
+            b.iter(|| run_case(&tc, cfg).expect("run"));
+        });
+        // The most expensive case: the destroy-time scrub.
+        let scrub = assemble_case(AccessPath::SmScrub, CaseParams::default(), &cfg)
+            .expect("scrub case");
+        g.bench_with_input(BenchmarkId::new("sm_scrub", &cfg.name), &cfg, |b, cfg| {
+            b.iter(|| run_case(&scrub, cfg).expect("run"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker");
+    g.sample_size(20);
+    for cfg in configs() {
+        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg)
+            .expect("case");
+        let outcome = run_case(&tc, &cfg).expect("run");
+        g.bench_with_input(BenchmarkId::new("scan_trace", &cfg.name), &cfg, |b, cfg| {
+            b.iter(|| check_case(&tc, &outcome, cfg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan, bench_construct, bench_simulate, bench_check);
+criterion_main!(benches);

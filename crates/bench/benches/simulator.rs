@@ -1,0 +1,86 @@
+//! Core-model throughput benchmarks: host-cycles-per-second of the
+//! cycle-driven simulator with and without tracing, plus the assembler and
+//! decoder hot paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teesec_isa::asm::Assembler;
+use teesec_isa::inst::Inst;
+use teesec_isa::reg::Reg;
+use teesec_uarch::core::Core;
+use teesec_uarch::mem::Memory;
+use teesec_uarch::CoreConfig;
+
+/// A ~50k-cycle compute loop image.
+fn loop_image() -> (Memory, u64) {
+    let base = 0x8000_0000;
+    let mut asm = Assembler::new(base);
+    asm.li(Reg::T0, 5_000);
+    asm.li(Reg::A0, 0);
+    asm.label("loop");
+    asm.add(Reg::A0, Reg::A0, Reg::T0);
+    asm.xori(Reg::A1, Reg::A0, 0x55);
+    asm.sd(Reg::A1, Reg::SP, 0);
+    asm.ld(Reg::A2, Reg::SP, 0);
+    asm.addi(Reg::T0, Reg::T0, -1);
+    asm.bnez(Reg::T0, "loop");
+    asm.inst(Inst::Ebreak);
+    let mut mem = Memory::new();
+    mem.load_words(base, &asm.assemble().expect("assemble"));
+    (mem, base)
+}
+
+fn bench_core_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("core_cycles");
+    g.sample_size(10);
+    for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        for (label, traced) in [("traced", true), ("untraced", false)] {
+            g.bench_with_input(
+                BenchmarkId::new(label, &cfg.name),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let (mem, base) = loop_image();
+                        let mut core = Core::new(cfg.clone(), mem, base);
+                        core.set_reg(Reg::SP, 0x8030_0000);
+                        core.trace.set_enabled(traced);
+                        core.run(1_000_000);
+                        assert!(core.halted);
+                        core.cycle
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_isa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa");
+    // Decoder throughput over a realistic word mix.
+    let (mem, base) = loop_image();
+    let words: Vec<u32> = (0..16).map(|i| mem.read_u32(base + 4 * i)).collect();
+    g.throughput(Throughput::Elements(words.len() as u64));
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            let mut n = 0;
+            for &w in &words {
+                if Inst::decode(w).is_ok() {
+                    n += 1;
+                }
+            }
+            n
+        });
+    });
+    g.bench_function("assemble_li64", |b| {
+        b.iter(|| {
+            let mut asm = Assembler::new(0);
+            asm.li(Reg::A0, 0x1234_5678_9ABC_DEF0);
+            asm.assemble().expect("assemble").len()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_core_throughput, bench_isa);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Regenerates paper Table 1: the TEESec components and whether each is
+//! manual, automatable, or automatic.
+//!
+//! In this reproduction every component is executable code, so the table
+//! reports which paper-manual steps became automatic here (the paper
+//! predicted exactly this automation for a production system).
+
+fn main() {
+    teesec_bench::header("Table 1: TEESec components (manual vs automatic)");
+    println!(
+        "{:<22} {:<38} {:>8} {:>10}",
+        "Component", "Step", "Paper", "This repo"
+    );
+    let rows = [
+        ("Verification Plan", "Identifying storage elements", "auto", "auto"),
+        ("Verification Plan", "Listing memory access paths", "manual*", "auto"),
+        ("Verification Plan", "Listing TEE HW/SW APIs", "manual*", "auto"),
+        ("Gadget Constructor", "Access gadgets per access path", "manual", "auto"),
+        ("Gadget Constructor", "Test case assembly", "auto", "auto"),
+        ("TEESec Checker", "RTL simulation log analysis", "auto", "auto"),
+        ("TEESec Checker", "Leakage discovery", "auto", "auto"),
+    ];
+    for (comp, step, paper, here) in rows {
+        println!("{comp:<22} {step:<38} {paper:>8} {here:>10}");
+    }
+    println!("\n(*) steps the paper marks automatable but implemented manually there.");
+
+    // Prove the claims by invoking the automatic steps.
+    let plan = teesec::VerificationPlan::profile(&teesec_uarch::CoreConfig::boom());
+    println!(
+        "\nProfiled automatically for `{}`: {} storage elements, {} access paths, {} API calls.",
+        plan.design,
+        plan.storage.elements.len(),
+        plan.path_count(),
+        plan.api.len()
+    );
+    let catalog = teesec::gadgets::catalog();
+    println!("Gadget catalog: {} gadgets constructed programmatically.", catalog.len());
+}

@@ -1,0 +1,258 @@
+//! The `teesec` command-line tool — the workflow of the paper artifact's
+//! `TestGadgetConstructor.py` / `Checker.py`, in one binary:
+//!
+//! ```text
+//! teesec list-gadgets                      # access_gadgets.txt analog
+//! teesec plan    [--design D] [--json]     # the verification plan
+//! teesec run <gadget> [--design D] [--simlog FILE] [--checker-log FILE]
+//! teesec campaign [--design D] [--cases N] [--output FILE]
+//! teesec matrix  [--cases N]               # the Table 3 matrix
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::process::ExitCode;
+
+use teesec::assemble::{assemble_case, CaseParams};
+use teesec::campaign::{vulnerability_matrix, Campaign};
+use teesec::checker::check_case;
+use teesec::fuzz::Fuzzer;
+use teesec::gadgets::{catalog, GadgetKind};
+use teesec::paths::AccessPath;
+use teesec::runner::run_case;
+use teesec::simlog::render_simlog;
+use teesec::VerificationPlan;
+use teesec_uarch::CoreConfig;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
+         teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
+         teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
+         teesec matrix [--cases N]"
+    );
+    ExitCode::from(2)
+}
+
+struct Opts {
+    design: CoreConfig,
+    cases: usize,
+    threads: usize,
+    json: bool,
+    simlog: Option<String>,
+    checker_log: Option<String>,
+    output: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse(args: &[String]) -> Option<Opts> {
+    let mut o = Opts {
+        design: CoreConfig::boom(),
+        cases: 250,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        json: false,
+        simlog: None,
+        checker_log: None,
+        output: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--design" => {
+                i += 1;
+                o.design = match args.get(i)?.as_str() {
+                    "boom" => CoreConfig::boom(),
+                    "xiangshan" | "xs" => CoreConfig::xiangshan(),
+                    other => {
+                        eprintln!("unknown design `{other}`");
+                        return None;
+                    }
+                };
+            }
+            "--cases" => {
+                i += 1;
+                o.cases = args.get(i)?.parse().ok()?;
+            }
+            "--threads" => {
+                i += 1;
+                o.threads = args.get(i)?.parse().ok()?;
+            }
+            "--json" => o.json = true,
+            "--simlog" => {
+                i += 1;
+                o.simlog = Some(args.get(i)?.clone());
+            }
+            "--checker-log" => {
+                i += 1;
+                o.checker_log = Some(args.get(i)?.clone());
+            }
+            "--output" => {
+                i += 1;
+                o.output = Some(args.get(i)?.clone());
+            }
+            p if !p.starts_with('-') => o.positional.push(p.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return None;
+            }
+        }
+        i += 1;
+    }
+    Some(o)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { return usage() };
+    let Some(opts) = parse(&args[1..]) else { return usage() };
+    match cmd.as_str() {
+        "list-gadgets" => cmd_list_gadgets(),
+        "plan" => cmd_plan(&opts),
+        "run" => cmd_run(&opts),
+        "campaign" => cmd_campaign(&opts),
+        "matrix" => cmd_matrix(&opts),
+        _ => usage(),
+    }
+}
+
+fn cmd_list_gadgets() -> ExitCode {
+    let by_kind: BTreeMap<&str, Vec<&str>> = catalog().into_iter().fold(
+        BTreeMap::new(),
+        |mut m, g| {
+            let k = match g.kind {
+                GadgetKind::Setup => "setup",
+                GadgetKind::Helper => "helper",
+                GadgetKind::Access => "access",
+            };
+            m.entry(k).or_default().push(g.name);
+            m
+        },
+    );
+    for (kind, names) in by_kind {
+        println!("[{kind}]");
+        for n in names {
+            println!("  {n}");
+        }
+    }
+    println!("\naccess gadget -> path ids accepted by `teesec run`:");
+    for p in AccessPath::all() {
+        println!("  {}", p.id());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(opts: &Opts) -> ExitCode {
+    let plan = VerificationPlan::profile(&opts.design);
+    if opts.json {
+        println!("{}", serde_json::to_string_pretty(&plan).expect("serialize"));
+        return ExitCode::SUCCESS;
+    }
+    println!("verification plan: {}", plan.design);
+    println!("\nstorage elements:");
+    for e in &plan.storage.elements {
+        println!(
+            "  {:<18} {:>6} x {:>3}B  {:?}{}{}",
+            e.structure.display_name(),
+            e.entries,
+            e.entry_bytes,
+            e.content,
+            if e.implicit_fill { "  implicit-fill" } else { "" },
+            if e.flushed_on_domain_switch { "  flushed-on-switch" } else { "" },
+        );
+    }
+    println!("\naccess paths:");
+    for p in &plan.paths {
+        println!(
+            "  {:<24} {:?}/{:?}  permission: {:?}",
+            p.path.id(),
+            p.initiation,
+            p.payload,
+            p.permission_policy
+        );
+    }
+    println!("\nTEE API:");
+    for a in &plan.api {
+        println!(
+            "  {:?} (from {})  legal from {:?}{}",
+            a.call,
+            if a.from_enclave { "enclave" } else { "host" },
+            a.legal_from,
+            if a.switches_domain { "  [domain switch]" } else { "" },
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(opts: &Opts) -> ExitCode {
+    let Some(gadget) = opts.positional.first() else {
+        eprintln!("`teesec run` requires an access gadget id (see list-gadgets)");
+        return ExitCode::from(2);
+    };
+    let Some(path) = AccessPath::all().iter().copied().find(|p| p.id() == gadget) else {
+        eprintln!("unknown access gadget `{gadget}`");
+        return ExitCode::from(2);
+    };
+    let tc = match assemble_case(path, CaseParams::default(), &opts.design) {
+        Ok(tc) => tc,
+        Err(e) => {
+            eprintln!("cannot assemble `{gadget}` on {}: {e:?}", opts.design.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("test case: {}", tc.name);
+    let outcome = run_case(&tc, &opts.design).expect("build");
+    println!("simulated {} cycles ({:?})", outcome.cycles, outcome.exit);
+    if let Some(p) = &opts.simlog {
+        fs::write(p, render_simlog(&outcome.platform.core.trace)).expect("write simlog");
+        println!("simulation log written to {p}");
+    }
+    let report = check_case(&tc, &outcome, &opts.design);
+    if report.clean() {
+        println!("checker: no violations found");
+    } else {
+        println!("checker: {} finding(s), classes {:?}", report.findings.len(), report.classes());
+        let rendered: String =
+            report.findings.iter().map(|f| f.render_checker_log() + "\n").collect();
+        match &opts.checker_log {
+            Some(p) => {
+                fs::write(p, &rendered).expect("write checker log");
+                println!("checker log written to {p}");
+            }
+            None => print!("\n{rendered}"),
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE // nonzero = leakage detected (CI-friendly)
+    }
+}
+
+fn cmd_campaign(opts: &Opts) -> ExitCode {
+    let campaign =
+        Campaign::new(opts.design.clone(), Fuzzer::with_target(opts.cases)).keep_reports();
+    let (result, reports) = campaign.run_parallel(opts.threads);
+    println!(
+        "{}: {} cases, {} leaking, classes {:?}",
+        result.design,
+        result.case_count,
+        result.leaking_cases().count(),
+        result.classes_found
+    );
+    if let Some(p) = &opts.output {
+        let blob = serde_json::json!({ "summary": result, "reports": reports });
+        fs::write(p, serde_json::to_string_pretty(&blob).expect("serialize")).expect("write");
+        println!("full results written to {p}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_matrix(opts: &Opts) -> ExitCode {
+    let (boom, _) = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(opts.cases))
+        .run_parallel(opts.threads);
+    let (xs, _) = Campaign::new(CoreConfig::xiangshan(), Fuzzer::with_target(opts.cases))
+        .run_parallel(opts.threads);
+    print!("{}", vulnerability_matrix(&[&boom, &xs]));
+    ExitCode::SUCCESS
+}

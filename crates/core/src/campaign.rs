@@ -1,0 +1,320 @@
+//! The campaign driver: generate → simulate → check over a whole corpus,
+//! aggregating which of the paper's ten leakage classes each design
+//! exhibits (the Table 3 matrix) and per-phase timing (the Table 2 costs).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use teesec_uarch::config::CoreConfig;
+
+use crate::checker::check_case;
+use crate::fuzz::Fuzzer;
+use crate::paths::AccessPath;
+use crate::plan::VerificationPlan;
+use crate::report::{CheckReport, LeakClass};
+use crate::runner::run_case;
+
+/// Summary of one executed + checked case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Case name.
+    pub name: String,
+    /// Access path exercised.
+    pub path: AccessPath,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Whether the case halted inside its budget.
+    pub halted: bool,
+    /// Classes detected.
+    pub classes: BTreeSet<LeakClass>,
+    /// Total findings (including unclassified principle violations).
+    pub finding_count: usize,
+}
+
+/// Wall-clock cost of each campaign phase (the Table 2 shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhaseTiming {
+    /// Verification-plan profiling (automated here; 40 person-hours of
+    /// one-time manual effort in the paper).
+    pub plan_us: u128,
+    /// Test-case generation (constructor + fuzzer).
+    pub construct_us: u128,
+    /// RTL-analog simulation.
+    pub simulate_us: u128,
+    /// Log analysis.
+    pub check_us: u128,
+}
+
+/// The outcome of a full campaign on one design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Design name.
+    pub design: String,
+    /// Number of test cases executed.
+    pub case_count: usize,
+    /// Per-case summaries.
+    pub cases: Vec<CaseResult>,
+    /// Union of detected classes — one row of the Table 3 matrix.
+    pub classes_found: BTreeSet<LeakClass>,
+    /// Phase costs.
+    pub timing: PhaseTiming,
+}
+
+impl CampaignResult {
+    /// `true` if `class` was detected anywhere in the corpus.
+    pub fn found(&self, class: LeakClass) -> bool {
+        self.classes_found.contains(&class)
+    }
+
+    /// Cases that uncovered at least one classified leak.
+    pub fn leaking_cases(&self) -> impl Iterator<Item = &CaseResult> {
+        self.cases.iter().filter(|c| !c.classes.is_empty())
+    }
+
+    /// Average simulated cycles per case.
+    pub fn avg_cycles(&self) -> u64 {
+        if self.cases.is_empty() {
+            0
+        } else {
+            self.cases.iter().map(|c| c.cycles).sum::<u64>() / self.cases.len() as u64
+        }
+    }
+}
+
+/// A campaign: a design under test plus a fuzzer.
+///
+/// ```
+/// use teesec::campaign::Campaign;
+/// use teesec::fuzz::Fuzzer;
+/// use teesec_uarch::CoreConfig;
+///
+/// let (result, _) = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(5)).run();
+/// assert_eq!(result.case_count, 5);
+/// assert!(result.cases.iter().all(|c| c.halted));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    cfg: CoreConfig,
+    fuzzer: Fuzzer,
+    keep_reports: bool,
+}
+
+impl Campaign {
+    /// A campaign over `cfg` with the given fuzzer.
+    pub fn new(cfg: CoreConfig, fuzzer: Fuzzer) -> Campaign {
+        Campaign { cfg, fuzzer, keep_reports: false }
+    }
+
+    /// Also retain full per-case reports (memory-heavier).
+    pub fn keep_reports(mut self) -> Campaign {
+        self.keep_reports = true;
+        self
+    }
+
+    /// The design configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs the campaign across `threads` worker threads. Cases are
+    /// independent (each builds its own platform), so results are identical
+    /// to [`Campaign::run`] — only wall-clock changes. Per-phase timing is
+    /// summed across workers (CPU time, not wall time).
+    pub fn run_parallel(&self, threads: usize) -> (CampaignResult, Vec<CheckReport>) {
+        let threads = threads.max(1);
+        let t0 = Instant::now();
+        let _plan = VerificationPlan::profile(&self.cfg);
+        let plan_us = t0.elapsed().as_micros();
+        let t1 = Instant::now();
+        let corpus = self.fuzzer.generate(&self.cfg);
+        let construct_us = t1.elapsed().as_micros();
+
+        let chunk = corpus.len().div_ceil(threads);
+        let mut slots: Vec<Vec<(usize, CaseResult, Option<CheckReport>, u128, u128)>> =
+            Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, part) in corpus.chunks(chunk.max(1)).enumerate() {
+                let cfg = &self.cfg;
+                let keep = self.keep_reports;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::with_capacity(part.len());
+                    for (k, tc) in part.iter().enumerate() {
+                        let t2 = Instant::now();
+                        let outcome = run_case(tc, cfg)
+                            .unwrap_or_else(|e| panic!("case {} failed to build: {e}", tc.name));
+                        let sim = t2.elapsed().as_micros();
+                        let t3 = Instant::now();
+                        let report = check_case(tc, &outcome, cfg);
+                        let chk = t3.elapsed().as_micros();
+                        let classes = report.classes();
+                        out.push((
+                            w * chunk + k,
+                            CaseResult {
+                                name: tc.name.clone(),
+                                path: tc.path,
+                                cycles: outcome.cycles,
+                                halted: outcome.exit == teesec_uarch::RunExit::Halted,
+                                classes,
+                                finding_count: report.findings.len(),
+                            },
+                            keep.then_some(report),
+                            sim,
+                            chk,
+                        ));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                slots.push(h.join().expect("campaign worker panicked"));
+            }
+        });
+        let mut flat: Vec<_> = slots.into_iter().flatten().collect();
+        flat.sort_by_key(|(i, ..)| *i);
+        let mut classes_found = BTreeSet::new();
+        let mut cases = Vec::with_capacity(flat.len());
+        let mut reports = Vec::new();
+        let (mut simulate_us, mut check_us) = (0u128, 0u128);
+        for (_, cr, rep, sim, chk) in flat {
+            classes_found.extend(cr.classes.iter().copied());
+            cases.push(cr);
+            if let Some(r) = rep {
+                reports.push(r);
+            }
+            simulate_us += sim;
+            check_us += chk;
+        }
+        (
+            CampaignResult {
+                design: self.cfg.name.clone(),
+                case_count: cases.len(),
+                cases,
+                classes_found,
+                timing: PhaseTiming { plan_us, construct_us, simulate_us, check_us },
+            },
+            reports,
+        )
+    }
+
+    /// Runs the whole campaign. Returns the aggregate result and, when
+    /// [`Campaign::keep_reports`] was requested, the per-case reports.
+    pub fn run(&self) -> (CampaignResult, Vec<CheckReport>) {
+        let t0 = Instant::now();
+        let _plan = VerificationPlan::profile(&self.cfg);
+        let plan_us = t0.elapsed().as_micros();
+
+        let t1 = Instant::now();
+        let corpus = self.fuzzer.generate(&self.cfg);
+        let construct_us = t1.elapsed().as_micros();
+
+        let mut cases = Vec::with_capacity(corpus.len());
+        let mut classes_found = BTreeSet::new();
+        let mut reports = Vec::new();
+        let mut simulate_us = 0u128;
+        let mut check_us = 0u128;
+        for tc in &corpus {
+            let t2 = Instant::now();
+            let outcome = match run_case(tc, &self.cfg) {
+                Ok(o) => o,
+                Err(e) => panic!("test case {} failed to build: {e}", tc.name),
+            };
+            simulate_us += t2.elapsed().as_micros();
+
+            let t3 = Instant::now();
+            let report = check_case(tc, &outcome, &self.cfg);
+            check_us += t3.elapsed().as_micros();
+
+            let classes = report.classes();
+            classes_found.extend(classes.iter().copied());
+            cases.push(CaseResult {
+                name: tc.name.clone(),
+                path: tc.path,
+                cycles: outcome.cycles,
+                halted: outcome.exit == teesec_uarch::RunExit::Halted,
+                classes,
+                finding_count: report.findings.len(),
+            });
+            if self.keep_reports {
+                reports.push(report);
+            }
+        }
+        (
+            CampaignResult {
+                design: self.cfg.name.clone(),
+                case_count: cases.len(),
+                cases,
+                classes_found,
+                timing: PhaseTiming { plan_us, construct_us, simulate_us, check_us },
+            },
+            reports,
+        )
+    }
+}
+
+/// Renders the Table 3 matrix (class × design) from per-design results.
+pub fn vulnerability_matrix(results: &[&CampaignResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:<6} {:<10}", "Case", "Source"));
+    for r in results {
+        out.push_str(&format!(" {:>10}", r.design));
+    }
+    out.push('\n');
+    for &class in LeakClass::all() {
+        out.push_str(&format!("{:<6} {:<10}", class.to_string(), class.source()));
+        for r in results {
+            out.push_str(&format!(" {:>10}", if r.found(class) { "X" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced-corpus smoke campaign (full corpora run in the benches and
+    /// integration tests).
+    #[test]
+    fn small_campaign_runs_and_finds_leaks_on_boom() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(20));
+        let (result, _) = campaign.run();
+        assert_eq!(result.case_count, 20);
+        assert!(result.cases.iter().all(|c| c.halted), "all cases must halt");
+        assert!(
+            !result.classes_found.is_empty(),
+            "a 20-case corpus already uncovers leaks on the naive deployment"
+        );
+        assert!(result.avg_cycles() > 0);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let campaign = Campaign::new(CoreConfig::xiangshan(), Fuzzer::with_target(24));
+        let (serial, _) = campaign.run();
+        let (parallel, _) = campaign.run_parallel(4);
+        assert_eq!(parallel.case_count, serial.case_count);
+        assert_eq!(parallel.classes_found, serial.classes_found);
+        let names_s: Vec<_> = serial.cases.iter().map(|c| &c.name).collect();
+        let names_p: Vec<_> = parallel.cases.iter().map(|c| &c.name).collect();
+        assert_eq!(names_p, names_s, "case order preserved");
+        for (a, b) in serial.cases.iter().zip(&parallel.cases) {
+            assert_eq!(a.cycles, b.cycles, "simulation is deterministic: {}", a.name);
+            assert_eq!(a.classes, b.classes);
+        }
+    }
+
+    #[test]
+    fn matrix_renders_all_ten_rows() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(4));
+        let (result, _) = campaign.run();
+        let m = vulnerability_matrix(&[&result]);
+        for class in LeakClass::all() {
+            assert!(m.contains(&class.to_string()), "missing row {class}");
+        }
+        assert!(m.contains("boom"));
+    }
+}

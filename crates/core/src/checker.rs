@@ -1,0 +1,419 @@
+//! The TEESec checker: scans the simulation trace and the end-of-run
+//! microarchitectural snapshot for violations of the two security
+//! principles, classifying each finding into the paper's D1–D8 / M1–M2
+//! cases (paper §4.3).
+
+use std::collections::BTreeSet;
+
+use teesec_uarch::config::CoreConfig;
+use teesec_uarch::trace::{Domain, FillPurpose, Structure, TraceEventKind};
+
+use crate::report::{CheckReport, Finding, LeakClass, Principle};
+use crate::runner::RunOutcome;
+use crate::secret::SecretCatalog;
+use crate::testcase::TestCase;
+
+/// `true` when `observer` is allowed to see data owned by `owner`.
+fn authorized(owner: Domain, observer: Domain) -> bool {
+    if observer == Domain::SecurityMonitor {
+        return true; // the monitor is in every domain's TCB
+    }
+    match owner {
+        Domain::Enclave(e) => observer == Domain::Enclave(e),
+        Domain::SecurityMonitor => false,
+        Domain::Untrusted => !observer.is_enclave(),
+    }
+}
+
+/// Classifies a register-file leak by direction (paper Table 3).
+/// `sb_forwarded` marks a value the store buffer supplied (case D8's
+/// mechanism) rather than the cache hierarchy.
+fn classify_rf(owner: Domain, observer: Domain, sb_forwarded: bool) -> Option<LeakClass> {
+    match (owner, observer) {
+        (Domain::SecurityMonitor, _) => Some(LeakClass::D5),
+        (Domain::Enclave(_), Domain::Untrusted) => {
+            if sb_forwarded {
+                Some(LeakClass::D8)
+            } else {
+                Some(LeakClass::D4)
+            }
+        }
+        (Domain::Enclave(_), Domain::Enclave(_)) => Some(LeakClass::D6),
+        (Domain::Untrusted, Domain::Enclave(_)) => Some(LeakClass::D7),
+        _ => None,
+    }
+}
+
+/// Classifies a line-fill-buffer observation by the fill's purpose.
+fn classify_lfb(purpose: FillPurpose) -> Option<LeakClass> {
+    match purpose {
+        FillPurpose::Prefetch => Some(LeakClass::D1),
+        FillPurpose::PageWalk => Some(LeakClass::D2),
+        FillPurpose::StoreRefill => Some(LeakClass::D3),
+        FillPurpose::Demand => None,
+    }
+}
+
+/// Runs the full analysis for one executed test case.
+pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> CheckReport {
+    let mut secrets = tc.secrets.clone();
+    secrets.reindex();
+    let mut findings = Vec::new();
+    let mut dedup: BTreeSet<String> = BTreeSet::new();
+    let mut push = |findings: &mut Vec<Finding>, f: Finding| {
+        let key = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            f.class,
+            f.structure,
+            f.secret.map(|s| s.addr),
+            f.observer,
+            f.principle
+        );
+        if dedup.insert(key) {
+            findings.push(f);
+        }
+    };
+
+    scan_trace(tc, outcome, &secrets, &mut findings, &mut push);
+    scan_snapshot(tc, outcome, &secrets, &mut findings, &mut push);
+
+    CheckReport {
+        case: tc.name.clone(),
+        path: tc.path,
+        design: cfg.name.clone(),
+        findings,
+    }
+}
+
+fn scan_trace(
+    tc: &TestCase,
+    outcome: &RunOutcome,
+    secrets: &SecretCatalog,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(&mut Vec<Finding>, Finding),
+) {
+    let trace = &outcome.platform.core.trace;
+    let counters = outcome.platform.core.config.hpm_counters;
+    let mut tainted = vec![false; counters];
+    // (cycle, value) of transient privileged counter reads (Figure 6).
+    let mut transient_reads: Vec<(u64, u64)> = Vec::new();
+    // Values the store buffer forwarded to loads (D8's mechanism); secrets
+    // are high-entropy hashes, so value identity is conclusive.
+    let sb_forwarded: std::collections::HashSet<u64> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match (&e.structure, &e.kind) {
+            (Structure::StoreBuffer, TraceEventKind::Read { value, .. }) => Some(*value),
+            _ => None,
+        })
+        .collect();
+
+    for e in trace.events() {
+        match (&e.structure, &e.kind) {
+            // ---- P1: verbatim secrets in the register file -----------------
+            (Structure::RegFile, TraceEventKind::Write { value, .. }) => {
+                if let Some(rec) = secrets.identify(*value) {
+                    if !authorized(rec.owner, e.domain) {
+                        let class =
+                            classify_rf(rec.owner, e.domain, sb_forwarded.contains(value));
+                        push(findings, Finding {
+                            class,
+                            principle: Principle::P1,
+                            structure: Structure::RegFile,
+                            cycle: e.cycle,
+                            pc: e.pc,
+                            secret: Some(rec),
+                            observer: e.domain,
+                            detail: format!(
+                                "secret written back to the register file in {:?} domain \
+                                 (owner {:?})",
+                                e.domain, rec.owner
+                            ),
+                        });
+                    }
+                }
+            }
+            // ---- P1: secrets arriving in fill buffers / caches -------------
+            (s @ (Structure::Lfb | Structure::L1d | Structure::L2), TraceEventKind::Fill { addr, data, purpose }) => {
+                for (off, rec) in secrets.scan_bytes(data) {
+                    if authorized(rec.owner, e.domain) {
+                        continue;
+                    }
+                    // In-trace fills classify D1/D2 (the data should never
+                    // have been fetched). StoreRefill classifies as D3 only
+                    // when it *persists* into the snapshot — the transient
+                    // arrival during the scrub itself is not the violation.
+                    let class = if *s == Structure::Lfb {
+                        match purpose {
+                            FillPurpose::Prefetch => Some(LeakClass::D1),
+                            FillPurpose::PageWalk => Some(LeakClass::D2),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    push(findings, Finding {
+                        class,
+                        principle: Principle::P1,
+                        structure: *s,
+                        cycle: e.cycle,
+                        pc: e.pc,
+                        secret: Some(rec),
+                        observer: e.domain,
+                        detail: format!(
+                            "{:?}-initiated fill of line {:#x} carried the secret at byte \
+                             offset {off} while executing in {:?} domain",
+                            purpose, addr, e.domain
+                        ),
+                    });
+                }
+            }
+            // ---- P2: performance counters ---------------------------------
+            (Structure::Hpc, TraceEventKind::CounterBump { event }) => {
+                let i = event.counter_index();
+                if i < tainted.len() && e.domain.is_trusted() {
+                    tainted[i] = true;
+                }
+            }
+            (Structure::Hpc, TraceEventKind::Flush) => {
+                tainted.iter_mut().for_each(|t| *t = false);
+            }
+            (Structure::Hpc, TraceEventKind::Write { index, value, .. })
+                if *value == 0 => {
+                    if let Some(t) = tainted.get_mut(*index as usize) {
+                        *t = false;
+                    }
+                }
+            (Structure::Hpc, TraceEventKind::Read { index, value }) => {
+                let i = *index as usize;
+                if e.domain == Domain::Untrusted && i < tainted.len() && tainted[i] && *value > 0 {
+                    push(findings, Finding {
+                        class: Some(LeakClass::M1),
+                        principle: Principle::P2,
+                        structure: Structure::Hpc,
+                        cycle: e.cycle,
+                        pc: e.pc,
+                        secret: None,
+                        observer: e.domain,
+                        detail: format!(
+                            "hpmcounter{} read {} events accumulated during trusted \
+                             execution; counters are not reset at enclave boundaries",
+                            i + 3,
+                            value
+                        ),
+                    });
+                }
+                // Privileged-counter transient read (the mcounteren=0
+                // configuration of Figure 6): the read should have been
+                // rejected, yet a value reached the register file.
+                if tc.mcounteren == 0
+                    && e.priv_level != teesec_isa::priv_level::PrivLevel::Machine
+                    && *value > 0
+                {
+                    transient_reads.push((e.cycle, *value));
+                }
+            }
+            // ---- P2 (Figure 6 tail): counter value spilled via the store
+            // buffer by an interrupt context save ---------------------------
+            (Structure::StoreBuffer, TraceEventKind::Write { value, .. }) => {
+                if transient_reads.iter().any(|&(c, v)| v == *value && e.cycle >= c) {
+                    push(findings, Finding {
+                        class: Some(LeakClass::M1),
+                        principle: Principle::P2,
+                        structure: Structure::StoreBuffer,
+                        cycle: e.cycle,
+                        pc: e.pc,
+                        secret: None,
+                        observer: Domain::Untrusted,
+                        detail: format!(
+                            "transiently-read privileged counter value {value:#x} entered \
+                             the store buffer through an interrupt context save and is \
+                             exposed to store-buffer forwarding"
+                        ),
+                    });
+                }
+                // Also: verbatim secrets entering the store buffer outside
+                // their owner's domain (enclave stores drain under host
+                // execution are authorized — owner wrote them).
+                if let Some(rec) = secrets.identify(*value) {
+                    if !authorized(rec.owner, e.domain) {
+                        push(findings, Finding {
+                            class: None,
+                            principle: Principle::P1,
+                            structure: Structure::StoreBuffer,
+                            cycle: e.cycle,
+                            pc: e.pc,
+                            secret: Some(rec),
+                            observer: e.domain,
+                            detail: "secret value written into the store buffer outside \
+                                     its owner's domain"
+                                .into(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = tc;
+}
+
+fn scan_snapshot(
+    tc: &TestCase,
+    outcome: &RunOutcome,
+    secrets: &SecretCatalog,
+    findings: &mut Vec<Finding>,
+    push: &mut impl FnMut(&mut Vec<Finding>, Finding),
+) {
+    let core = &outcome.platform.core;
+    let observer = core.domain; // the world holding the residue at test end
+    if observer != Domain::Untrusted {
+        // Tests end in the untrusted host; anything else means the case
+        // did not reach its probe phase — snapshot checks don't apply.
+        return;
+    }
+
+    // Line-fill-buffer residuals (the D1/D2/D3 "remains in state" half).
+    for entry in core.lsu.lfb.entries() {
+        if !entry.valid {
+            continue;
+        }
+        for (off, rec) in secrets.scan_bytes(&entry.data) {
+            if authorized(rec.owner, observer) {
+                continue;
+            }
+            push(findings, Finding {
+                class: classify_lfb(entry.purpose),
+                principle: Principle::P1,
+                structure: Structure::Lfb,
+                cycle: entry.fill_cycle,
+                pc: None,
+                secret: Some(rec),
+                observer,
+                detail: format!(
+                    "residual {:?} fill of line {:#x} still holds the secret at byte \
+                     offset {off} after the context switch to the untrusted host",
+                    entry.purpose, entry.line_addr
+                ),
+            });
+        }
+    }
+
+    // Cache residuals: enclave lines that were never flushed.
+    for (structure, lines) in [
+        (Structure::L1d, core.lsu.l1d.valid_lines().collect::<Vec<_>>()),
+        (Structure::L2, core.lsu.l2.valid_lines().collect::<Vec<_>>()),
+    ] {
+        for line in lines {
+            for (off, rec) in secrets.scan_bytes(&line.data) {
+                if authorized(rec.owner, observer) {
+                    continue;
+                }
+                push(findings, Finding {
+                    class: None,
+                    principle: Principle::P1,
+                    structure,
+                    cycle: 0,
+                    pc: None,
+                    secret: Some(rec),
+                    observer,
+                    detail: format!(
+                        "secret remains cached in line {:#x} (byte offset {off}) when \
+                         the CPU is not in enclave mode",
+                        line.line_addr
+                    ),
+                });
+            }
+        }
+    }
+
+    // Branch-prediction residue (M2): entries trained by an enclave that
+    // survive into untrusted execution — and, with partial tags, collide
+    // with host PCs. Under the eIBRS-style tag mitigation the entries
+    // still exist but are unreachable from other domains: not an exposure.
+    if outcome.platform.core.config.mitigations.tag_bpu_with_domain {
+        return;
+    }
+    let mut btb_residue = false;
+    for e in core.ubtb.entries() {
+        if e.valid && e.train_domain.is_enclave() {
+            btb_residue = true;
+            push(findings, Finding {
+                class: Some(LeakClass::M2),
+                principle: Principle::P2,
+                structure: Structure::Ubtb,
+                cycle: 0,
+                pc: Some(e.train_pc),
+                secret: None,
+                observer,
+                detail: format!(
+                    "uBTB entry trained by {:?} (pc {:#x}, target {:#x}) survives the \
+                     context switch; partial tags let host branches hit it",
+                    e.train_domain, e.train_pc, e.target
+                ),
+            });
+        }
+    }
+    if !btb_residue {
+        for e in core.ftb.entries() {
+            if e.valid && e.train_domain.is_enclave() {
+                push(findings, Finding {
+                    class: Some(LeakClass::M2),
+                    principle: Principle::P2,
+                    structure: Structure::Ftb,
+                    cycle: 0,
+                    pc: Some(e.train_pc),
+                    secret: None,
+                    observer,
+                    detail: "FTB entry trained inside an enclave survives the context \
+                             switch"
+                        .into(),
+                });
+            }
+        }
+    }
+    let _ = tc;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authorization_matrix() {
+        let e0 = Domain::Enclave(0);
+        let e1 = Domain::Enclave(1);
+        let sm = Domain::SecurityMonitor;
+        let host = Domain::Untrusted;
+        assert!(authorized(e0, e0));
+        assert!(authorized(e0, sm));
+        assert!(!authorized(e0, e1));
+        assert!(!authorized(e0, host));
+        assert!(!authorized(sm, host));
+        assert!(authorized(sm, sm));
+        assert!(authorized(host, host));
+        assert!(authorized(host, sm));
+        assert!(!authorized(host, e0));
+    }
+
+    #[test]
+    fn rf_classification_directions() {
+        let e0 = Domain::Enclave(0);
+        let e1 = Domain::Enclave(1);
+        let host = Domain::Untrusted;
+        let sm = Domain::SecurityMonitor;
+        assert_eq!(classify_rf(e0, host, false), Some(LeakClass::D4));
+        assert_eq!(classify_rf(sm, host, false), Some(LeakClass::D5));
+        assert_eq!(classify_rf(e0, e1, false), Some(LeakClass::D6));
+        assert_eq!(classify_rf(host, e1, false), Some(LeakClass::D7));
+        assert_eq!(classify_rf(e0, host, true), Some(LeakClass::D8));
+    }
+
+    #[test]
+    fn lfb_classification_by_purpose() {
+        assert_eq!(classify_lfb(FillPurpose::Prefetch), Some(LeakClass::D1));
+        assert_eq!(classify_lfb(FillPurpose::PageWalk), Some(LeakClass::D2));
+        assert_eq!(classify_lfb(FillPurpose::StoreRefill), Some(LeakClass::D3));
+        assert_eq!(classify_lfb(FillPurpose::Demand), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! The verification plan (paper §4.1): a systematic profile of the design
+//! under test — its storage elements, every memory access path with its
+//! permission-check policy, and the TEE software API surface.
+
+use serde::{Deserialize, Serialize};
+
+use teesec_tee::enclave::EnclaveState;
+use teesec_tee::SbiCall;
+use teesec_uarch::config::CoreConfig;
+use teesec_uarch::introspect::StorageInventory;
+
+use crate::paths::{AccessPath, Initiation, PayloadKind, PermissionPolicy};
+
+/// One profiled access path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathProfile {
+    /// The path.
+    pub path: AccessPath,
+    /// Explicit or implicit.
+    pub initiation: Initiation,
+    /// Data or metadata.
+    pub payload: PayloadKind,
+    /// When (if ever) permissions are checked on this design.
+    pub permission_policy: PermissionPolicy,
+}
+
+/// One profiled TEE API function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiProfile {
+    /// The SBI call.
+    pub call: SbiCall,
+    /// Whether the enclave or the host issues it.
+    pub from_enclave: bool,
+    /// States from which the call is legal.
+    pub legal_from: Vec<EnclaveState>,
+    /// Whether the call performs a PMP reconfiguration (a domain switch
+    /// whose boundary the checker verifies).
+    pub switches_domain: bool,
+}
+
+/// The complete verification plan for one design + TEE combination.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerificationPlan {
+    /// Design name.
+    pub design: String,
+    /// Storage-element inventory (the automated Yosys-pass analog).
+    pub storage: StorageInventory,
+    /// All access paths present on this design, with their policies.
+    pub paths: Vec<PathProfile>,
+    /// The TEE software API surface.
+    pub api: Vec<ApiProfile>,
+}
+
+impl VerificationPlan {
+    /// Profiles a design into its verification plan.
+    pub fn profile(cfg: &CoreConfig) -> VerificationPlan {
+        let storage = StorageInventory::profile(cfg);
+        let paths = AccessPath::all()
+            .iter()
+            .copied()
+            .filter(|p| p.exists_on(cfg))
+            .map(|path| PathProfile {
+                path,
+                initiation: path.initiation(),
+                payload: path.payload(),
+                permission_policy: path.permission_policy(cfg),
+            })
+            .collect();
+        let api = SbiCall::all()
+            .iter()
+            .copied()
+            .map(|call| {
+                let legal_from = [
+                    EnclaveState::Fresh,
+                    EnclaveState::Created,
+                    EnclaveState::Running,
+                    EnclaveState::Stopped,
+                    EnclaveState::Exited,
+                    EnclaveState::Destroyed,
+                ]
+                .into_iter()
+                .filter(|s| s.apply(call).is_ok())
+                .collect();
+                ApiProfile {
+                    call,
+                    from_enclave: call.from_enclave(),
+                    legal_from,
+                    switches_domain: matches!(
+                        call,
+                        SbiCall::RunEnclave
+                            | SbiCall::ResumeEnclave
+                            | SbiCall::StopEnclave
+                            | SbiCall::ExitEnclave
+                    ),
+                }
+            })
+            .collect();
+        VerificationPlan { design: cfg.name.clone(), storage, paths, api }
+    }
+
+    /// Paths with no (or lazy) permission checking — the priority targets
+    /// of §4.1.2.
+    pub fn weakly_checked_paths(&self) -> impl Iterator<Item = &PathProfile> {
+        self.paths.iter().filter(|p| {
+            matches!(
+                p.permission_policy,
+                PermissionPolicy::Unchecked | PermissionPolicy::CheckedLazy
+            )
+        })
+    }
+
+    /// Number of access paths in the plan.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_profiles_both_designs() {
+        let boom = VerificationPlan::profile(&CoreConfig::boom());
+        let xs = VerificationPlan::profile(&CoreConfig::xiangshan());
+        // BOOM has the prefetch path but no SB-forward path; XS vice versa.
+        assert!(boom.paths.iter().any(|p| p.path == AccessPath::PrefetchNextLine));
+        assert!(!boom.paths.iter().any(|p| p.path == AccessPath::LoadSbForward));
+        assert!(!xs.paths.iter().any(|p| p.path == AccessPath::PrefetchNextLine));
+        assert!(xs.paths.iter().any(|p| p.path == AccessPath::LoadSbForward));
+    }
+
+    #[test]
+    fn weakly_checked_paths_differ_by_design() {
+        let boom = VerificationPlan::profile(&CoreConfig::boom());
+        let xs = VerificationPlan::profile(&CoreConfig::xiangshan());
+        let boom_weak: Vec<AccessPath> = boom.weakly_checked_paths().map(|p| p.path).collect();
+        let xs_weak: Vec<AccessPath> = xs.weakly_checked_paths().map(|p| p.path).collect();
+        // BOOM's poisoned-root PTW is unchecked; XiangShan's is pre-checked.
+        assert!(boom_weak.contains(&AccessPath::PtwPoisonedRoot));
+        assert!(!xs_weak.contains(&AccessPath::PtwPoisonedRoot));
+        // Demand loads are lazily checked on both.
+        assert!(boom_weak.contains(&AccessPath::LoadL1Hit));
+        assert!(xs_weak.contains(&AccessPath::LoadL1Hit));
+    }
+
+    #[test]
+    fn api_profile_matches_lifecycle() {
+        let plan = VerificationPlan::profile(&CoreConfig::boom());
+        let destroy =
+            plan.api.iter().find(|a| a.call == SbiCall::DestroyEnclave).expect("destroy");
+        assert_eq!(
+            destroy.legal_from,
+            vec![EnclaveState::Stopped, EnclaveState::Exited],
+            "destroy only from stopped or exited (paper §7.1.3)"
+        );
+        let run = plan.api.iter().find(|a| a.call == SbiCall::RunEnclave).expect("run");
+        assert!(run.switches_domain);
+        let stop = plan.api.iter().find(|a| a.call == SbiCall::StopEnclave).expect("stop");
+        assert!(stop.from_enclave);
+    }
+
+    #[test]
+    fn plan_serializes() {
+        let plan = VerificationPlan::profile(&CoreConfig::boom());
+        let json = serde_json::to_string_pretty(&plan).expect("serialize");
+        let back: VerificationPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,255 @@
+//! Leakage findings and reports — the CheckerLog of the paper's artifact.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use teesec_uarch::trace::{Domain, Structure};
+
+use crate::paths::AccessPath;
+use crate::secret::SecretRecord;
+
+/// The ten distinct leakage classes of the paper's Table 3.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum LeakClass {
+    /// Enclave data via L1D prefetcher abuse (LFB).
+    D1,
+    /// Enclave/SM data through page-table walks (LFB).
+    D2,
+    /// LFB residual data after enclave destroy.
+    D3,
+    /// Enclave data/code to host user/supervisor (register file).
+    D4,
+    /// Keystone SM data/code to host user/supervisor (register file).
+    D5,
+    /// Enclave data/code to another enclave (register file).
+    D6,
+    /// Host user/supervisor data/code to an enclave (register file).
+    D7,
+    /// Enclave data/code through the store buffer.
+    D8,
+    /// Enclave control-flow / data access patterns via performance counters.
+    M1,
+    /// Enclave control-flow via branch-prediction-unit conflicts.
+    M2,
+}
+
+impl LeakClass {
+    /// All classes in Table 3 order.
+    pub fn all() -> &'static [LeakClass] {
+        &[
+            LeakClass::D1,
+            LeakClass::D2,
+            LeakClass::D3,
+            LeakClass::D4,
+            LeakClass::D5,
+            LeakClass::D6,
+            LeakClass::D7,
+            LeakClass::D8,
+            LeakClass::M1,
+            LeakClass::M2,
+        ]
+    }
+
+    /// The paper's one-line description.
+    pub fn description(self) -> &'static str {
+        match self {
+            LeakClass::D1 => "Leaking enclave data via L1D prefetcher abuse",
+            LeakClass::D2 => "Leaking enclave/SM data through page table walks",
+            LeakClass::D3 => "Leaking LFB residual data after enclave destroy",
+            LeakClass::D4 => "Leaking enclave data/code to host user/supervisor",
+            LeakClass::D5 => "Leaking Keystone SM data/code to host user/supervisor",
+            LeakClass::D6 => "Leaking enclave data/code to another enclave",
+            LeakClass::D7 => "Leaking host user/supervisor data/code to enclave",
+            LeakClass::D8 => "Leaking enclave data/code through store buffer",
+            LeakClass::M1 => {
+                "Revealing enclave control-flow/data access patterns via performance counters"
+            }
+            LeakClass::M2 => {
+                "Revealing enclave control-flow via conflicts on branch prediction units"
+            }
+        }
+    }
+
+    /// The microarchitectural source column of Table 3.
+    pub fn source(self) -> &'static str {
+        match self {
+            LeakClass::D1 | LeakClass::D2 | LeakClass::D3 => "LFB",
+            LeakClass::D4 | LeakClass::D5 | LeakClass::D6 | LeakClass::D7 => "RF",
+            LeakClass::D8 => "RF",
+            LeakClass::M1 => "HPC",
+            LeakClass::M2 => "BPU",
+        }
+    }
+
+    /// `true` for the metadata classes (P2 violations).
+    pub fn is_metadata(self) -> bool {
+        matches!(self, LeakClass::M1 | LeakClass::M2)
+    }
+}
+
+impl fmt::Display for LeakClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Which security principle a finding violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Principle {
+    /// P1: no enclave data fetched into / remaining in microarchitectural
+    /// state outside enclave mode.
+    P1,
+    /// P2: enclave-influenced state must not affect non-enclave execution.
+    P2,
+}
+
+/// One checker finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// The Table 3 class, when the finding maps onto one.
+    pub class: Option<LeakClass>,
+    /// The violated principle.
+    pub principle: Principle,
+    /// Where the residue/leak was observed.
+    pub structure: Structure,
+    /// Simulation cycle of the observation (0 = end-of-run snapshot).
+    pub cycle: u64,
+    /// PC of the associated instruction, when attributable.
+    pub pc: Option<u64>,
+    /// The identified secret, for data leaks.
+    pub secret: Option<SecretRecord>,
+    /// The domain that observed / could observe the residue.
+    pub observer: Domain,
+    /// Human-readable context.
+    pub detail: String,
+}
+
+impl Finding {
+    /// Renders this finding in the format of the artifact's CheckerLog.txt.
+    pub fn render_checker_log(&self) -> String {
+        let mut s = String::new();
+        s.push_str(match self.principle {
+            Principle::P1 => "Enclave secret leakage detected!\n",
+            Principle::P2 => "Enclave metadata leakage detected!\n",
+        });
+        if let Some(rec) = self.secret {
+            s.push_str(&format!("Secret value: {:#x}\n", rec.value));
+            s.push_str(&format!("Seeded at address: {:#x}\n", rec.addr));
+        }
+        s.push_str(&format!(
+            "Microarchitecture structure: {}\n",
+            self.structure.display_name()
+        ));
+        s.push_str(&format!("Sim Cycle No.: {}\n", self.cycle));
+        if let Some(pc) = self.pc {
+            s.push_str(&format!("PC of Last Committed Inst.: {pc:#x}\n"));
+        }
+        if let Some(c) = self.class {
+            s.push_str(&format!("Leakage case: {c} ({})\n", c.description()));
+        }
+        s.push_str(&format!("Detail: {}\n", self.detail));
+        s
+    }
+}
+
+/// The checker's verdict for one test case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// Test case name.
+    pub case: String,
+    /// The access path the case exercised.
+    pub path: AccessPath,
+    /// The design under test.
+    pub design: String,
+    /// All findings, in trace order.
+    pub findings: Vec<Finding>,
+}
+
+impl CheckReport {
+    /// The distinct Table 3 classes among the findings.
+    pub fn classes(&self) -> BTreeSet<LeakClass> {
+        self.findings.iter().filter_map(|f| f.class).collect()
+    }
+
+    /// `true` when no violation of either principle was found.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Counts findings per principle: `(p1, p2)`.
+    pub fn principle_counts(&self) -> (usize, usize) {
+        let p1 = self.findings.iter().filter(|f| f.principle == Principle::P1).count();
+        (p1, self.findings.len() - p1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_classes() {
+        assert_eq!(LeakClass::all().len(), 10);
+        let meta = LeakClass::all().iter().filter(|c| c.is_metadata()).count();
+        assert_eq!(meta, 2);
+    }
+
+    #[test]
+    fn sources_match_table3() {
+        assert_eq!(LeakClass::D1.source(), "LFB");
+        assert_eq!(LeakClass::D4.source(), "RF");
+        assert_eq!(LeakClass::M1.source(), "HPC");
+        assert_eq!(LeakClass::M2.source(), "BPU");
+    }
+
+    #[test]
+    fn checker_log_format() {
+        let f = Finding {
+            class: Some(LeakClass::D4),
+            principle: Principle::P1,
+            structure: Structure::RegFile,
+            cycle: 234785,
+            pc: Some(0x80004808),
+            secret: Some(SecretRecord {
+                addr: 0x8040_2000,
+                value: 0xdeadbeef,
+                owner: Domain::Enclave(0),
+            }),
+            observer: Domain::Untrusted,
+            detail: "transient writeback of faulting load".into(),
+        };
+        let log = f.render_checker_log();
+        assert!(log.contains("Enclave secret leakage detected!"));
+        assert!(log.contains("Secret value: 0xdeadbeef"));
+        assert!(log.contains("Register-file"));
+        assert!(log.contains("234785"));
+        assert!(log.contains("0x80004808"));
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let f = |class| Finding {
+            class,
+            principle: Principle::P1,
+            structure: Structure::Lfb,
+            cycle: 1,
+            pc: None,
+            secret: None,
+            observer: Domain::Untrusted,
+            detail: String::new(),
+        };
+        let r = CheckReport {
+            case: "t".into(),
+            path: AccessPath::LoadL1Hit,
+            design: "boom".into(),
+            findings: vec![f(Some(LeakClass::D1)), f(Some(LeakClass::D1)), f(None)],
+        };
+        assert_eq!(r.classes().len(), 1);
+        assert!(!r.clean());
+        assert_eq!(r.principle_counts(), (3, 0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Lowers test cases onto the Keystone platform and executes them on the
+//! cycle-driven core — the "RTL simulation" phase of the framework.
+
+use teesec_tee::layout;
+use teesec_tee::platform::{BuildError, HostVm, Platform};
+use teesec_tee::sm::SmOptions;
+use teesec_uarch::config::CoreConfig;
+use teesec_uarch::core::RunExit;
+
+use crate::testcase::{lower_steps, TestCase};
+
+/// The product of running one test case.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The platform after the run (trace, caches, CSRs all inspectable).
+    pub platform: Platform,
+    /// How the run ended.
+    pub exit: RunExit,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+/// Builds and runs `tc` on a core configured by `cfg`.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] when the lowered program does not assemble or
+/// overflows a region.
+pub fn run_case(tc: &TestCase, cfg: &CoreConfig) -> Result<RunOutcome, BuildError> {
+    let mut builder = Platform::builder(cfg.clone())
+        .host_vm(if tc.host_sv39 { HostVm::Sv39 } else { HostVm::Bare })
+        .sm_options(SmOptions {
+            mcounteren: tc.mcounteren,
+            clear_hpcs_on_switch: tc.sm_clear_hpcs,
+            hpm_counters: cfg.hpm_counters,
+            enable_external_irq: tc.irq_at.is_some(),
+            ..SmOptions::default()
+        });
+    let host_steps = tc.host_steps.clone();
+    builder = builder.host_code(move |a, _| {
+        lower_steps(a, &host_steps, layout::HOST_BASE, "h");
+    });
+    for (i, steps) in tc.enclave_steps.iter().enumerate() {
+        // An enclave needs a code image (at least the implicit stop
+        // terminator) whenever the host actually enters it.
+        let entered = tc.host_steps.iter().any(|s| {
+            matches!(s, crate::testcase::Step::Sbi { call, enclave }
+                if *enclave == i as u64
+                    && matches!(call, teesec_tee::SbiCall::RunEnclave | teesec_tee::SbiCall::ResumeEnclave))
+        });
+        if steps.is_empty() && !entered {
+            continue;
+        }
+        let steps = steps.clone();
+        let base = layout::enclave_base(i);
+        builder = builder.enclave_code(i, move |a, _| {
+            lower_steps(a, &steps, base, &format!("e{i}"));
+        });
+    }
+    for rec in tc.secrets.records() {
+        builder = builder.seed_u64(rec.addr, rec.value);
+    }
+    if let Some(at) = tc.irq_at {
+        builder = builder.external_interrupt_at(at);
+    }
+    let mut platform = builder.build()?;
+    let exit = platform.run(tc.max_cycles);
+    let cycles = platform.core.cycle;
+    Ok(RunOutcome { platform, exit, cycles })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::{assemble_case, CaseParams};
+    use crate::paths::AccessPath;
+
+    #[test]
+    fn default_case_runs_to_completion() {
+        let cfg = CoreConfig::boom();
+        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg).unwrap();
+        let out = run_case(&tc, &cfg).expect("build");
+        assert_eq!(out.exit, RunExit::Halted, "case must halt: {}", tc.name);
+        assert!(out.cycles > 100);
+        assert!(!out.platform.core.trace.is_empty());
+    }
+
+    #[test]
+    fn all_default_cases_halt_on_both_designs() {
+        for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+            for path in AccessPath::all() {
+                let Ok(tc) = assemble_case(*path, CaseParams::default(), &cfg) else {
+                    continue;
+                };
+                let out = run_case(&tc, &cfg).expect("build");
+                assert_eq!(
+                    out.exit,
+                    RunExit::Halted,
+                    "case {} must halt on {} (ran {} cycles)",
+                    tc.name,
+                    cfg.name,
+                    out.cycles
+                );
+            }
+        }
+    }
+}

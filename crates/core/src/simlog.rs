@@ -1,0 +1,106 @@
+//! Textual simulation-log rendering — the analog of the paper artifact's
+//! `SimLog.txt` (the instrumented simulator's per-cycle dump that
+//! `Checker.py` parses).
+
+use std::fmt::Write as _;
+
+use teesec_uarch::trace::{Trace, TraceEventKind};
+
+/// Renders the full trace as a line-per-event text log.
+///
+/// Format: `cycle <n> [<priv>/<domain>] <structure>: <event>` — stable
+/// enough to diff across runs of a deterministic test case.
+pub fn render_simlog(trace: &Trace) -> String {
+    let mut out = String::new();
+    for e in trace.events() {
+        let _ = write!(
+            out,
+            "cycle {:>8} [{}/{:?}] {:<16} ",
+            e.cycle,
+            e.priv_level,
+            e.domain,
+            e.structure.display_name()
+        );
+        match &e.kind {
+            TraceEventKind::Fill { addr, data, purpose } => {
+                let head = u64::from_le_bytes(data[..8.min(data.len())].try_into().unwrap_or([0; 8]));
+                let _ = writeln!(
+                    out,
+                    "FILL line={addr:#x} purpose={purpose:?} bytes={} head={head:#018x}",
+                    data.len()
+                );
+            }
+            TraceEventKind::Write { index, value, tag } => {
+                let _ = write!(out, "WRITE idx={index:#x} value={value:#x}");
+                if let Some(t) = tag {
+                    let _ = write!(out, " tag={t:#x}");
+                }
+                let _ = writeln!(out);
+            }
+            TraceEventKind::Read { index, value } => {
+                let _ = writeln!(out, "READ idx={index:#x} value={value:#x}");
+            }
+            TraceEventKind::Flush => {
+                let _ = writeln!(out, "FLUSH");
+            }
+            TraceEventKind::CounterBump { event } => {
+                let _ = writeln!(out, "BUMP {event:?}");
+            }
+            TraceEventKind::DomainSwitch { to } => {
+                let _ = writeln!(out, "DOMAIN-SWITCH -> {to:?}");
+            }
+        }
+        if let Some(pc) = e.pc {
+            // Append the PC on the same line style the artifact used.
+            let nl = out.pop();
+            debug_assert_eq!(nl, Some('\n'));
+            let _ = writeln!(out, " pc={pc:#x}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teesec_isa::priv_level::PrivLevel;
+    use teesec_uarch::trace::{Domain, Structure, TraceEvent};
+
+    #[test]
+    fn renders_every_event_kind() {
+        let mut t = Trace::new();
+        let base = |kind| TraceEvent {
+            cycle: 42,
+            priv_level: PrivLevel::Supervisor,
+            domain: Domain::Enclave(1),
+            pc: Some(0x8010_0000),
+            structure: Structure::Lfb,
+            kind,
+        };
+        t.record(base(TraceEventKind::Fill {
+            addr: 0x8040_0000,
+            data: vec![0xAB; 64],
+            purpose: teesec_uarch::trace::FillPurpose::Prefetch,
+        }));
+        t.record(base(TraceEventKind::Write { index: 5, value: 0x123, tag: Some(7) }));
+        t.record(base(TraceEventKind::Read { index: 5, value: 0x123 }));
+        t.record(base(TraceEventKind::Flush));
+        t.record(base(TraceEventKind::CounterBump {
+            event: teesec_uarch::trace::HpcEvent::L1dMiss,
+        }));
+        t.record(base(TraceEventKind::DomainSwitch { to: Domain::Untrusted }));
+        let log = render_simlog(&t);
+        assert_eq!(log.lines().count(), 6);
+        assert!(log.contains("FILL line=0x80400000 purpose=Prefetch"));
+        assert!(log.contains("WRITE idx=0x5 value=0x123 tag=0x7"));
+        assert!(log.contains("BUMP L1dMiss"));
+        assert!(log.contains("DOMAIN-SWITCH -> Untrusted"));
+        assert!(log.contains("pc=0x80100000"));
+        assert!(log.contains("[S/Enclave(1)]"));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        assert!(render_simlog(&Trace::new()).is_empty());
+    }
+}

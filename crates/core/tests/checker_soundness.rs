@@ -1,0 +1,158 @@
+//! Checker soundness: hand-built cases that must NOT produce findings —
+//! benign host work, authorized monitor accesses, enclaves touching their
+//! own secrets — plus classification coherence on leaking ones. A checker
+//! that cries wolf is as useless as one that misses leaks.
+
+use teesec::checker::check_case;
+use teesec::paths::AccessPath;
+use teesec::report::Principle;
+use teesec::runner::run_case;
+use teesec::testcase::{Actor, Step, TestCase};
+use teesec_isa::inst::MemWidth;
+use teesec_tee::{layout, SbiCall};
+use teesec_uarch::trace::Domain;
+use teesec_uarch::CoreConfig;
+
+fn run_and_check(tc: &TestCase, cfg: &CoreConfig) -> teesec::CheckReport {
+    let outcome = run_case(tc, cfg).expect("build");
+    assert_eq!(outcome.exit, teesec_uarch::RunExit::Halted, "{} must halt", tc.name);
+    check_case(tc, &outcome, cfg)
+}
+
+#[test]
+fn host_only_work_is_clean() {
+    // No secrets ever seeded in trusted regions; plenty of memory traffic.
+    for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        let mut tc = TestCase::new("host_only", AccessPath::LoadL1Hit);
+        for k in 0..16u64 {
+            tc.push(Actor::Host, Step::Store {
+                addr: layout::SHARED_BASE + 8 * k,
+                value: 0x1000 + k,
+                width: MemWidth::D,
+            });
+            tc.push(Actor::Host, Step::Load {
+                addr: layout::SHARED_BASE + 8 * k,
+                width: MemWidth::D,
+            });
+        }
+        let report = run_and_check(&tc, &cfg);
+        assert!(report.clean(), "{}: {:?}", cfg.name, report.findings);
+    }
+}
+
+#[test]
+fn enclave_touching_its_own_secrets_without_probe_reports_only_residue() {
+    // The enclave loads its own secrets; the host never probes. Transient
+    // RF leaks must NOT be reported (authorized), but unflushed cache
+    // residue legitimately is (P1 "remains in state"), unclassified.
+    let cfg = CoreConfig::boom();
+    let mut tc = TestCase::new("self_touch", AccessPath::LoadL1Hit);
+    let addr = layout::enclave_data(0);
+    tc.secrets.seed(addr, Domain::Enclave(0));
+    tc.push(Actor::Enclave(0), Step::Load { addr, width: MemWidth::D });
+    tc.push(Actor::Enclave(0), Step::ConsumeLast);
+    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave: 0 });
+    tc.push(Actor::Host, Step::Sbi { call: SbiCall::RunEnclave, enclave: 0 });
+    let report = run_and_check(&tc, &cfg);
+    for f in &report.findings {
+        assert_eq!(f.class, None, "no Table 3 class without a probe: {f:?}");
+        assert_eq!(f.principle, Principle::P1);
+        assert!(
+            matches!(
+                f.structure,
+                teesec_uarch::trace::Structure::L1d
+                    | teesec_uarch::trace::Structure::L2
+                    | teesec_uarch::trace::Structure::Lfb
+            ),
+            "only cache/buffer residue expected: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn hardened_design_is_clean_even_on_the_canonical_attacks() {
+    let cfg = CoreConfig::hardened_reference();
+    for path in [
+        AccessPath::LoadL1Hit,
+        AccessPath::LoadMemMiss,
+        AccessPath::PtwPoisonedRoot,
+        AccessPath::SmScrub,
+        AccessPath::HpcRead,
+        AccessPath::BtbLookup,
+    ] {
+        let Ok(tc) =
+            teesec::assemble::assemble_case(path, teesec::assemble::CaseParams::default(), &cfg)
+        else {
+            continue;
+        };
+        let report = run_and_check(&tc, &cfg);
+        assert!(
+            report.findings.iter().all(|f| f.class.is_none()),
+            "{path:?} must not classify on the hardened design: {:?}",
+            report.findings
+        );
+    }
+}
+
+#[test]
+fn attest_alone_does_not_classify_a_leak() {
+    // The monitor reading enclave memory (attestation) is authorized; only
+    // cache residue (class-less P1) may be reported.
+    let cfg = CoreConfig::xiangshan();
+    let mut tc = TestCase::new("attest_only", AccessPath::LoadL1Hit);
+    tc.secrets.seed(layout::enclave_data(0), Domain::Enclave(0));
+    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave: 0 });
+    tc.push(Actor::Host, Step::Sbi { call: SbiCall::AttestEnclave, enclave: 0 });
+    let report = run_and_check(&tc, &cfg);
+    assert!(
+        report.findings.iter().all(|f| f.class.is_none()),
+        "attestation is within the TCB: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn untouched_counters_do_not_raise_m1() {
+    // Host reads counters with no enclave having run: no trusted taint.
+    let cfg = CoreConfig::boom();
+    let mut tc = TestCase::new("cold_counters", AccessPath::HpcRead);
+    for i in 0..4 {
+        tc.push(Actor::Host, Step::CsrRead { csr: teesec_isa::csr::hpmcounter_csr(i) });
+    }
+    let report = run_and_check(&tc, &cfg);
+    assert!(report.clean(), "{:?}", report.findings);
+}
+
+#[test]
+fn classified_findings_always_carry_coherent_metadata() {
+    // On a leaking case, every classified finding's structure matches the
+    // class's Table 3 source column.
+    let cfg = CoreConfig::boom();
+    let tc = teesec::assemble::assemble_case(
+        AccessPath::LoadL1Hit,
+        teesec::assemble::CaseParams::default(),
+        &cfg,
+    )
+    .unwrap();
+    let report = run_and_check(&tc, &cfg);
+    assert!(!report.classes().is_empty());
+    for f in &report.findings {
+        let Some(class) = f.class else { continue };
+        match class.source() {
+            "RF" => assert_eq!(f.structure, teesec_uarch::trace::Structure::RegFile),
+            "LFB" => assert_eq!(f.structure, teesec_uarch::trace::Structure::Lfb),
+            "HPC" => assert!(matches!(
+                f.structure,
+                teesec_uarch::trace::Structure::Hpc | teesec_uarch::trace::Structure::StoreBuffer
+            )),
+            "BPU" => assert!(matches!(
+                f.structure,
+                teesec_uarch::trace::Structure::Ubtb | teesec_uarch::trace::Structure::Ftb
+            )),
+            other => panic!("unknown source {other}"),
+        }
+        if !class.is_metadata() {
+            assert!(f.secret.is_some(), "data leaks carry the traced secret: {f:?}");
+        }
+    }
+}

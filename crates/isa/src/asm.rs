@@ -1,0 +1,592 @@
+//! A small two-pass assembler with label support.
+//!
+//! The TEESec test-gadget constructor composes gadgets out of [`crate::Inst`]
+//! values and pseudo-instructions; the assembler resolves labels and lowers
+//! everything to 32-bit words that get loaded into simulated memory.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::csr::CsrAddr;
+use crate::inst::{AluOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth};
+use crate::reg::Reg;
+
+/// An assembler item: either a concrete instruction or a label-relative one.
+#[derive(Debug, Clone)]
+enum Item {
+    Inst(Inst),
+    /// `jal rd, label`
+    JalTo { rd: Reg, label: String },
+    /// `b<cond> rs1, rs2, label`
+    BranchTo { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    /// `la rd, label` — expands to `auipc` + `addi`.
+    LoadAddr { rd: Reg, label: String },
+    /// Raw data word.
+    Word(u32),
+}
+
+/// Errors produced while assembling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A referenced label was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch or jump target is out of encodable range.
+    OffsetOutOfRange {
+        /// The label that could not be reached.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AssembleError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AssembleError::OffsetOutOfRange { label, offset } => {
+                write!(f, "target `{label}` out of range (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+/// A two-pass assembler emitting RV64 words at a fixed base address.
+///
+/// ```
+/// use teesec_isa::asm::Assembler;
+/// use teesec_isa::reg::Reg;
+///
+/// let mut asm = Assembler::new(0x8000_0000);
+/// asm.li(Reg::T0, 42);
+/// asm.label("loop");
+/// asm.addi(Reg::T0, Reg::T0, -1);
+/// asm.bnez(Reg::T0, "loop");
+/// asm.ecall();
+/// let words = asm.assemble()?;
+/// assert!(words.len() >= 4);
+/// # Ok::<(), teesec_isa::asm::AssembleError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    base: u64,
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AssembleError>,
+}
+
+impl Assembler {
+    /// Creates an assembler whose first word lands at `base`.
+    pub fn new(base: u64) -> Assembler {
+        Assembler { base, ..Assembler::default() }
+    }
+
+    /// The base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The address of the *next* emitted word.
+    pub fn cursor(&self) -> u64 {
+        self.base + 4 * self.items.len() as u64
+    }
+
+    /// Defines `name` at the current cursor.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.items.len()).is_some() {
+            self.errors.push(AssembleError::DuplicateLabel(name));
+        }
+        self
+    }
+
+    /// The resolved address of a previously defined label.
+    pub fn label_addr(&self, name: &str) -> Option<u64> {
+        self.labels.get(name).map(|&i| self.base + 4 * i as u64)
+    }
+
+    /// Emits a concrete instruction.
+    pub fn inst(&mut self, inst: Inst) -> &mut Self {
+        self.items.push(Item::Inst(inst));
+        self
+    }
+
+    /// Emits a raw data word.
+    pub fn word(&mut self, w: u32) -> &mut Self {
+        self.items.push(Item::Word(w));
+        self
+    }
+
+    // ---- direct instructions -------------------------------------------
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op: AluOp::Add, rd, rs1, imm, word: false })
+    }
+
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op: AluOp::And, rd, rs1, imm, word: false })
+    }
+
+    /// `xori rd, rs1, imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm, word: false })
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: false })
+    }
+
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.inst(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: false })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::AluReg { op: AluOp::Add, rd, rs1, rs2, word: false })
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::AluReg { op: AluOp::Sub, rd, rs1, rs2, word: false })
+    }
+
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::AluReg { op: AluOp::Xor, rd, rs1, rs2, word: false })
+    }
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::AluReg { op: AluOp::Mul, rd, rs1, rs2, word: false })
+    }
+
+    /// Load of the given width (signed variants for sub-double widths).
+    pub fn load(&mut self, width: MemWidth, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Load { width, signed: true, rd, rs1, offset })
+    }
+
+    /// `ld rd, offset(rs1)`
+    pub fn ld(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.load(MemWidth::D, rd, rs1, offset)
+    }
+
+    /// `lw rd, offset(rs1)`
+    pub fn lw(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.load(MemWidth::W, rd, rs1, offset)
+    }
+
+    /// `lbu rd, offset(rs1)`
+    pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Load { width: MemWidth::B, signed: false, rd, rs1, offset })
+    }
+
+    /// Store of the given width.
+    pub fn store(&mut self, width: MemWidth, rs2: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Store { width, rs2, rs1, offset })
+    }
+
+    /// `sd rs2, offset(rs1)`
+    pub fn sd(&mut self, rs2: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.store(MemWidth::D, rs2, rs1, offset)
+    }
+
+    /// `sw rs2, offset(rs1)`
+    pub fn sw(&mut self, rs2: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.store(MemWidth::W, rs2, rs1, offset)
+    }
+
+    /// `sb rs2, offset(rs1)`
+    pub fn sb(&mut self, rs2: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.store(MemWidth::B, rs2, rs1, offset)
+    }
+
+    /// `jalr rd, offset(rs1)`
+    pub fn jalr(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
+        self.inst(Inst::Jalr { rd, rs1, offset })
+    }
+
+    /// `ecall`
+    pub fn ecall(&mut self) -> &mut Self {
+        self.inst(Inst::Ecall)
+    }
+
+    /// `mret`
+    pub fn mret(&mut self) -> &mut Self {
+        self.inst(Inst::Mret)
+    }
+
+    /// `sret`
+    pub fn sret(&mut self) -> &mut Self {
+        self.inst(Inst::Sret)
+    }
+
+    /// `fence`
+    pub fn fence(&mut self) -> &mut Self {
+        self.inst(Inst::Fence)
+    }
+
+    /// `sfence.vma`
+    pub fn sfence_vma(&mut self) -> &mut Self {
+        self.inst(Inst::SfenceVma)
+    }
+
+    /// `wfi`
+    pub fn wfi(&mut self) -> &mut Self {
+        self.inst(Inst::Wfi)
+    }
+
+    /// `csrrw rd, csr, rs1`
+    pub fn csrrw(&mut self, rd: Reg, csr: CsrAddr, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Csr { op: CsrOp::Rw, rd, src: CsrSrc::Reg(rs1), csr })
+    }
+
+    /// `csrrs rd, csr, rs1`
+    pub fn csrrs(&mut self, rd: Reg, csr: CsrAddr, rs1: Reg) -> &mut Self {
+        self.inst(Inst::Csr { op: CsrOp::Rs, rd, src: CsrSrc::Reg(rs1), csr })
+    }
+
+    // ---- pseudo-instructions -------------------------------------------
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(Reg::ZERO, Reg::ZERO, 0)
+    }
+
+    /// `mv rd, rs`
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// `csrr rd, csr` (read)
+    pub fn csrr(&mut self, rd: Reg, csr: CsrAddr) -> &mut Self {
+        self.csrrs(rd, csr, Reg::ZERO)
+    }
+
+    /// `csrw csr, rs` (write, old value discarded)
+    pub fn csrw(&mut self, csr: CsrAddr, rs: Reg) -> &mut Self {
+        self.csrrw(Reg::ZERO, csr, rs)
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(Reg::ZERO, Reg::RA, 0)
+    }
+
+    /// Loads an arbitrary 64-bit constant into `rd`.
+    ///
+    /// Uses the standard recursive `lui`/`addiw`/`slli`/`addi`
+    /// materialization and clobbers no other register.
+    pub fn li(&mut self, rd: Reg, value: u64) -> &mut Self {
+        self.li_rec(rd, value as i64);
+        self
+    }
+
+    /// Loads a 32-bit constant (sign-extended to 64 bits) into `rd`.
+    pub fn li32(&mut self, rd: Reg, value: u32) -> &mut Self {
+        self.li_rec(rd, value as i32 as i64);
+        self
+    }
+
+    fn li_rec(&mut self, rd: Reg, v: i64) {
+        if (i32::MIN as i64..=i32::MAX as i64).contains(&v) {
+            let hi = (v.wrapping_add(0x800) >> 12) & 0xFFFFF;
+            let lo = ((v << 52) >> 52) as i32;
+            if hi != 0 {
+                self.inst(Inst::Lui { rd, imm20: sign20(hi as i32) });
+                if lo != 0 {
+                    self.inst(Inst::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo, word: true });
+                }
+            } else {
+                self.addi(rd, Reg::ZERO, lo);
+            }
+            return;
+        }
+        let lo12 = (v << 52) >> 52;
+        self.li_rec(rd, v.wrapping_sub(lo12) >> 12);
+        self.slli(rd, rd, 12);
+        if lo12 != 0 {
+            self.addi(rd, rd, lo12 as i32);
+        }
+    }
+
+    /// `j label`
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JalTo { rd: Reg::ZERO, label: label.into() });
+        self
+    }
+
+    /// `jal label` (links into `ra`).
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JalTo { rd: Reg::RA, label: label.into() });
+        self
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// `bnez rs, label`
+    pub fn bnez(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.bne(rs, Reg::ZERO, label)
+    }
+
+    /// `beqz rs, label`
+    pub fn beqz(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.beq(rs, Reg::ZERO, label)
+    }
+
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// Conditional branch to a label.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.into() });
+        self
+    }
+
+    /// `la rd, label` (PC-relative address formation).
+    pub fn la(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::LoadAddr { rd, label: label.into() });
+        self.nop() // reserve the second slot of the auipc/addi pair
+    }
+
+    /// Number of words that will be emitted.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolves labels and produces the final instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded error: duplicate labels, undefined labels,
+    /// or out-of-range control-flow offsets.
+    pub fn assemble(&self) -> Result<Vec<u32>, AssembleError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        let resolve = |label: &str| -> Result<u64, AssembleError> {
+            self.label_addr(label).ok_or_else(|| AssembleError::UndefinedLabel(label.to_string()))
+        };
+        let mut out = Vec::with_capacity(self.items.len());
+        let mut skip_reserved = false;
+        for (i, item) in self.items.iter().enumerate() {
+            if skip_reserved {
+                // This slot's word was already emitted by the preceding
+                // `la` expansion (auipc + addi pair).
+                skip_reserved = false;
+                continue;
+            }
+            let pc = self.base + 4 * i as u64;
+            match item {
+                Item::Inst(inst) => out.push(inst.encode()),
+                Item::Word(w) => out.push(*w),
+                Item::JalTo { rd, label } => {
+                    let target = resolve(label)?;
+                    let offset = target as i64 - pc as i64;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AssembleError::OffsetOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
+                    }
+                    out.push(Inst::Jal { rd: *rd, offset: offset as i32 }.encode());
+                }
+                Item::BranchTo { cond, rs1, rs2, label } => {
+                    let target = resolve(label)?;
+                    let offset = target as i64 - pc as i64;
+                    if !(-4096..4096).contains(&offset) {
+                        return Err(AssembleError::OffsetOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
+                    }
+                    out.push(
+                        Inst::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: offset as i32 }
+                            .encode(),
+                    );
+                }
+                Item::LoadAddr { rd, label } => {
+                    let target = resolve(label)?;
+                    let offset = target as i64 - pc as i64;
+                    let hi = ((offset + 0x800) >> 12) as i32;
+                    let lo = (offset & 0xFFF) as i32;
+                    let lo = if lo >= 0x800 { lo - 0x1000 } else { lo };
+                    out.push(Inst::Auipc { rd: *rd, imm20: sign20(hi) }.encode());
+                    // Overwrites the nop reserved by `la`.
+                    out.push(
+                        Inst::AluImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: lo, word: false }
+                            .encode(),
+                    );
+                    skip_reserved = true;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn sign20(v: i32) -> i32 {
+    // Wrap a 20-bit value into the signed range the U-format expects.
+    let v = v & 0xFFFFF;
+    if v >= 0x80000 {
+        v - 0x100000
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    /// A tiny reference interpreter over assembled words, used to validate
+    /// `li` materialization without the full core model.
+    fn run_alu_program(words: &[u32]) -> [u64; 32] {
+        let mut regs = [0u64; 32];
+        for w in words {
+            match Inst::decode(*w).expect("decode") {
+                Inst::Lui { rd, imm20 } => {
+                    regs[rd.index() as usize] = ((imm20 as i64) << 12) as u64;
+                }
+                Inst::AluImm { op, rd, rs1, imm, word } => {
+                    let v = op.eval(regs[rs1.index() as usize], imm as i64 as u64, word);
+                    regs[rd.index() as usize] = v;
+                }
+                Inst::AluReg { op, rd, rs1, rs2, word } => {
+                    let v =
+                        op.eval(regs[rs1.index() as usize], regs[rs2.index() as usize], word);
+                    regs[rd.index() as usize] = v;
+                }
+                other => panic!("unexpected instruction in ALU test: {other:?}"),
+            }
+            regs[0] = 0;
+        }
+        regs
+    }
+
+    fn check_li(value: u64) {
+        let mut asm = Assembler::new(0);
+        asm.li(Reg::A0, value);
+        let words = asm.assemble().expect("assemble");
+        let regs = run_alu_program(&words);
+        assert_eq!(regs[10], value, "li {value:#x}");
+    }
+
+    #[test]
+    fn li_materializes_constants() {
+        for v in [
+            0u64,
+            1,
+            42,
+            0xFFF,
+            0x800,
+            0x1000,
+            0xdead_beef,
+            0x8000_0000,
+            0xFFFF_FFFF,
+            0x1_0000_0000,
+            0x8000_0000_0000_0000,
+            u64::MAX,
+            0x1234_5678_9ABC_DEF0,
+            0x0000_0042_4000_0FF8,
+        ] {
+            check_li(v);
+        }
+    }
+
+    #[test]
+    fn branch_back_and_forward() {
+        let mut asm = Assembler::new(0x8000_0000);
+        asm.label("top");
+        asm.nop();
+        asm.bnez(Reg::A0, "bottom");
+        asm.j("top");
+        asm.label("bottom");
+        asm.ret();
+        let words = asm.assemble().expect("assemble");
+        // bnez is at 0x8000_0004, bottom at 0x8000_000C -> offset +8
+        let b = Inst::decode(words[1]).unwrap();
+        assert!(matches!(b, Inst::Branch { offset: 8, .. }), "{b:?}");
+        // j is at 0x8000_0008, top at 0x8000_0000 -> offset -8
+        let j = Inst::decode(words[2]).unwrap();
+        assert!(matches!(j, Inst::Jal { offset: -8, .. }), "{j:?}");
+    }
+
+    #[test]
+    fn undefined_label_is_error() {
+        let mut asm = Assembler::new(0);
+        asm.j("nowhere");
+        assert_eq!(asm.assemble(), Err(AssembleError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut asm = Assembler::new(0);
+        asm.label("x");
+        asm.nop();
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(AssembleError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn la_points_at_label() {
+        let mut asm = Assembler::new(0x8000_0000);
+        asm.la(Reg::A1, "data");
+        asm.nop();
+        asm.label("data");
+        asm.word(0x1234_5678);
+        let words = asm.assemble().expect("assemble");
+        assert_eq!(words.len(), 4);
+        // auipc a1, 0 ; addi a1, a1, 12
+        let auipc = Inst::decode(words[0]).unwrap();
+        assert!(matches!(auipc, Inst::Auipc { imm20: 0, .. }), "{auipc:?}");
+        let addi = Inst::decode(words[1]).unwrap();
+        assert!(matches!(addi, Inst::AluImm { imm: 12, .. }), "{addi:?}");
+    }
+
+    #[test]
+    fn cursor_tracks_emission() {
+        let mut asm = Assembler::new(0x1000);
+        assert_eq!(asm.cursor(), 0x1000);
+        asm.nop().nop();
+        assert_eq!(asm.cursor(), 0x1008);
+    }
+
+    #[test]
+    fn label_addr_resolution() {
+        let mut asm = Assembler::new(0x2000);
+        asm.nop();
+        asm.label("here");
+        assert_eq!(asm.label_addr("here"), Some(0x2004));
+        assert_eq!(asm.label_addr("missing"), None);
+    }
+}

@@ -1,0 +1,48 @@
+//! RISC-V RV64 ISA substrate for the TEESec pre-silicon verification framework.
+//!
+//! This crate models the *architectural* layer that both the microarchitectural
+//! core model (`teesec-uarch`) and the TEE model (`teesec-tee`) build on:
+//!
+//! * [`inst`] — an RV64IM + Zicsr instruction model with a bidirectional
+//!   encoder/decoder,
+//! * [`asm`] — a small assembler with label support, used by the TEESec test
+//!   gadget constructor to emit test programs,
+//! * [`reg`] — integer register names,
+//! * [`csr`] — the control-and-status-register address map (PMP, SATP,
+//!   hardware performance counters, trap CSRs),
+//! * [`pmp`] — RISC-V Physical Memory Protection semantics (TOR / NA4 /
+//!   NAPOT matching and permission evaluation), the primitive Keystone uses
+//!   to build isolation domains,
+//! * [`vm`] — the sv39 virtual-memory format (VA/PA split, PTE fields) that
+//!   the hardware page-table walker in the core model traverses,
+//! * [`priv_level`] — the M/S/U privilege hierarchy.
+//!
+//! # Example
+//!
+//! ```
+//! use teesec_isa::asm::Assembler;
+//! use teesec_isa::reg::Reg;
+//!
+//! let mut asm = Assembler::new(0x8000_0000);
+//! asm.li(Reg::A0, 0xdead_beef);
+//! asm.label("spin");
+//! asm.j("spin");
+//! let words = asm.assemble()?;
+//! assert!(!words.is_empty());
+//! # Ok::<(), teesec_isa::asm::AssembleError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod csr;
+pub mod inst;
+pub mod pmp;
+pub mod priv_level;
+pub mod reg;
+pub mod vm;
+
+pub use inst::Inst;
+pub use priv_level::PrivLevel;
+pub use reg::Reg;

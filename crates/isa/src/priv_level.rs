@@ -1,0 +1,83 @@
+//! RISC-V privilege levels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The three RISC-V privilege levels relevant to Keystone-style TEEs.
+///
+/// Machine mode hosts the security monitor, supervisor mode the untrusted OS
+/// (and the enclave runtime), user mode application code.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum PrivLevel {
+    /// U-mode (encoding 0).
+    User = 0,
+    /// S-mode (encoding 1).
+    Supervisor = 1,
+    /// M-mode (encoding 3). The default reset privilege.
+    #[default]
+    Machine = 3,
+}
+
+impl PrivLevel {
+    /// The two-bit encoding used in `mstatus.MPP` and friends.
+    pub fn encoding(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes a two-bit privilege encoding.
+    ///
+    /// Returns `None` for the reserved encoding `2`.
+    pub fn from_encoding(bits: u64) -> Option<PrivLevel> {
+        match bits & 0b11 {
+            0 => Some(PrivLevel::User),
+            1 => Some(PrivLevel::Supervisor),
+            3 => Some(PrivLevel::Machine),
+            _ => None,
+        }
+    }
+
+    /// `true` iff `self` is at least as privileged as `other`.
+    pub fn dominates(self, other: PrivLevel) -> bool {
+        self.encoding() >= other.encoding()
+    }
+}
+
+impl fmt::Display for PrivLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrivLevel::User => "U",
+            PrivLevel::Supervisor => "S",
+            PrivLevel::Machine => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_round_trips() {
+        for p in [PrivLevel::User, PrivLevel::Supervisor, PrivLevel::Machine] {
+            assert_eq!(PrivLevel::from_encoding(p.encoding()), Some(p));
+        }
+    }
+
+    #[test]
+    fn reserved_encoding_rejected() {
+        assert_eq!(PrivLevel::from_encoding(2), None);
+    }
+
+    #[test]
+    fn dominance_is_total_order() {
+        assert!(PrivLevel::Machine.dominates(PrivLevel::Supervisor));
+        assert!(PrivLevel::Machine.dominates(PrivLevel::User));
+        assert!(PrivLevel::Supervisor.dominates(PrivLevel::User));
+        assert!(!PrivLevel::User.dominates(PrivLevel::Supervisor));
+        assert!(PrivLevel::User.dominates(PrivLevel::User));
+    }
+}

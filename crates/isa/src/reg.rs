@@ -1,0 +1,173 @@
+//! Integer register file names.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the 32 RV64 integer registers.
+///
+/// The inner index is guaranteed to be `< 32`; construct values through the
+/// named constants or [`Reg::new`].
+///
+/// ```
+/// use teesec_isa::reg::Reg;
+/// assert_eq!(Reg::A0.index(), 10);
+/// assert_eq!(format!("{}", Reg::SP), "sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporary 0.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved register 0 / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument/return 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument/return 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument 7.
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8.
+    pub const S8: Reg = Reg(24);
+    /// Saved register 9.
+    pub const S9: Reg = Reg(25);
+    /// Saved register 10.
+    pub const S10: Reg = Reg(26);
+    /// Saved register 11.
+    pub const S11: Reg = Reg(27);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// Creates a register from its architectural index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index {index} out of range");
+        Reg(index)
+    }
+
+    /// Returns the architectural index (0..32).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all 32 registers, `x0..=x31`.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The ABI mnemonic for this register (`"a0"`, `"sp"`, ...).
+    pub fn abi_name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        NAMES[self.0 as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_abi() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::A7.index(), 17);
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    fn all_yields_32_unique() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), 32);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index() as usize, i);
+        }
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::S0.to_string(), "s0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::T3.to_string(), "t3");
+    }
+}

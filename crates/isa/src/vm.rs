@@ -1,0 +1,242 @@
+//! The sv39 virtual-memory format.
+//!
+//! The hardware page-table walker in the core model traverses real page
+//! tables built in simulated physical memory; this module supplies the
+//! address-split and page-table-entry encodings it needs. Implicit PTW
+//! traffic is the access path behind the paper's leakage case D2.
+
+use serde::{Deserialize, Serialize};
+
+use crate::priv_level::PrivLevel;
+
+/// Bytes per page.
+pub const PAGE_SIZE: u64 = 4096;
+/// Number of sv39 page-table levels.
+pub const SV39_LEVELS: usize = 3;
+/// PTEs per page table.
+pub const PTES_PER_TABLE: u64 = 512;
+
+/// A virtual address (39 significant bits under sv39).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+/// A physical address.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PhysAddr(pub u64);
+
+impl VirtAddr {
+    /// The virtual page number at a given level (2 = root, 0 = leaf).
+    pub fn vpn(self, level: usize) -> u64 {
+        assert!(level < SV39_LEVELS, "sv39 has 3 levels");
+        (self.0 >> (12 + 9 * level)) & 0x1FF
+    }
+
+    /// The within-page offset.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The containing virtual page base.
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// `true` if the address is canonical under sv39 (bits 63..39 are a sign
+    /// extension of bit 38).
+    pub fn is_canonical(self) -> bool {
+        let top = self.0 >> 38;
+        top == 0 || top == (1 << 26) - 1
+    }
+}
+
+impl PhysAddr {
+    /// The physical page number.
+    pub fn ppn(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// The containing physical page base.
+    pub fn page_base(self) -> PhysAddr {
+        PhysAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// The within-page offset.
+    pub fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+}
+
+/// A decoded sv39 page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    /// Valid bit.
+    pub const V: u64 = 1 << 0;
+    /// Read permission.
+    pub const R: u64 = 1 << 1;
+    /// Write permission.
+    pub const W: u64 = 1 << 2;
+    /// Execute permission.
+    pub const X: u64 = 1 << 3;
+    /// User-accessible.
+    pub const U: u64 = 1 << 4;
+    /// Global mapping.
+    pub const G: u64 = 1 << 5;
+    /// Accessed.
+    pub const A: u64 = 1 << 6;
+    /// Dirty.
+    pub const D: u64 = 1 << 7;
+
+    /// Builds a leaf PTE mapping to `pa` with the given permission bits.
+    pub fn leaf(pa: PhysAddr, flags: u64) -> Pte {
+        Pte((pa.ppn() << 10) | flags | Pte::V | Pte::A | Pte::D)
+    }
+
+    /// Builds a non-leaf (pointer) PTE to the next-level table at `pa`.
+    pub fn table(pa: PhysAddr) -> Pte {
+        Pte((pa.ppn() << 10) | Pte::V)
+    }
+
+    /// Valid bit set?
+    pub fn valid(self) -> bool {
+        self.0 & Pte::V != 0
+    }
+
+    /// Readable leaf?
+    pub fn readable(self) -> bool {
+        self.0 & Pte::R != 0
+    }
+
+    /// Writable leaf?
+    pub fn writable(self) -> bool {
+        self.0 & Pte::W != 0
+    }
+
+    /// Executable leaf?
+    pub fn executable(self) -> bool {
+        self.0 & Pte::X != 0
+    }
+
+    /// User-accessible?
+    pub fn user(self) -> bool {
+        self.0 & Pte::U != 0
+    }
+
+    /// A leaf PTE has at least one of R/W/X set.
+    pub fn is_leaf(self) -> bool {
+        self.0 & (Pte::R | Pte::W | Pte::X) != 0
+    }
+
+    /// The physical page number this PTE points at.
+    pub fn ppn(self) -> u64 {
+        (self.0 >> 10) & ((1 << 44) - 1)
+    }
+
+    /// The physical address this PTE points at.
+    pub fn pa(self) -> PhysAddr {
+        PhysAddr(self.ppn() << 12)
+    }
+
+    /// Architectural permission check for a leaf PTE.
+    ///
+    /// `kind` uses [`crate::pmp::AccessKind`]; `sum` is `mstatus.SUM`.
+    pub fn permits(self, kind: crate::pmp::AccessKind, priv_level: PrivLevel, sum: bool) -> bool {
+        use crate::pmp::AccessKind;
+        if !self.valid() || !self.is_leaf() {
+            return false;
+        }
+        match priv_level {
+            PrivLevel::User => {
+                if !self.user() {
+                    return false;
+                }
+            }
+            PrivLevel::Supervisor => {
+                if self.user() && !(sum && kind != AccessKind::Execute) {
+                    return false;
+                }
+            }
+            PrivLevel::Machine => {}
+        }
+        match kind {
+            AccessKind::Read => self.readable(),
+            AccessKind::Write => self.writable(),
+            AccessKind::Execute => self.executable(),
+        }
+    }
+}
+
+/// The physical address of the PTE consulted at `level` for `va`, given the
+/// table base for that level.
+pub fn pte_addr(table_base: PhysAddr, va: VirtAddr, level: usize) -> PhysAddr {
+    PhysAddr(table_base.0 + va.vpn(level) * 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmp::AccessKind;
+
+    #[test]
+    fn vpn_split() {
+        let va = VirtAddr(0x0000_003F_C021_3ABC);
+        assert_eq!(va.page_offset(), 0xABC);
+        assert_eq!(va.vpn(0), (0x0000_003F_C021_3ABC >> 12) & 0x1FF);
+        assert_eq!(va.vpn(1), (0x0000_003F_C021_3ABC >> 21) & 0x1FF);
+        assert_eq!(va.vpn(2), (0x0000_003F_C021_3ABC >> 30) & 0x1FF);
+    }
+
+    #[test]
+    fn canonical_addresses() {
+        assert!(VirtAddr(0x0000_0000_8000_0000).is_canonical());
+        assert!(VirtAddr(0xFFFF_FFFF_8000_0000).is_canonical());
+        assert!(!VirtAddr(0x0001_0000_0000_0000).is_canonical());
+    }
+
+    #[test]
+    fn leaf_pte_roundtrip() {
+        let pa = PhysAddr(0x8123_4000);
+        let pte = Pte::leaf(pa, Pte::R | Pte::W | Pte::U);
+        assert!(pte.valid());
+        assert!(pte.is_leaf());
+        assert!(pte.readable() && pte.writable() && !pte.executable());
+        assert_eq!(pte.pa(), pa);
+    }
+
+    #[test]
+    fn table_pte_is_not_leaf() {
+        let pte = Pte::table(PhysAddr(0x8000_1000));
+        assert!(pte.valid());
+        assert!(!pte.is_leaf());
+        assert_eq!(pte.pa(), PhysAddr(0x8000_1000));
+    }
+
+    #[test]
+    fn user_page_protected_from_supervisor_without_sum() {
+        let pte = Pte::leaf(PhysAddr(0x8000_0000), Pte::R | Pte::W | Pte::U);
+        assert!(pte.permits(AccessKind::Read, PrivLevel::User, false));
+        assert!(!pte.permits(AccessKind::Read, PrivLevel::Supervisor, false));
+        assert!(pte.permits(AccessKind::Read, PrivLevel::Supervisor, true));
+        // SUM never grants execute.
+        assert!(!pte.permits(AccessKind::Execute, PrivLevel::Supervisor, true));
+    }
+
+    #[test]
+    fn supervisor_page_protected_from_user() {
+        let pte = Pte::leaf(PhysAddr(0x8000_0000), Pte::R | Pte::W);
+        assert!(!pte.permits(AccessKind::Read, PrivLevel::User, false));
+        assert!(pte.permits(AccessKind::Read, PrivLevel::Supervisor, false));
+    }
+
+    #[test]
+    fn pte_addr_indexing() {
+        let base = PhysAddr(0x8020_0000);
+        let va = VirtAddr(0x8000_0000);
+        assert_eq!(pte_addr(base, va, 2).0, 0x8020_0000 + va.vpn(2) * 8);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property-based tests for the ISA layer: encoder/decoder round trips,
+//! decoder totality, PMP matching laws, and `li` materialization.
+
+use proptest::prelude::*;
+
+use teesec_isa::asm::Assembler;
+use teesec_isa::inst::{AluOp, BranchCond, CsrOp, CsrSrc, Inst, MemWidth};
+use teesec_isa::pmp::{AccessKind, PmpCfg, PmpSet};
+use teesec_isa::priv_level::PrivLevel;
+use teesec_isa::reg::Reg;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D)
+    ]
+}
+
+fn any_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu)
+    ]
+}
+
+fn any_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu)
+    ]
+}
+
+fn any_imm_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And)
+    ]
+}
+
+fn any_inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Inst::Lui { rd, imm20 }),
+        (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
+        (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
+            .prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
+        (any_reg(), any_reg(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (any_cond(), any_reg(), any_reg(), (-2048i32..2048).prop_map(|o| o * 2))
+            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
+        (any_width(), any::<bool>(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, signed, rd, rs1, offset)| {
+                // `ld` has no unsigned variant.
+                let signed = signed || width == MemWidth::D;
+                Inst::Load { width, signed, rd, rs1, offset }
+            }
+        ),
+        (any_width(), any_reg(), any_reg(), -2048i32..2048)
+            .prop_map(|(width, rs2, rs1, offset)| Inst::Store { width, rs2, rs1, offset }),
+        (any_imm_op(), any_reg(), any_reg(), -2048i32..2048, any::<bool>()).prop_map(
+            |(op, rd, rs1, imm, word)| {
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    imm & 0x3F
+                } else {
+                    imm
+                };
+                Inst::AluImm { op, rd, rs1, imm, word }
+            }
+        ),
+        (any_alu_op(), any_reg(), any_reg(), any_reg(), any::<bool>())
+            .prop_map(|(op, rd, rs1, rs2, word)| Inst::AluReg { op, rd, rs1, rs2, word }),
+        (
+            prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
+            any_reg(),
+            prop_oneof![any_reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)],
+            0u16..4096
+        )
+            .prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Mret),
+        Just(Inst::Sret),
+        Just(Inst::Wfi),
+        Just(Inst::FenceI),
+        Just(Inst::SfenceVma),
+    ]
+}
+
+proptest! {
+    /// Every constructible instruction survives encode → decode.
+    #[test]
+    fn encode_decode_roundtrip(inst in any_inst()) {
+        let word = inst.encode();
+        let back = Inst::decode(word);
+        prop_assert_eq!(back, Ok(inst));
+    }
+
+    /// The decoder is total: it never panics, and anything it accepts
+    /// re-encodes to the same word (canonical encodings only).
+    #[test]
+    fn decode_never_panics_and_reencodes(word in any::<u32>()) {
+        if let Ok(inst) = Inst::decode(word) {
+            // Skip FENCE, whose ignored hint bits are not canonicalized.
+            if !matches!(inst, Inst::Fence) {
+                let re = inst.encode();
+                let again = Inst::decode(re);
+                prop_assert_eq!(again, Ok(inst));
+            }
+        }
+    }
+
+    /// `dest`/`sources` never report the zero register.
+    #[test]
+    fn dest_sources_exclude_x0(inst in any_inst()) {
+        if let Some(d) = inst.dest() {
+            prop_assert!(!d.is_zero());
+        }
+        for s in inst.sources() {
+            prop_assert!(!s.is_zero());
+        }
+    }
+
+    /// `li` materializes any 64-bit constant exactly (checked with the
+    /// ALU-evaluation semantics the core uses).
+    #[test]
+    fn li_materializes_any_constant(value in any::<u64>()) {
+        let mut asm = Assembler::new(0);
+        asm.li(Reg::A0, value);
+        let words = asm.assemble().unwrap();
+        let mut regs = [0u64; 32];
+        for w in words {
+            match Inst::decode(w).unwrap() {
+                Inst::Lui { rd, imm20 } => {
+                    regs[rd.index() as usize] = ((imm20 as i64) << 12) as u64;
+                }
+                Inst::AluImm { op, rd, rs1, imm, word } => {
+                    regs[rd.index() as usize] =
+                        op.eval(regs[rs1.index() as usize], imm as i64 as u64, word);
+                }
+                other => prop_assert!(false, "unexpected li expansion: {other:?}"),
+            }
+            regs[0] = 0;
+        }
+        prop_assert_eq!(regs[10], value);
+    }
+
+    /// Word-form ALU results are always proper sign extensions.
+    #[test]
+    fn word_ops_sign_extend(op in any_alu_op(), a in any::<u64>(), b in any::<u64>()) {
+        let r = op.eval(a, b, true);
+        prop_assert_eq!(r, r as i32 as i64 as u64, "{:?}", op);
+    }
+}
+
+proptest! {
+    /// NAPOT programming and range decoding agree, and containment implies
+    /// permission behaviour.
+    #[test]
+    fn pmp_napot_range_roundtrip(
+        base_page in 0u64..0x10000,
+        size_log in 3u32..20,
+        r in any::<bool>(),
+        w in any::<bool>(),
+    ) {
+        let size = 1u64 << size_log;
+        let base = base_page * size; // size-aligned by construction
+        let mut p = PmpSet::new(4);
+        p.program_napot(0, base, size, PmpCfg::napot(r, w, false));
+        prop_assert_eq!(p.entry_range(0), Some((base, base + size)));
+        // Any aligned 8-byte access inside follows the permission bits.
+        let addr = base + (size / 2) / 8 * 8;
+        prop_assert_eq!(p.allows(addr, 8, AccessKind::Read, PrivLevel::Supervisor), r);
+        prop_assert_eq!(p.allows(addr, 8, AccessKind::Write, PrivLevel::Supervisor), w);
+        // M-mode ignores unlocked entries.
+        prop_assert!(p.allows(addr, 8, AccessKind::Write, PrivLevel::Machine));
+    }
+
+    /// The lowest-numbered matching entry always decides.
+    #[test]
+    fn pmp_lowest_entry_wins(deny_first in any::<bool>()) {
+        let mut p = PmpSet::new(4);
+        let (c0, c1) = if deny_first {
+            (PmpCfg::napot(false, false, false), PmpCfg::napot(true, true, true))
+        } else {
+            (PmpCfg::napot(true, true, true), PmpCfg::napot(false, false, false))
+        };
+        p.program_napot(0, 0x8000_0000, 0x1000, c0);
+        p.program_napot(1, 0x8000_0000, 0x10000, c1);
+        prop_assert_eq!(
+            p.allows(0x8000_0008, 8, AccessKind::Read, PrivLevel::User),
+            !deny_first
+        );
+    }
+
+    /// Config bytes round-trip through the packed representation.
+    #[test]
+    fn pmp_cfg_byte_roundtrip(b in any::<u8>()) {
+        let cfg = PmpCfg::from_byte(b);
+        prop_assert_eq!(cfg.to_byte(), b & 0b1001_1111);
+    }
+}

@@ -1,0 +1,188 @@
+//! The enclave lifecycle state machine.
+//!
+//! The security monitor enforces these transitions (e.g. destroy is only
+//! legal from `Stopped` or `Exited`, per Keystone and paper §7.1.3). The
+//! generated firmware implements the happy path; this Rust-side model is the
+//! specification the TEESec verification plan profiles and the tests check
+//! gadget sequences against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sbi::SbiCall;
+
+/// Lifecycle states of an enclave slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EnclaveState {
+    /// No enclave loaded.
+    #[default]
+    Fresh,
+    /// Created (validated/measured) but never entered.
+    Created,
+    /// Currently executing.
+    Running,
+    /// Yielded via `StopEnclave`; resumable.
+    Stopped,
+    /// Terminated via `ExitEnclave`; not resumable.
+    Exited,
+    /// Memory scrubbed and released.
+    Destroyed,
+}
+
+/// Error returned for an SBI call that is illegal in the current state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// State the enclave was in.
+    pub from: EnclaveState,
+    /// The attempted call.
+    pub call: SbiCall,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} is not legal from state {:?}", self.call, self.from)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+impl EnclaveState {
+    /// The state after `call`, or an error when the transition is illegal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidTransition`] for calls not permitted in this state
+    /// (e.g. destroying a running enclave).
+    pub fn apply(self, call: SbiCall) -> Result<EnclaveState, InvalidTransition> {
+        use EnclaveState::*;
+        use SbiCall::*;
+        let next = match (self, call) {
+            (Fresh, CreateEnclave) => Created,
+            (Created, RunEnclave) => Running,
+            (Running, StopEnclave) => Stopped,
+            (Running, ExitEnclave) => Exited,
+            (Stopped, ResumeEnclave) => Running,
+            // Keystone: destroy only from stopped or exited.
+            (Stopped, DestroyEnclave) | (Exited, DestroyEnclave) => Destroyed,
+            (Created, AttestEnclave) | (Stopped, AttestEnclave) => self,
+            _ => return Err(InvalidTransition { from: self, call }),
+        };
+        Ok(next)
+    }
+
+    /// `true` when the enclave's memory still holds secrets that the SM has
+    /// not scrubbed.
+    pub fn holds_secrets(self) -> bool {
+        !matches!(self, EnclaveState::Fresh | EnclaveState::Destroyed)
+    }
+}
+
+/// Tracks the lifecycle of every enclave slot through a test's SBI
+/// sequence — the execution-model component of the gadget assembler uses
+/// this to generate only valid call orders.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecycleTracker {
+    states: Vec<EnclaveState>,
+}
+
+impl LifecycleTracker {
+    /// Creates a tracker for `n` enclave slots.
+    pub fn new(n: usize) -> LifecycleTracker {
+        LifecycleTracker { states: vec![EnclaveState::Fresh; n] }
+    }
+
+    /// Current state of slot `i`.
+    pub fn state(&self, i: usize) -> EnclaveState {
+        self.states[i]
+    }
+
+    /// Applies `call` to slot `i`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`InvalidTransition`] without mutating state.
+    pub fn apply(&mut self, i: usize, call: SbiCall) -> Result<(), InvalidTransition> {
+        self.states[i] = self.states[i].apply(call)?;
+        Ok(())
+    }
+
+    /// The SBI calls legal for slot `i` right now.
+    pub fn legal_calls(&self, i: usize) -> Vec<SbiCall> {
+        SbiCall::all()
+            .iter()
+            .copied()
+            .filter(|&c| self.states[i].apply(c).is_ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_lifecycle() {
+        let mut s = EnclaveState::Fresh;
+        for call in [
+            SbiCall::CreateEnclave,
+            SbiCall::RunEnclave,
+            SbiCall::StopEnclave,
+            SbiCall::ResumeEnclave,
+            SbiCall::ExitEnclave,
+            SbiCall::DestroyEnclave,
+        ] {
+            s = s.apply(call).unwrap_or_else(|e| panic!("{e}"));
+        }
+        assert_eq!(s, EnclaveState::Destroyed);
+    }
+
+    #[test]
+    fn destroy_requires_stopped_or_exited() {
+        assert!(EnclaveState::Running.apply(SbiCall::DestroyEnclave).is_err());
+        assert!(EnclaveState::Created.apply(SbiCall::DestroyEnclave).is_err());
+        assert!(EnclaveState::Stopped.apply(SbiCall::DestroyEnclave).is_ok());
+        assert!(EnclaveState::Exited.apply(SbiCall::DestroyEnclave).is_ok());
+    }
+
+    #[test]
+    fn cannot_resume_exited() {
+        assert!(EnclaveState::Exited.apply(SbiCall::ResumeEnclave).is_err());
+    }
+
+    #[test]
+    fn stop_resume_cycles() {
+        let mut s = EnclaveState::Created.apply(SbiCall::RunEnclave).unwrap();
+        for _ in 0..3 {
+            s = s.apply(SbiCall::StopEnclave).unwrap();
+            s = s.apply(SbiCall::ResumeEnclave).unwrap();
+        }
+        assert_eq!(s, EnclaveState::Running);
+    }
+
+    #[test]
+    fn secret_holding_states() {
+        assert!(!EnclaveState::Fresh.holds_secrets());
+        assert!(!EnclaveState::Destroyed.holds_secrets());
+        assert!(EnclaveState::Stopped.holds_secrets());
+        assert!(EnclaveState::Exited.holds_secrets());
+    }
+
+    #[test]
+    fn tracker_enumerates_legal_calls() {
+        let mut t = LifecycleTracker::new(2);
+        assert_eq!(t.legal_calls(0), vec![SbiCall::CreateEnclave]);
+        t.apply(0, SbiCall::CreateEnclave).unwrap();
+        let legal = t.legal_calls(0);
+        assert!(legal.contains(&SbiCall::RunEnclave));
+        assert!(legal.contains(&SbiCall::AttestEnclave));
+        assert!(!legal.contains(&SbiCall::DestroyEnclave));
+        // Slot 1 untouched.
+        assert_eq!(t.state(1), EnclaveState::Fresh);
+    }
+
+    #[test]
+    fn tracker_rejects_illegal_without_mutation() {
+        let mut t = LifecycleTracker::new(1);
+        assert!(t.apply(0, SbiCall::RunEnclave).is_err());
+        assert_eq!(t.state(0), EnclaveState::Fresh);
+    }
+}

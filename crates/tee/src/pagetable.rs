@@ -1,0 +1,171 @@
+//! The proxy-kernel page-table builder: constructs real sv39 page tables in
+//! simulated physical memory for the host's supervisor/user environment.
+//!
+//! The hardware page-table walker in the core model traverses these tables
+//! through the cache hierarchy, which is exactly the implicit access path
+//! the paper's case D2 exploits.
+
+use teesec_isa::vm::{PhysAddr, Pte, VirtAddr, PAGE_SIZE, SV39_LEVELS};
+use teesec_uarch::mem::Memory;
+
+/// Builds sv39 page tables in a bump-allocated physical arena.
+#[derive(Debug)]
+pub struct PageTableBuilder {
+    root: u64,
+    next_free: u64,
+    limit: u64,
+}
+
+impl PageTableBuilder {
+    /// Creates a builder whose root table lives at `arena_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `arena_base` is page-aligned and `arena_size` holds at
+    /// least one table.
+    pub fn new(arena_base: u64, arena_size: u64, mem: &mut Memory) -> PageTableBuilder {
+        assert_eq!(arena_base % PAGE_SIZE, 0, "arena must be page aligned");
+        assert!(arena_size >= PAGE_SIZE, "arena must hold at least the root table");
+        // Zero the root table.
+        for off in (0..PAGE_SIZE).step_by(8) {
+            mem.write_u64(arena_base + off, 0);
+        }
+        PageTableBuilder {
+            root: arena_base,
+            next_free: arena_base + PAGE_SIZE,
+            limit: arena_base + arena_size,
+        }
+    }
+
+    /// Physical address of the root table (for `satp`).
+    pub fn root(&self) -> u64 {
+        self.root
+    }
+
+    fn alloc_table(&mut self, mem: &mut Memory) -> u64 {
+        assert!(self.next_free + PAGE_SIZE <= self.limit, "page-table arena exhausted");
+        let t = self.next_free;
+        self.next_free += PAGE_SIZE;
+        for off in (0..PAGE_SIZE).step_by(8) {
+            mem.write_u64(t + off, 0);
+        }
+        t
+    }
+
+    /// Maps the 4 KiB page containing `va` to the page containing `pa` with
+    /// the given leaf flags (combine [`Pte::R`]/[`Pte::W`]/[`Pte::X`]/
+    /// [`Pte::U`]).
+    pub fn map_page(&mut self, va: u64, pa: u64, flags: u64, mem: &mut Memory) {
+        let va = VirtAddr(va).page_base();
+        let pa = PhysAddr(pa).page_base();
+        let mut table = self.root;
+        for level in (1..SV39_LEVELS).rev() {
+            let slot = table + va.vpn(level) * 8;
+            let pte = Pte(mem.read_u64(slot));
+            table = if pte.valid() {
+                assert!(!pte.is_leaf(), "superpage in the way of a 4K mapping");
+                pte.pa().0
+            } else {
+                let t = self.alloc_table(mem);
+                mem.write_u64(slot, Pte::table(PhysAddr(t)).0);
+                t
+            };
+        }
+        let slot = table + va.vpn(0) * 8;
+        mem.write_u64(slot, Pte::leaf(pa, flags).0);
+    }
+
+    /// Identity-maps `[base, base+size)` with the given flags.
+    pub fn identity_map(&mut self, base: u64, size: u64, flags: u64, mem: &mut Memory) {
+        let start = base & !(PAGE_SIZE - 1);
+        let end = base + size;
+        let mut a = start;
+        while a < end {
+            self.map_page(a, a, flags, mem);
+            a += PAGE_SIZE;
+        }
+    }
+
+    /// Bytes of arena consumed so far.
+    pub fn used_bytes(&self) -> u64 {
+        self.next_free - self.root
+    }
+}
+
+/// A software reference walker (test oracle): translates `va` using the
+/// tables in `mem`, returning the leaf PTE.
+pub fn software_walk(root: u64, va: u64, mem: &Memory) -> Option<Pte> {
+    let va = VirtAddr(va);
+    let mut table = root;
+    for level in (0..SV39_LEVELS).rev() {
+        let pte = Pte(mem.read_u64(table + va.vpn(level) * 8));
+        if !pte.valid() {
+            return None;
+        }
+        if pte.is_leaf() {
+            return (level == 0).then_some(pte);
+        }
+        table = pte.pa().0;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_then_walk() {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        pt.map_page(0x4000_1000, 0x8020_3000, Pte::R | Pte::W, &mut mem);
+        let leaf = software_walk(pt.root(), 0x4000_1234, &mem).expect("mapped");
+        assert_eq!(leaf.pa().0, 0x8020_3000);
+        assert!(leaf.readable() && leaf.writable() && !leaf.executable());
+        assert!(software_walk(pt.root(), 0x4000_2000, &mem).is_none());
+    }
+
+    #[test]
+    fn identity_map_covers_range() {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        pt.identity_map(0x8010_0000, 0x4000, Pte::R | Pte::W | Pte::X, &mut mem);
+        for va in [0x8010_0000u64, 0x8010_1000, 0x8010_3FF8] {
+            let leaf = software_walk(pt.root(), va, &mem).expect("mapped");
+            assert_eq!(leaf.pa().0, va & !(PAGE_SIZE - 1));
+        }
+        assert!(software_walk(pt.root(), 0x8010_4000, &mem).is_none());
+    }
+
+    #[test]
+    fn shared_intermediate_tables() {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        // Two pages in the same 2 MiB region share L1/L0 tables.
+        pt.map_page(0x4000_0000, 0x8020_0000, Pte::R, &mut mem);
+        let used_after_first = pt.used_bytes();
+        pt.map_page(0x4000_1000, 0x8020_1000, Pte::R, &mut mem);
+        assert_eq!(pt.used_bytes(), used_after_first, "no new tables needed");
+        assert!(software_walk(pt.root(), 0x4000_0000, &mem).is_some());
+        assert!(software_walk(pt.root(), 0x4000_1000, &mem).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "arena exhausted")]
+    fn arena_exhaustion_panics() {
+        let mut mem = Memory::new();
+        // Room for root + one table only.
+        let mut pt = PageTableBuilder::new(0x8100_0000, 2 * PAGE_SIZE, &mut mem);
+        // Needs L1+L0 => second allocation fails.
+        pt.map_page(0x4000_0000, 0x8020_0000, Pte::R, &mut mem);
+    }
+
+    #[test]
+    fn user_flag_propagates() {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        pt.map_page(0x10_0000, 0x8020_0000, Pte::R | Pte::U, &mut mem);
+        let leaf = software_walk(pt.root(), 0x10_0000, &mem).unwrap();
+        assert!(leaf.user());
+    }
+}

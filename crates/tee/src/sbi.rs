@@ -1,0 +1,89 @@
+//! The supervisor binary interface between the untrusted host (or the
+//! enclave runtime) and the security monitor.
+//!
+//! Calls are made by loading the function id into `a7` (and the enclave id
+//! into `a0`) and executing `ecall`, mirroring Keystone's SBI dispatch.
+
+use serde::{Deserialize, Serialize};
+
+/// SBI function identifiers understood by the security monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u64)]
+pub enum SbiCall {
+    /// Create (validate/measure) an enclave. Host → SM.
+    CreateEnclave = 101,
+    /// Enter an enclave at its entry point. Host → SM.
+    RunEnclave = 102,
+    /// Yield from the enclave back to the host, preserving state.
+    /// Enclave → SM.
+    StopEnclave = 103,
+    /// Re-enter a stopped enclave at its saved PC. Host → SM.
+    ResumeEnclave = 104,
+    /// Scrub and release an enclave's memory. Host → SM.
+    DestroyEnclave = 105,
+    /// Terminal exit from the enclave. Enclave → SM.
+    ExitEnclave = 106,
+    /// Produce an attestation measurement over enclave memory. Host → SM.
+    AttestEnclave = 107,
+}
+
+impl SbiCall {
+    /// The `a7` value for this call.
+    pub fn id(self) -> u64 {
+        self as u64
+    }
+
+    /// Decodes an `a7` value.
+    pub fn from_id(v: u64) -> Option<SbiCall> {
+        Some(match v {
+            101 => SbiCall::CreateEnclave,
+            102 => SbiCall::RunEnclave,
+            103 => SbiCall::StopEnclave,
+            104 => SbiCall::ResumeEnclave,
+            105 => SbiCall::DestroyEnclave,
+            106 => SbiCall::ExitEnclave,
+            107 => SbiCall::AttestEnclave,
+            _ => return None,
+        })
+    }
+
+    /// All calls, in id order.
+    pub fn all() -> &'static [SbiCall] {
+        &[
+            SbiCall::CreateEnclave,
+            SbiCall::RunEnclave,
+            SbiCall::StopEnclave,
+            SbiCall::ResumeEnclave,
+            SbiCall::DestroyEnclave,
+            SbiCall::ExitEnclave,
+            SbiCall::AttestEnclave,
+        ]
+    }
+
+    /// `true` for calls issued by the enclave side.
+    pub fn from_enclave(self) -> bool {
+        matches!(self, SbiCall::StopEnclave | SbiCall::ExitEnclave)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        for &c in SbiCall::all() {
+            assert_eq!(SbiCall::from_id(c.id()), Some(c));
+        }
+        assert_eq!(SbiCall::from_id(0), None);
+        assert_eq!(SbiCall::from_id(999), None);
+    }
+
+    #[test]
+    fn caller_side_classification() {
+        assert!(SbiCall::StopEnclave.from_enclave());
+        assert!(SbiCall::ExitEnclave.from_enclave());
+        assert!(!SbiCall::RunEnclave.from_enclave());
+        assert!(!SbiCall::DestroyEnclave.from_enclave());
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests of the TEE model: page tables resolve exactly what
+//! was mapped, the enclave lifecycle rejects every out-of-order call, and
+//! PMP domain views partition memory as Keystone requires.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use teesec_isa::pmp::{AccessKind, PmpCfg, PmpSet};
+use teesec_isa::priv_level::PrivLevel;
+use teesec_isa::vm::Pte;
+use teesec_tee::enclave::{EnclaveState, LifecycleTracker};
+use teesec_tee::pagetable::{software_walk, PageTableBuilder};
+use teesec_tee::sm::{cfg_destroyed, cfg_host, cfg_run, napot_addr};
+use teesec_tee::{layout, SbiCall};
+use teesec_uarch::mem::Memory;
+
+fn any_call() -> impl Strategy<Value = SbiCall> {
+    prop::sample::select(SbiCall::all().to_vec())
+}
+
+proptest! {
+    /// Arbitrary mapped pages resolve to exactly the mapped frame; unmapped
+    /// neighbours miss.
+    #[test]
+    fn pagetable_maps_exactly_what_was_requested(
+        pages in prop::collection::hash_map(0u64..4096, 1u64..0x8_0000, 1..24)
+    ) {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        for (&vpage, &ppage) in &pages {
+            pt.map_page(vpage << 12, ppage << 12, Pte::R | Pte::W, &mut mem);
+        }
+        for (&vpage, &ppage) in &pages {
+            let leaf = software_walk(pt.root(), (vpage << 12) | 0x123, &mem);
+            prop_assert!(leaf.is_some(), "mapped page {:#x} must resolve", vpage << 12);
+            prop_assert_eq!(leaf.unwrap().pa().0, ppage << 12);
+        }
+        // A page beyond the mapped universe misses.
+        prop_assert!(software_walk(pt.root(), 0x7FFF_F000 << 12, &mem).is_none());
+    }
+
+    /// The lifecycle state machine never reaches `Running` except through
+    /// create→run / stop→resume, and `Destroyed` is terminal.
+    #[test]
+    fn lifecycle_respects_keystone_rules(calls in prop::collection::vec(any_call(), 1..40)) {
+        let mut t = LifecycleTracker::new(1);
+        let mut history = Vec::new();
+        for call in calls {
+            let before = t.state(0);
+            match t.apply(0, call) {
+                Ok(()) => {
+                    history.push(call);
+                    let after = t.state(0);
+                    match after {
+                        EnclaveState::Running => prop_assert!(
+                            matches!(call, SbiCall::RunEnclave | SbiCall::ResumeEnclave)
+                        ),
+                        EnclaveState::Destroyed => prop_assert!(
+                            matches!(before, EnclaveState::Stopped | EnclaveState::Exited)
+                        ),
+                        _ => {}
+                    }
+                }
+                Err(_) => {
+                    // Rejected calls never mutate state.
+                    prop_assert_eq!(t.state(0), before);
+                }
+            }
+            if t.state(0) == EnclaveState::Destroyed {
+                // Terminal: everything is rejected from here.
+                for &c in SbiCall::all() {
+                    prop_assert!(EnclaveState::Destroyed.apply(c).is_err());
+                }
+            }
+        }
+    }
+
+    /// The SM's three PMP views (host / enclave-i running / enclave-i
+    /// destroyed) enforce exactly the Keystone isolation matrix for every
+    /// address in every region.
+    #[test]
+    fn pmp_views_partition_memory(offset in 0u64..0x1000, which in 0usize..2) {
+        let mut p = PmpSet::new(8);
+        let program = |p: &mut PmpSet, cfg_val: u64| {
+            p.set_addr_raw(0, napot_addr(layout::SM_BASE, layout::SM_SIZE));
+            p.set_addr_raw(1, napot_addr(layout::HOST_BASE, layout::HOST_SIZE));
+            p.set_addr_raw(2, napot_addr(layout::enclave_base(0), layout::ENCLAVE_SIZE));
+            p.set_addr_raw(3, napot_addr(layout::enclave_base(1), layout::ENCLAVE_SIZE));
+            p.set_addr_raw(4, u64::MAX >> 10);
+            for i in 0..8 {
+                p.set_cfg(i, PmpCfg::from_byte((cfg_val >> (8 * i)) as u8));
+            }
+        };
+        let off = offset * 8 % layout::ENCLAVE_SIZE;
+        let s = PrivLevel::Supervisor;
+        let rd = AccessKind::Read;
+
+        // Host view: SM and enclaves sealed, host + shared open.
+        program(&mut p, cfg_host());
+        prop_assert!(!p.allows(layout::SM_BASE + off % layout::SM_SIZE, 8, rd, s));
+        prop_assert!(p.allows(layout::HOST_BASE + off % layout::HOST_SIZE, 8, rd, s));
+        prop_assert!(!p.allows(layout::enclave_base(0) + off, 8, rd, s));
+        prop_assert!(!p.allows(layout::enclave_base(1) + off, 8, rd, s));
+        prop_assert!(p.allows(layout::SHARED_BASE + off % layout::SHARED_SIZE, 8, rd, s));
+
+        // Enclave-i view: own region open, host and the sibling sealed.
+        program(&mut p, cfg_run(which));
+        prop_assert!(p.allows(layout::enclave_base(which) + off, 8, rd, s));
+        prop_assert!(!p.allows(layout::enclave_base(1 - which) + off, 8, rd, s));
+        prop_assert!(!p.allows(layout::HOST_BASE + off % layout::HOST_SIZE, 8, rd, s));
+        prop_assert!(!p.allows(layout::SM_BASE + off % layout::SM_SIZE, 8, rd, s));
+
+        // Destroyed view: the scrubbed region is returned to the OS.
+        program(&mut p, cfg_destroyed(which));
+        prop_assert!(p.allows(layout::enclave_base(which) + off, 8, rd, s));
+        prop_assert!(p.allows(layout::HOST_BASE + off % layout::HOST_SIZE, 8, rd, s));
+        prop_assert!(!p.allows(layout::enclave_base(1 - which) + off, 8, rd, s));
+    }
+
+    /// Shared intermediate page tables never alias distinct mappings.
+    #[test]
+    fn pagetable_no_aliasing_within_2mb(
+        slots in prop::collection::hash_map(0u64..512, 1u64..0x1000, 2..20)
+    ) {
+        let mut mem = Memory::new();
+        let mut pt = PageTableBuilder::new(0x8100_0000, 0x10_0000, &mut mem);
+        // All pages inside one 2 MiB region share L1/L0 tables.
+        let mut expect: HashMap<u64, u64> = HashMap::new();
+        for (&slot, &ppage) in &slots {
+            let va = 0x4000_0000 + (slot << 12);
+            pt.map_page(va, ppage << 12, Pte::R, &mut mem);
+            expect.insert(va, ppage << 12);
+        }
+        for (&va, &pa) in &expect {
+            let leaf = software_walk(pt.root(), va, &mem).expect("mapped");
+            prop_assert_eq!(leaf.pa().0, pa, "va {:#x}", va);
+        }
+    }
+}

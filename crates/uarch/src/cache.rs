@@ -1,0 +1,419 @@
+//! Set-associative caches and the line-fill buffer (LFB/MSHR).
+//!
+//! The hierarchy is modeled write-through (stores propagate to every level
+//! and memory at commit). This keeps all levels coherent without a
+//! writeback protocol while preserving every leakage-relevant behaviour:
+//! write-allocate still pulls the *old* line through the LFB (paper case
+//! D3), and fills still deposit whole cache lines of another domain's data
+//! into the LFB and L1D (cases D1/D2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::trace::{Domain, FillPurpose};
+
+/// One cache line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheLine {
+    /// Valid bit.
+    pub valid: bool,
+    /// Full line address (line-aligned physical address; doubles as tag).
+    pub line_addr: u64,
+    /// Line payload.
+    pub data: Vec<u8>,
+    /// LRU timestamp (higher = more recent).
+    pub last_use: u64,
+    /// Domain that caused the fill (diagnostic; the checker works from the
+    /// trace, but snapshots are useful in tests).
+    pub fill_domain: Domain,
+}
+
+/// A physically indexed, physically tagged set-associative cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_size: u64,
+    lines: Vec<CacheLine>,
+    use_counter: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `sets` and `line_size` are powers of two.
+    pub fn new(sets: usize, ways: usize, line_size: u64) -> Cache {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        let line = CacheLine {
+            valid: false,
+            line_addr: 0,
+            data: vec![0; line_size as usize],
+            last_use: 0,
+            fill_domain: Domain::Untrusted,
+        };
+        Cache { sets, ways, line_size, lines: vec![line; sets * ways], use_counter: 0 }
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_size - 1)
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.line_size
+    }
+
+    fn set_index(&self, line_addr: u64) -> usize {
+        ((line_addr / self.line_size) as usize) & (self.sets - 1)
+    }
+
+    fn set_range(&self, line_addr: u64) -> std::ops::Range<usize> {
+        let s = self.set_index(line_addr);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    fn find(&self, line_addr: u64) -> Option<usize> {
+        self.set_range(line_addr)
+            .find(|&i| self.lines[i].valid && self.lines[i].line_addr == line_addr)
+    }
+
+    /// `true` if the line containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.find(self.line_addr(addr)).is_some()
+    }
+
+    /// Reads `len` bytes at `addr` on a hit, updating LRU state.
+    pub fn read(&mut self, addr: u64, len: u64) -> Option<u64> {
+        let la = self.line_addr(addr);
+        // Accesses are assumed not to straddle lines (the LSU splits them).
+        let idx = self.find(la)?;
+        self.use_counter += 1;
+        self.lines[idx].last_use = self.use_counter;
+        let off = (addr - la) as usize;
+        let mut v = 0u64;
+        for i in (0..len as usize).rev() {
+            v = (v << 8) | self.lines[idx].data[off + i] as u64;
+        }
+        Some(v)
+    }
+
+    /// Writes `len` bytes at `addr` on a hit. Returns `false` on a miss.
+    pub fn write(&mut self, addr: u64, value: u64, len: u64) -> bool {
+        let la = self.line_addr(addr);
+        let Some(idx) = self.find(la) else {
+            return false;
+        };
+        self.use_counter += 1;
+        self.lines[idx].last_use = self.use_counter;
+        let off = (addr - la) as usize;
+        for i in 0..len as usize {
+            self.lines[idx].data[off + i] = (value >> (8 * i)) as u8;
+        }
+        true
+    }
+
+    /// Returns a copy of the line containing `addr`, if present.
+    pub fn peek_line(&self, addr: u64) -> Option<&CacheLine> {
+        self.find(self.line_addr(addr)).map(|i| &self.lines[i])
+    }
+
+    /// Installs a line, evicting LRU if needed. Returns the evicted line if
+    /// one was displaced.
+    pub fn fill(&mut self, line_addr: u64, data: Vec<u8>, domain: Domain) -> Option<CacheLine> {
+        debug_assert_eq!(line_addr & (self.line_size - 1), 0, "fill address must be line aligned");
+        debug_assert_eq!(data.len() as u64, self.line_size);
+        self.use_counter += 1;
+        let counter = self.use_counter;
+        // Re-fill in place if already present.
+        if let Some(idx) = self.find(line_addr) {
+            let l = &mut self.lines[idx];
+            l.data = data;
+            l.last_use = counter;
+            l.fill_domain = domain;
+            return None;
+        }
+        let range = self.set_range(line_addr);
+        let victim = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| range.min_by_key(|&i| self.lines[i].last_use).expect("ways >= 1"));
+        let evicted = if self.lines[victim].valid { Some(self.lines[victim].clone()) } else { None };
+        self.lines[victim] =
+            CacheLine { valid: true, line_addr, data, last_use: counter, fill_domain: domain };
+        evicted
+    }
+
+    /// Invalidates the line containing `addr`, if present.
+    pub fn invalidate(&mut self, addr: u64) {
+        if let Some(idx) = self.find(self.line_addr(addr)) {
+            self.lines[idx].valid = false;
+        }
+    }
+
+    /// Invalidates every line.
+    pub fn flush_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+
+    /// Iterates currently valid lines (for snapshot-based checks).
+    pub fn valid_lines(&self) -> impl Iterator<Item = &CacheLine> {
+        self.lines.iter().filter(|l| l.valid)
+    }
+}
+
+/// State of a line-fill-buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LfbState {
+    /// Request outstanding; no data yet.
+    Pending,
+    /// Fill completed; data resides in the buffer until the entry is
+    /// *reallocated* (residual data — this persistence is case D3's leak).
+    Filled,
+}
+
+/// One LFB/MSHR entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LfbEntry {
+    /// Entry holds a live or residual request.
+    pub valid: bool,
+    /// Line address of the fill.
+    pub line_addr: u64,
+    /// Fill payload (valid once `state == Filled`).
+    pub data: Vec<u8>,
+    /// Request state.
+    pub state: LfbState,
+    /// What initiated the fill.
+    pub purpose: FillPurpose,
+    /// Domain active when the data arrived.
+    pub fill_domain: Domain,
+    /// Cycle the data arrived.
+    pub fill_cycle: u64,
+}
+
+/// The line-fill buffer (doubles as the MSHR file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lfb {
+    entries: Vec<LfbEntry>,
+    line_size: u64,
+    alloc_clock: u64,
+    alloc_stamp: Vec<u64>,
+}
+
+impl Lfb {
+    /// Creates an LFB with `n` entries.
+    pub fn new(n: usize, line_size: u64) -> Lfb {
+        let e = LfbEntry {
+            valid: false,
+            line_addr: 0,
+            data: vec![0; line_size as usize],
+            state: LfbState::Filled,
+            purpose: FillPurpose::Demand,
+            fill_domain: Domain::Untrusted,
+            fill_cycle: 0,
+        };
+        Lfb { entries: vec![e; n], line_size, alloc_clock: 0, alloc_stamp: vec![0; n] }
+    }
+
+    /// Allocates an entry for a new outstanding fill.
+    ///
+    /// Prefers invalid entries, then the oldest *completed* entry (whose
+    /// residual data is thereby finally displaced). Returns `None` when
+    /// every entry is still pending (structural stall).
+    pub fn allocate(&mut self, line_addr: u64, purpose: FillPurpose) -> Option<usize> {
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| !e.valid)
+            .or_else(|| {
+                self.entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.state == LfbState::Filled)
+                    .min_by_key(|&(i, _)| self.alloc_stamp[i])
+                    .map(|(i, _)| i)
+            })?;
+        self.alloc_clock += 1;
+        self.alloc_stamp[idx] = self.alloc_clock;
+        let e = &mut self.entries[idx];
+        e.valid = true;
+        e.line_addr = line_addr;
+        e.state = LfbState::Pending;
+        e.purpose = purpose;
+        e.data.fill(0);
+        Some(idx)
+    }
+
+    /// Marks entry `idx` filled with `data`.
+    pub fn complete(&mut self, idx: usize, data: Vec<u8>, domain: Domain, cycle: u64) {
+        debug_assert_eq!(data.len() as u64, self.line_size);
+        let e = &mut self.entries[idx];
+        debug_assert!(e.valid && e.state == LfbState::Pending);
+        e.data = data;
+        e.state = LfbState::Filled;
+        e.fill_domain = domain;
+        e.fill_cycle = cycle;
+    }
+
+    /// Is a fill for this line already outstanding? (Request merging.)
+    pub fn pending_for(&self, line_addr: u64) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.valid && e.state == LfbState::Pending && e.line_addr == line_addr)
+    }
+
+    /// Invalidates a single entry, dropping its residual data (models a
+    /// design that releases MSHR data on refill completion).
+    pub fn invalidate_entry(&mut self, idx: usize) {
+        self.entries[idx].valid = false;
+        self.entries[idx].data.fill(0);
+    }
+
+    /// Invalidates every entry (mitigation flush).
+    pub fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+            e.data.fill(0);
+        }
+    }
+
+    /// Entry accessor.
+    pub fn entry(&self, idx: usize) -> &LfbEntry {
+        &self.entries[idx]
+    }
+
+    /// All entries (tests and snapshot checks).
+    pub fn entries(&self) -> &[LfbEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the LFB has no entries (never the case in a validated
+    /// configuration).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Valid entries whose residual data belongs to a trusted domain —
+    /// convenience for tests mirroring the checker's P1 scan.
+    pub fn residual_trusted_entries(&self) -> impl Iterator<Item = &LfbEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.state == LfbState::Filled && e.fill_domain.is_trusted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(b: u8) -> Vec<u8> {
+        vec![b; 64]
+    }
+
+    #[test]
+    fn fill_then_read() {
+        let mut c = Cache::new(4, 2, 64);
+        let mut data = line(0);
+        data[8..16].copy_from_slice(&0xDEAD_BEEF_u64.to_le_bytes());
+        c.fill(0x1000, data, Domain::Untrusted);
+        assert!(c.contains(0x1008));
+        assert_eq!(c.read(0x1008, 8), Some(0xDEAD_BEEF));
+        assert_eq!(c.read(0x1040, 8), None); // next line absent
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = Cache::new(1, 2, 64);
+        c.fill(0x0000, line(1), Domain::Untrusted);
+        c.fill(0x0040, line(2), Domain::Untrusted);
+        // Touch the first line so the second becomes LRU.
+        assert!(c.read(0x0000, 1).is_some());
+        let evicted = c.fill(0x0080, line(3), Domain::Untrusted).expect("eviction");
+        assert_eq!(evicted.line_addr, 0x0040);
+        assert!(c.contains(0x0000) && c.contains(0x0080) && !c.contains(0x0040));
+    }
+
+    #[test]
+    fn write_hits_update_data() {
+        let mut c = Cache::new(4, 2, 64);
+        c.fill(0x2000, line(0), Domain::Untrusted);
+        assert!(c.write(0x2010, 0x55AA, 2));
+        assert_eq!(c.read(0x2010, 2), Some(0x55AA));
+        assert!(!c.write(0x3000, 1, 8)); // miss
+    }
+
+    #[test]
+    fn refill_in_place_keeps_single_copy() {
+        let mut c = Cache::new(4, 4, 64);
+        c.fill(0x1000, line(1), Domain::Untrusted);
+        c.fill(0x1000, line(2), Domain::Enclave(0));
+        assert_eq!(c.valid_lines().count(), 1);
+        assert_eq!(c.read(0x1000, 1), Some(2));
+        assert_eq!(c.peek_line(0x1000).unwrap().fill_domain, Domain::Enclave(0));
+    }
+
+    #[test]
+    fn flush_and_invalidate() {
+        let mut c = Cache::new(4, 2, 64);
+        c.fill(0x1000, line(1), Domain::Untrusted);
+        c.fill(0x2000, line(2), Domain::Untrusted);
+        c.invalidate(0x1000);
+        assert!(!c.contains(0x1000) && c.contains(0x2000));
+        c.flush_all();
+        assert_eq!(c.valid_lines().count(), 0);
+    }
+
+    #[test]
+    fn lfb_allocation_prefers_invalid_then_oldest_filled() {
+        let mut lfb = Lfb::new(2, 64);
+        let a = lfb.allocate(0x1000, FillPurpose::Demand).unwrap();
+        let b = lfb.allocate(0x2000, FillPurpose::Demand).unwrap();
+        assert_ne!(a, b);
+        // Both pending: no entry available.
+        assert_eq!(lfb.allocate(0x3000, FillPurpose::Demand), None);
+        lfb.complete(a, line(0xEE), Domain::Enclave(0), 10);
+        // Now the filled entry is displaceable.
+        let c = lfb.allocate(0x3000, FillPurpose::Prefetch).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn lfb_residual_data_persists_after_completion() {
+        let mut lfb = Lfb::new(4, 64);
+        let idx = lfb.allocate(0x5000, FillPurpose::StoreRefill).unwrap();
+        lfb.complete(idx, line(0x42), Domain::Enclave(1), 99);
+        // Long after the request completed, the secret bytes are still there.
+        let e = lfb.entry(idx);
+        assert_eq!(e.state, LfbState::Filled);
+        assert!(e.data.iter().all(|&b| b == 0x42));
+        assert_eq!(lfb.residual_trusted_entries().count(), 1);
+    }
+
+    #[test]
+    fn lfb_request_merging_lookup() {
+        let mut lfb = Lfb::new(4, 64);
+        let idx = lfb.allocate(0x7000, FillPurpose::Demand).unwrap();
+        assert_eq!(lfb.pending_for(0x7000), Some(idx));
+        lfb.complete(idx, line(0), Domain::Untrusted, 1);
+        assert_eq!(lfb.pending_for(0x7000), None);
+    }
+
+    #[test]
+    fn lfb_flush_clears_residue() {
+        let mut lfb = Lfb::new(2, 64);
+        let idx = lfb.allocate(0x5000, FillPurpose::Demand).unwrap();
+        lfb.complete(idx, line(0x42), Domain::Enclave(1), 5);
+        lfb.flush_all();
+        assert_eq!(lfb.residual_trusted_entries().count(), 0);
+        assert!(lfb.entries().iter().all(|e| !e.valid));
+    }
+}

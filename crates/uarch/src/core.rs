@@ -1,0 +1,1591 @@
+//! The out-of-order core: fetch with branch prediction, a reorder buffer
+//! with scoreboard operand forwarding, speculative execution with *lazy*
+//! exception handling (faults are recorded at execute and raised at commit —
+//! the Meltdown-enabling implementation both BOOM and XiangShan use), and
+//! precise trap/interrupt handling.
+
+use std::collections::VecDeque;
+
+use teesec_isa::csr::{self, CsrAddr, Mstatus};
+use teesec_isa::inst::{CsrOp, CsrSrc, Inst};
+use teesec_isa::pmp::AccessKind;
+use teesec_isa::priv_level::PrivLevel;
+use teesec_isa::reg::Reg;
+use teesec_isa::vm::{pte_addr, PhysAddr, Pte, VirtAddr, SV39_LEVELS};
+
+use crate::btb::{Bht, Ftb, Ubtb};
+use crate::config::CoreConfig;
+use crate::csr_file::{CsrError, CsrFile};
+use crate::lsu::{LoadRequest, Lsu, XlateRequest};
+use crate::mem::Memory;
+use crate::tlb::Tlb;
+use crate::trace::{Domain, HpcEvent, Structure, Trace, TraceEvent, TraceEventKind};
+use crate::trap::{Exception, Interrupt};
+
+/// The custom machine CSR the platform firmware writes to declare the active
+/// security domain to the verification instrumentation (0 = untrusted,
+/// 1 = security monitor, `2 + id` = enclave `id`). This is the model's
+/// analog of the paper's checker knowing test boundaries from the TEE API.
+pub const MDOMAIN: CsrAddr = 0x7C0;
+
+/// Number of cycles a faulting (privilege-checked) CSR read lingers between
+/// transient writeback and its flush from the ROB — the window the Figure 6
+/// interrupt exploits.
+const CSR_FLUSH_DELAY: u64 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Waiting,
+    Executing,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StoreInfo {
+    pa: Option<u64>,
+    vaddr: u64,
+    value: u64,
+    width: u64,
+}
+
+/// Memory-disambiguation verdict for a load against older in-flight stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SqScan {
+    /// The youngest older store to the same address supplies the value.
+    Forward(u64),
+    /// An older store's address is unknown or partially overlaps: stall.
+    Wait,
+    /// No conflict: the load may probe the memory hierarchy.
+    Clear,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    pc: u64,
+    predicted_next: u64,
+    inst: Result<Inst, u32>,
+    state: EntryState,
+    result: Option<u64>,
+    exception: Option<Exception>,
+    store: Option<StoreInfo>,
+    serializing: bool,
+    /// For the delayed flush of faulting CSR reads.
+    commit_not_before: u64,
+    /// Set once the serializing instruction performed its effect.
+    sys_executed: bool,
+    sign_extend_from: Option<u64>,
+}
+
+/// Why [`Core::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// An `ebreak` retired (the platform's end-of-test convention).
+    Halted,
+    /// The cycle budget was exhausted.
+    CycleLimit,
+}
+
+/// A configured core instance bound to a physical memory.
+#[derive(Debug)]
+pub struct Core {
+    /// The configuration the core was built with.
+    pub config: CoreConfig,
+    /// Physical memory.
+    pub mem: Memory,
+    /// CSR file (incl. PMP and performance counters).
+    pub csr: CsrFile,
+    /// Load/store unit and cache hierarchy.
+    pub lsu: Lsu,
+    /// Execution trace.
+    pub trace: Trace,
+    /// Micro BTB.
+    pub ubtb: Ubtb,
+    /// Fetch target buffer.
+    pub ftb: Ftb,
+    /// Branch history table.
+    pub bht: Bht,
+    /// Instruction TLB.
+    pub itlb: Tlb,
+    /// L1 instruction cache (fills traced; fetch latency is not modeled —
+    /// the paper's leakage cases are all D-side).
+    pub l1i: crate::cache::Cache,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Current privilege level.
+    pub priv_level: PrivLevel,
+    /// Current security domain (trace attribution).
+    pub domain: Domain,
+    /// Set once an `ebreak` retires.
+    pub halted: bool,
+
+    fetch_pc: u64,
+    fetch_stalled: bool,
+    rob: VecDeque<RobEntry>,
+    next_seq: u64,
+    spec_rf: [u64; 32],
+    arch_rf: [u64; 32],
+    ext_irq_at: Option<u64>,
+    retired: u64,
+    /// Domain of the interrupted world while a trap is being serviced;
+    /// restored at `mret` unless firmware wrote MDOMAIN meanwhile.
+    domain_before_trap: Option<Domain>,
+}
+
+impl Core {
+    /// Creates a core with reset state, starting execution at `reset_pc` in
+    /// machine mode.
+    pub fn new(config: CoreConfig, mem: Memory, reset_pc: u64) -> Core {
+        config.validate();
+        Core {
+            csr: CsrFile::new(config.hpm_counters),
+            lsu: Lsu::new(&config),
+            trace: Trace::new(),
+            ubtb: Ubtb::new(config.ubtb_entries, config.ubtb_tag_bits),
+            ftb: Ftb::new(config.ftb_sets, config.ftb_ways, 16),
+            bht: Bht::new(1024),
+            itlb: Tlb::new(config.itlb_entries),
+            l1i: crate::cache::Cache::new(config.l1d_sets, config.l1d_ways, config.line_size),
+            cycle: 0,
+            priv_level: PrivLevel::Machine,
+            domain: Domain::SecurityMonitor,
+            halted: false,
+            fetch_pc: reset_pc,
+            fetch_stalled: false,
+            rob: VecDeque::new(),
+            next_seq: 0,
+            spec_rf: [0; 32],
+            arch_rf: [0; 32],
+            ext_irq_at: None,
+            retired: 0,
+            domain_before_trap: None,
+            mem,
+            config,
+        }
+    }
+
+    /// The architectural value of register `r`.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.arch_rf[r.index() as usize]
+    }
+
+    /// The *speculative* (physical) register file value — includes transient
+    /// writebacks that never retire.
+    pub fn spec_reg(&self, r: Reg) -> u64 {
+        self.spec_rf[r.index() as usize]
+    }
+
+    /// Sets an architectural register (test setup).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.arch_rf[r.index() as usize] = v;
+            self.spec_rf[r.index() as usize] = v;
+        }
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The next fetch PC (diagnostics).
+    pub fn fetch_pc(&self) -> u64 {
+        self.fetch_pc
+    }
+
+    /// Schedules a machine external interrupt to assert at `cycle`.
+    pub fn schedule_external_interrupt(&mut self, cycle: u64) {
+        self.ext_irq_at = Some(cycle);
+    }
+
+    /// Runs until halt or `max_cycles`. After a halt, the LSU is ticked
+    /// until quiescent so buffered committed stores reach memory (hardware
+    /// drains its store buffer eventually; tests inspect raw memory).
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        while !self.halted {
+            if self.cycle >= max_cycles {
+                return RunExit::CycleLimit;
+            }
+            self.step();
+        }
+        self.drain();
+        RunExit::Halted
+    }
+
+    /// Ticks the LSU (without advancing the pipeline) until all in-flight
+    /// memory work completes.
+    pub fn drain(&mut self) {
+        let mut budget = 4_000_000u64;
+        while !self.lsu.quiescent() && budget > 0 {
+            self.cycle += 1;
+            budget -= 1;
+            self.lsu.tick(
+                self.cycle,
+                self.priv_level,
+                self.domain,
+                &mut self.csr,
+                &mut self.mem,
+                &mut self.trace,
+            );
+        }
+    }
+
+    /// Advances the core by one cycle.
+    pub fn step(&mut self) {
+        if self.halted {
+            return;
+        }
+        self.cycle += 1;
+        self.csr.cycle = self.cycle;
+        if let Some(at) = self.ext_irq_at {
+            if self.cycle >= at {
+                self.csr.mip |= 1 << Interrupt::MachineExternal.number();
+            }
+        }
+        self.lsu.tick(self.cycle, self.priv_level, self.domain, &mut self.csr, &mut self.mem, &mut self.trace);
+        self.collect_lsu_completions();
+        if self.take_interrupt_if_pending() {
+            return;
+        }
+        self.execute_stage();
+        self.commit_stage();
+        self.fetch_stage();
+    }
+
+    // ------------------------------------------------------------------
+    // Operand scoreboard
+    // ------------------------------------------------------------------
+
+    /// The value of `r` as seen by the instruction at ROB position `pos`,
+    /// or `None` if an older in-flight writer has not completed.
+    fn source_value(&self, pos: usize, r: Reg) -> Option<u64> {
+        if r.is_zero() {
+            return Some(0);
+        }
+        for j in (0..pos).rev() {
+            let e = &self.rob[j];
+            let dest = match e.inst {
+                Ok(i) => i.dest(),
+                Err(_) => None,
+            };
+            if dest == Some(r) {
+                return if e.state == EntryState::Done { e.result } else { None };
+            }
+        }
+        Some(self.arch_rf[r.index() as usize])
+    }
+
+    fn operands_ready(&self, pos: usize) -> bool {
+        match self.rob[pos].inst {
+            Ok(i) => i.sources().iter().all(|&r| self.source_value(pos, r).is_some()),
+            Err(_) => true,
+        }
+    }
+
+    /// Is this entry the youngest writer of its destination register?
+    fn is_youngest_writer(&self, pos: usize) -> bool {
+        let Ok(inst) = self.rob[pos].inst else { return false };
+        let Some(d) = inst.dest() else { return false };
+        !self.rob.iter().skip(pos + 1).any(|e| matches!(e.inst, Ok(i) if i.dest() == Some(d)))
+    }
+
+    fn writeback(&mut self, pos: usize, value: u64) {
+        self.rob[pos].result = Some(value);
+        let Ok(inst) = self.rob[pos].inst else { return };
+        let Some(d) = inst.dest() else { return };
+        if self.is_youngest_writer(pos) {
+            self.spec_rf[d.index() as usize] = value;
+        }
+        let (cycle, priv_level, domain, pc) =
+            (self.cycle, self.priv_level, self.domain, self.rob[pos].pc);
+        self.trace.record(TraceEvent {
+            cycle,
+            priv_level,
+            domain,
+            pc: Some(pc),
+            structure: Structure::RegFile,
+            kind: TraceEventKind::Write { index: d.index() as u64, value, tag: None },
+        });
+    }
+
+    fn rebuild_spec_rf(&mut self) {
+        self.spec_rf = self.arch_rf;
+        for j in 0..self.rob.len() {
+            if self.rob[j].state == EntryState::Done {
+                if let (Ok(inst), Some(v)) = (self.rob[j].inst, self.rob[j].result) {
+                    if let Some(d) = inst.dest() {
+                        self.spec_rf[d.index() as usize] = v;
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // LSU completion collection
+    // ------------------------------------------------------------------
+
+    fn collect_lsu_completions(&mut self) {
+        for c in self.lsu.take_completions() {
+            if let Some(pos) = self.rob.iter().position(|e| e.seq == c.seq) {
+                let mut v = c.value;
+                if let Some(bits) = self.rob[pos].sign_extend_from {
+                    if bits < 64 {
+                        let shift = 64 - bits;
+                        v = ((v << shift) as i64 >> shift) as u64;
+                    }
+                }
+                self.rob[pos].exception = c.exception;
+                self.rob[pos].state = EntryState::Done;
+                // Transient writeback happens regardless of a recorded
+                // exception — the lazy handling that enables D4-D8.
+                self.writeback(pos, v);
+            }
+        }
+        for c in self.lsu.take_xlate_completions() {
+            if let Some(pos) = self.rob.iter().position(|e| e.seq == c.seq) {
+                self.rob[pos].exception = c.exception;
+                if let Some(s) = self.rob[pos].store.as_mut() {
+                    s.pa = c.pa;
+                }
+                self.rob[pos].state = EntryState::Done;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execute stage
+    // ------------------------------------------------------------------
+
+    /// Disambiguates a load at ROB position `pos` against older in-flight
+    /// stores. Forwarding applies only to exact-width matches in
+    /// untranslated mode with read permission — anything murkier (unknown
+    /// store address, partial overlap, active translation, PMP denial)
+    /// conservatively stalls until the store drains and the normal probe
+    /// path (with its full checks) runs.
+    fn scan_store_queue(&self, pos: usize, vaddr: u64, width: u64) -> SqScan {
+        for j in (0..pos).rev() {
+            let e = &self.rob[j];
+            if !matches!(e.inst, Ok(Inst::Store { .. })) {
+                continue;
+            }
+            let Some(st) = e.store else {
+                // Address not yet computed: cannot disambiguate.
+                return SqScan::Wait;
+            };
+            let overlap = vaddr < st.vaddr + st.width && st.vaddr < vaddr + width;
+            if !overlap {
+                continue;
+            }
+            let exact = st.vaddr == vaddr && st.width == width;
+            let translated =
+                self.priv_level != PrivLevel::Machine && self.csr.satp.is_sv39();
+            if exact
+                && !translated
+                && self.csr.pmp.allows(vaddr, width, AccessKind::Read, self.priv_level)
+            {
+                return SqScan::Forward(st.value);
+            }
+            return SqScan::Wait;
+        }
+        SqScan::Clear
+    }
+
+    fn execute_stage(&mut self) {
+        let mut issued = 0usize;
+        let mut pos = 0usize;
+        while pos < self.rob.len() && issued < self.config.width * 2 {
+            if self.rob[pos].state != EntryState::Waiting || self.rob[pos].serializing {
+                pos += 1;
+                continue;
+            }
+            if !self.operands_ready(pos) {
+                pos += 1;
+                continue;
+            }
+            let inst = match self.rob[pos].inst {
+                Ok(i) => i,
+                Err(_) => {
+                    // Illegal instruction: raise at commit.
+                    self.rob[pos].state = EntryState::Done;
+                    pos += 1;
+                    continue;
+                }
+            };
+            let pc = self.rob[pos].pc;
+            let src = |core: &Core, r: Reg| core.source_value(pos, r).expect("checked ready");
+            match inst {
+                Inst::Lui { imm20, .. } => {
+                    let v = ((imm20 as i64) << 12) as u64;
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, v);
+                    issued += 1;
+                }
+                Inst::Auipc { imm20, .. } => {
+                    let v = pc.wrapping_add(((imm20 as i64) << 12) as u64);
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, v);
+                    issued += 1;
+                }
+                Inst::AluImm { op, rs1, imm, word, .. } => {
+                    let v = op.eval(src(self, rs1), imm as i64 as u64, word);
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, v);
+                    issued += 1;
+                }
+                Inst::AluReg { op, rs1, rs2, word, .. } => {
+                    let v = op.eval(src(self, rs1), src(self, rs2), word);
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, v);
+                    issued += 1;
+                }
+                Inst::Jal { offset, .. } => {
+                    let target = pc.wrapping_add(offset as i64 as u64);
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, pc + 4);
+                    self.resolve_control_flow(pos, target, true);
+                    issued += 1;
+                    // Positions after `pos` may have been squashed.
+                    pos += 1;
+                    continue;
+                }
+                Inst::Jalr { rs1, offset, .. } => {
+                    let target = src(self, rs1).wrapping_add(offset as i64 as u64) & !1;
+                    self.rob[pos].state = EntryState::Done;
+                    self.writeback(pos, pc + 4);
+                    self.resolve_control_flow(pos, target, true);
+                    issued += 1;
+                    pos += 1;
+                    continue;
+                }
+                Inst::Branch { cond, rs1, rs2, offset } => {
+                    let taken = cond.taken(src(self, rs1), src(self, rs2));
+                    let target =
+                        if taken { pc.wrapping_add(offset as i64 as u64) } else { pc + 4 };
+                    self.rob[pos].state = EntryState::Done;
+                    if taken {
+                        self.csr.hpc_bump(HpcEvent::BranchTaken, self.domain);
+                        self.record_hpc_bump(HpcEvent::BranchTaken, Some(pc));
+                    }
+                    self.train_predictors(pc, target, taken);
+                    self.resolve_control_flow(pos, target, taken);
+                    issued += 1;
+                    pos += 1;
+                    continue;
+                }
+                Inst::Load { width, signed, rs1, offset, .. } => {
+                    let vaddr = src(self, rs1).wrapping_add(offset as i64 as u64);
+                    let bytes = width.bytes();
+                    match self.scan_store_queue(pos, vaddr, bytes) {
+                        SqScan::Wait => {
+                            pos += 1;
+                            continue;
+                        }
+                        SqScan::Forward(raw) => {
+                            // Store-queue forwarding: the youngest older
+                            // store supplies the bytes without a cache
+                            // access.
+                            let mut v = raw & width_mask(bytes);
+                            if signed && bytes < 8 {
+                                let shift = 64 - bytes * 8;
+                                v = ((v << shift) as i64 >> shift) as u64;
+                            }
+                            self.csr.hpc_bump(HpcEvent::StoreToLoadForward, self.domain);
+                            self.record_hpc_bump(HpcEvent::StoreToLoadForward, Some(pc));
+                            let (cycle, priv_level, domain) =
+                                (self.cycle, self.priv_level, self.domain);
+                            self.trace.record(TraceEvent {
+                                cycle,
+                                priv_level,
+                                domain,
+                                pc: Some(pc),
+                                structure: Structure::StoreQueue,
+                                kind: TraceEventKind::Read { index: vaddr, value: v },
+                            });
+                            self.rob[pos].state = EntryState::Done;
+                            self.writeback(pos, v);
+                            issued += 1;
+                        }
+                        SqScan::Clear => {
+                            self.rob[pos].sign_extend_from = signed.then_some(bytes * 8);
+                            let req = LoadRequest {
+                                seq: self.rob[pos].seq,
+                                vaddr,
+                                width: bytes,
+                                priv_level: self.priv_level,
+                                sum: self.csr.mstatus.0 & Mstatus::SUM_BIT != 0,
+                                satp: self.csr.satp,
+                            };
+                            self.rob[pos].state = EntryState::Executing;
+                            self.lsu.start_load(req, self.cycle);
+                            issued += 1;
+                        }
+                    }
+                }
+                Inst::Store { width, rs2, rs1, offset } => {
+                    let vaddr = src(self, rs1).wrapping_add(offset as i64 as u64);
+                    let value = src(self, rs2);
+                    let bytes = width.bytes();
+                    self.rob[pos].store =
+                        Some(StoreInfo { pa: None, vaddr, value, width: bytes });
+                    let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+                    self.trace.record(TraceEvent {
+                        cycle,
+                        priv_level,
+                        domain,
+                        pc: Some(pc),
+                        structure: Structure::StoreQueue,
+                        kind: TraceEventKind::Write { index: vaddr, value, tag: Some(bytes) },
+                    });
+                    let req = XlateRequest {
+                        seq: self.rob[pos].seq,
+                        vaddr,
+                        width: bytes,
+                        priv_level: self.priv_level,
+                        sum: self.csr.mstatus.0 & Mstatus::SUM_BIT != 0,
+                        satp: self.csr.satp,
+                    };
+                    self.rob[pos].state = EntryState::Executing;
+                    self.lsu.start_store_xlate(req);
+                    issued += 1;
+                }
+                // Serializing instructions execute at commit.
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+
+    fn record_hpc_bump(&mut self, event: HpcEvent, pc: Option<u64>) {
+        let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+        self.trace.record(TraceEvent {
+            cycle,
+            priv_level,
+            domain,
+            pc,
+            structure: Structure::Hpc,
+            kind: TraceEventKind::CounterBump { event },
+        });
+    }
+
+    fn train_predictors(&mut self, pc: u64, target: u64, taken: bool) {
+        let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+        self.bht.train(pc, taken);
+        self.trace.record(TraceEvent {
+            cycle,
+            priv_level,
+            domain,
+            pc: Some(pc),
+            structure: Structure::Bht,
+            kind: TraceEventKind::Write { index: pc >> 2, value: taken as u64, tag: None },
+        });
+        if taken {
+            let idx = self.ubtb.train(pc, target, taken, domain);
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain,
+                pc: Some(pc),
+                structure: Structure::Ubtb,
+                kind: TraceEventKind::Write {
+                    index: idx as u64,
+                    value: target,
+                    tag: Some(self.ubtb.tag(pc)),
+                },
+            });
+            self.ftb.train(pc, target, taken, domain);
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain,
+                pc: Some(pc),
+                structure: Structure::Ftb,
+                kind: TraceEventKind::Write { index: pc >> 2, value: target, tag: None },
+            });
+        }
+    }
+
+    /// Compares the resolved next PC with the fetch-time prediction and
+    /// redirects (squashing younger work) on a mismatch.
+    fn resolve_control_flow(&mut self, pos: usize, actual_next: u64, _taken: bool) {
+        if self.rob[pos].predicted_next == actual_next {
+            return;
+        }
+        self.csr.hpc_bump(HpcEvent::BranchMispredict, self.domain);
+        let pc = self.rob[pos].pc;
+        self.record_hpc_bump(HpcEvent::BranchMispredict, Some(pc));
+        let squash_seq = self.rob[pos].seq + 1;
+        while self.rob.len() > pos + 1 {
+            self.rob.pop_back();
+        }
+        self.lsu.squash_after(squash_seq);
+        self.rebuild_spec_rf();
+        self.fetch_pc = actual_next;
+        self.fetch_stalled = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Commit stage
+    // ------------------------------------------------------------------
+
+    fn commit_stage(&mut self) {
+        for _ in 0..self.config.width {
+            let Some(head) = self.rob.front() else { return };
+            if head.serializing {
+                if !self.operands_ready(0) {
+                    return;
+                }
+                if !head.sys_executed {
+                    self.execute_system_at_head();
+                }
+                // The system instruction may have scheduled a delayed flush.
+                let head = self.rob.front().expect("head persists");
+                if !head.sys_executed {
+                    // A WFI still waiting for its interrupt.
+                    return;
+                }
+                if self.cycle < head.commit_not_before {
+                    return;
+                }
+                if let Some(e) = head.exception {
+                    let pc = head.pc;
+                    self.take_exception(e, pc);
+                    return;
+                }
+                self.retire_head();
+                // Serializing instructions redirect fetch themselves; only
+                // one commits per cycle.
+                return;
+            }
+            if head.state != EntryState::Done {
+                return;
+            }
+            if let Some(e) = head.exception {
+                let pc = head.pc;
+                self.take_exception(e, pc);
+                return;
+            }
+            self.retire_head();
+        }
+    }
+
+    fn retire_head(&mut self) {
+        let head = self.rob.pop_front().expect("retire requires a head");
+        if let (Ok(inst), Some(v)) = (head.inst, head.result) {
+            if let Some(d) = inst.dest() {
+                self.arch_rf[d.index() as usize] = v;
+            }
+        }
+        if let Some(s) = head.store {
+            let pa = s.pa.expect("store without exception has a PA");
+            self.lsu.commit_store(
+                pa,
+                s.value,
+                s.width,
+                self.domain,
+                self.cycle,
+                &mut self.trace,
+                self.priv_level,
+            );
+        }
+        self.retired += 1;
+        self.csr.instret += 1;
+        self.csr.hpc_bump(HpcEvent::InstRet, self.domain);
+        if matches!(head.inst, Ok(Inst::Ebreak)) {
+            self.halted = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // System / CSR instructions (executed at ROB head)
+    // ------------------------------------------------------------------
+
+    fn execute_system_at_head(&mut self) {
+        let head = self.rob.front().expect("caller checked");
+        let pc = head.pc;
+        let seq = head.seq;
+        let inst = match head.inst {
+            Ok(i) => i,
+            Err(w) => {
+                self.rob[0].exception = Some(Exception::IllegalInstruction(w));
+                self.rob[0].sys_executed = true;
+                self.rob[0].state = EntryState::Done;
+                return;
+            }
+        };
+        self.rob[0].sys_executed = true;
+        self.rob[0].state = EntryState::Done;
+        match inst {
+            Inst::Ecall => {
+                self.rob[0].exception = Some(Exception::Ecall(self.priv_level));
+            }
+            Inst::Ebreak => {
+                // Platform convention: ebreak halts the test; retire below.
+                self.rob[0].commit_not_before = 0;
+            }
+            Inst::Mret => {
+                if self.priv_level != PrivLevel::Machine {
+                    self.rob[0].exception =
+                        Some(Exception::IllegalInstruction(Inst::Mret.encode()));
+                    return;
+                }
+                let mpp = self.csr.mstatus.mpp();
+                let mpie = self.csr.mstatus.0 & Mstatus::MPIE_BIT != 0;
+                self.csr.mstatus.set_mie(mpie);
+                self.csr.mstatus.0 |= Mstatus::MPIE_BIT;
+                self.csr.mstatus.set_mpp(PrivLevel::User);
+                self.priv_level = mpp;
+                if let Some(d) = self.domain_before_trap.take() {
+                    // Firmware did not declare a switch: returning to the
+                    // interrupted world.
+                    self.set_domain(d);
+                }
+                // Context-switch mitigations also hook the firmware-exit
+                // boundary — state the monitor touched (e.g. attestation
+                // keys) must not stay behind.
+                self.apply_domain_switch_mitigations();
+                self.redirect_after_head(self.csr.mepc, seq);
+            }
+            Inst::Sret => {
+                if self.priv_level == PrivLevel::User {
+                    self.rob[0].exception =
+                        Some(Exception::IllegalInstruction(Inst::Sret.encode()));
+                    return;
+                }
+                let spp = self.csr.mstatus.spp();
+                let spie = self.csr.mstatus.0 & Mstatus::SPIE_BIT != 0;
+                self.csr.mstatus.set_sie(spie);
+                self.csr.mstatus.0 |= Mstatus::SPIE_BIT;
+                self.csr.mstatus.set_spp(PrivLevel::User);
+                self.priv_level = spp;
+                self.redirect_after_head(self.csr.sepc, seq);
+            }
+            Inst::Wfi => {
+                let pending = self.csr.mip & self.csr.mie;
+                if pending == 0 {
+                    // Spin at the head until an interrupt is pending.
+                    self.rob[0].sys_executed = false;
+                    self.rob[0].state = EntryState::Waiting;
+                }
+            }
+            Inst::Fence => {
+                if !self.lsu.stores_drained() {
+                    // Fences order memory operations: hold at the head until
+                    // all committed stores have reached the L1D.
+                    self.rob[0].sys_executed = false;
+                    self.rob[0].state = EntryState::Waiting;
+                }
+            }
+            Inst::FenceI => {
+                // fence.i synchronizes the instruction stream with memory.
+                self.l1i.flush_all();
+            }
+            Inst::SfenceVma => {
+                self.lsu.sfence(self.cycle, &mut self.trace, self.priv_level, self.domain);
+                self.itlb.flush_all();
+                let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+                self.trace.record(TraceEvent {
+                    cycle,
+                    priv_level,
+                    domain,
+                    pc: Some(pc),
+                    structure: Structure::Itlb,
+                    kind: TraceEventKind::Flush,
+                });
+            }
+            Inst::Csr { op, rd, src, csr: addr } => {
+                self.execute_csr(op, rd, src, addr, pc);
+            }
+            _ => unreachable!("non-serializing instruction at system execute"),
+        }
+        if self.rob[0].sys_executed
+            && self.rob[0].exception.is_none()
+            && !matches!(inst, Inst::Mret | Inst::Sret)
+        {
+            // Serializing instructions resume fetch at pc + 4 (a WFI that is
+            // still waiting has sys_executed reset and does not redirect).
+            self.redirect_after_head(pc + 4, seq);
+        }
+    }
+
+    fn redirect_after_head(&mut self, target: u64, seq: u64) {
+        while self.rob.len() > 1 {
+            self.rob.pop_back();
+        }
+        self.lsu.squash_after(seq + 1);
+        self.rebuild_spec_rf();
+        self.fetch_pc = target;
+        self.fetch_stalled = false;
+    }
+
+    fn execute_csr(&mut self, op: CsrOp, rd: Reg, src: CsrSrc, addr: CsrAddr, pc: u64) {
+        // The platform domain register is intercepted before the CSR file.
+        if addr == MDOMAIN {
+            if self.priv_level != PrivLevel::Machine {
+                self.rob[0].exception = Some(Exception::IllegalInstruction(0));
+                return;
+            }
+            // A read during trap handling reports the interrupted world
+            // (the SBI caller), not the monitor itself.
+            let old = match self.domain_before_trap.unwrap_or(self.domain) {
+                Domain::Untrusted => 0,
+                Domain::SecurityMonitor => 1,
+                Domain::Enclave(id) => 2 + id as u64,
+            };
+            if let CsrSrc::Reg(r) = src {
+                if op == CsrOp::Rw || !r.is_zero() {
+                    let v = self.source_value(0, r).expect("head operands ready");
+                    let new = apply_csr_op(op, old, v);
+                    self.domain_before_trap = None;
+                    self.set_domain(decode_domain(new));
+                }
+            } else if let CsrSrc::Imm(i) = src {
+                if op == CsrOp::Rw || i != 0 {
+                    let new = apply_csr_op(op, old, i as u64);
+                    self.domain_before_trap = None;
+                    self.set_domain(decode_domain(new));
+                }
+            }
+            self.writeback(0, old);
+            return;
+        }
+        let src_val = match src {
+            CsrSrc::Reg(r) => self.source_value(0, r).expect("head operands ready"),
+            CsrSrc::Imm(i) => i as u64,
+        };
+        let wants_read = !(op == CsrOp::Rw && rd.is_zero());
+        let wants_write = match (op, src) {
+            (CsrOp::Rw, _) => true,
+            (_, CsrSrc::Reg(r)) => !r.is_zero(),
+            (_, CsrSrc::Imm(i)) => i != 0,
+        };
+        let old = if wants_read || wants_write {
+            match self.csr.read(addr, self.priv_level) {
+                Ok(v) => v,
+                Err(CsrError::NotPrivileged) if self.config.csr_read_transient_writeback => {
+                    // XiangShan: the privileged value is transiently written
+                    // back before the lazy privilege check flushes the
+                    // instruction (paper Figure 6). The value lingers for
+                    // CSR_FLUSH_DELAY cycles before the exception is raised.
+                    if let Ok(v) = self.csr.read_unchecked(addr, PrivLevel::Machine) {
+                        self.writeback(0, v);
+                        if is_hpc_read(addr) {
+                            let (cycle, priv_level, domain) =
+                                (self.cycle, self.priv_level, self.domain);
+                            self.trace.record(TraceEvent {
+                                cycle,
+                                priv_level,
+                                domain,
+                                pc: Some(pc),
+                                structure: Structure::Hpc,
+                                kind: TraceEventKind::Read {
+                                    index: hpc_read_index(addr),
+                                    value: v,
+                                },
+                            });
+                        }
+                    }
+                    self.rob[0].exception = Some(Exception::IllegalInstruction(0));
+                    self.rob[0].commit_not_before = self.cycle + CSR_FLUSH_DELAY;
+                    return;
+                }
+                Err(_) => {
+                    self.rob[0].exception = Some(Exception::IllegalInstruction(0));
+                    return;
+                }
+            }
+        } else {
+            0
+        };
+        if wants_write {
+            let new = apply_csr_op(op, old, src_val);
+            match self.csr.write(addr, new, self.priv_level) {
+                Ok(effect) => {
+                    if effect.pmp_reconfigured {
+                        self.apply_domain_switch_mitigations();
+                    }
+                    if (csr::MHPMCOUNTER3..csr::MHPMCOUNTER3 + 29).contains(&addr) {
+                        let (cycle, priv_level, domain) =
+                            (self.cycle, self.priv_level, self.domain);
+                        self.trace.record(TraceEvent {
+                            cycle,
+                            priv_level,
+                            domain,
+                            pc: Some(pc),
+                            structure: Structure::Hpc,
+                            kind: TraceEventKind::Write {
+                                index: (addr - csr::MHPMCOUNTER3) as u64,
+                                value: new,
+                                tag: None,
+                            },
+                        });
+                    }
+                    if effect.satp_written {
+                        // Real hardware requires sfence.vma; the model keeps
+                        // stale TLB entries too (matching hardware), so no
+                        // implicit flush here.
+                    }
+                }
+                Err(_) => {
+                    self.rob[0].exception = Some(Exception::IllegalInstruction(0));
+                    return;
+                }
+            }
+        }
+        self.writeback(0, old);
+        // Reads of tainted performance counters are the checker's M1 signal;
+        // record the read explicitly.
+        if wants_read && is_hpc_read(addr) {
+            let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain,
+                pc: Some(pc),
+                structure: Structure::Hpc,
+                kind: TraceEventKind::Read { index: hpc_read_index(addr), value: old },
+            });
+        }
+    }
+
+    /// Applies the mitigation flushes at a domain boundary: every PMP
+    /// reconfiguration (Keystone's switch marker, paper §8) and every
+    /// firmware exit (`mret`).
+    fn apply_domain_switch_mitigations(&mut self) {
+        let m = self.config.mitigations;
+        let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+        if m.flush_l1d_on_domain_switch {
+            // A purge-style flush (MI6's approach): complete pending
+            // committed stores first, otherwise they would re-pollute the
+            // invalidated cache moments later.
+            self.lsu.drain_all_stores(&mut self.mem);
+            self.lsu.flush_l1d(cycle, &mut self.trace, priv_level, domain);
+        }
+        if m.flush_lfb_on_domain_switch {
+            self.lsu.flush_lfb(cycle, &mut self.trace, priv_level, domain);
+        }
+        if m.flush_store_buffer_on_domain_switch {
+            self.lsu.flush_store_buffer(&mut self.mem, cycle, &mut self.trace, priv_level, domain);
+        }
+        if m.flush_bpu_on_domain_switch {
+            self.ubtb.flush_all();
+            self.ftb.flush_all();
+            self.bht.flush_all();
+            for s in [Structure::Ubtb, Structure::Ftb, Structure::Bht] {
+                self.trace.record(TraceEvent {
+                    cycle,
+                    priv_level,
+                    domain,
+                    pc: None,
+                    structure: s,
+                    kind: TraceEventKind::Flush,
+                });
+            }
+        }
+        if m.clear_hpc_on_domain_switch {
+            self.csr.hpc_clear();
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain,
+                pc: None,
+                structure: Structure::Hpc,
+                kind: TraceEventKind::Flush,
+            });
+        }
+    }
+
+    fn set_domain(&mut self, d: Domain) {
+        if d != self.domain {
+            self.domain = d;
+            let (cycle, priv_level) = (self.cycle, self.priv_level);
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain: d,
+                pc: None,
+                structure: Structure::Hpc, // marker events carry no structure; HPC is benign
+                kind: TraceEventKind::DomainSwitch { to: d },
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traps
+    // ------------------------------------------------------------------
+
+    fn take_exception(&mut self, e: Exception, epc: u64) {
+        self.csr.hpc_bump(HpcEvent::Exception, self.domain);
+        self.record_hpc_bump(HpcEvent::Exception, Some(epc));
+        self.enter_trap(e.cause(), e.tval(), epc);
+    }
+
+    fn take_interrupt_if_pending(&mut self) -> bool {
+        let pending = self.csr.mip & self.csr.mie;
+        if pending & (1 << Interrupt::MachineExternal.number()) == 0 {
+            return false;
+        }
+        let enabled = self.priv_level != PrivLevel::Machine || self.csr.mstatus.mie();
+        if !enabled {
+            return false;
+        }
+        // XiangShan's context snapshot includes speculative writebacks — the
+        // transient CSR value survives into the saved context (Figure 6).
+        if self.config.interrupt_snapshot_speculative {
+            self.arch_rf = self.spec_rf;
+            self.arch_rf[0] = 0;
+        }
+        let epc = self.rob.front().map(|e| e.pc).unwrap_or(self.fetch_pc);
+        self.csr.mip &= !(1 << Interrupt::MachineExternal.number());
+        self.ext_irq_at = None;
+        self.enter_trap(Interrupt::MachineExternal.cause(), 0, epc);
+        true
+    }
+
+    fn enter_trap(&mut self, cause: u64, tval: u64, epc: u64) {
+        self.csr.mepc = epc;
+        self.csr.mcause = cause;
+        self.csr.mtval = tval;
+        let mie = self.csr.mstatus.mie();
+        if mie {
+            self.csr.mstatus.0 |= Mstatus::MPIE_BIT;
+        } else {
+            self.csr.mstatus.0 &= !Mstatus::MPIE_BIT;
+        }
+        self.csr.mstatus.set_mie(false);
+        self.csr.mstatus.set_mpp(self.priv_level);
+        self.priv_level = PrivLevel::Machine;
+        // The M-mode trap handler is the security monitor by construction;
+        // remember whose world was interrupted so MDOMAIN reads report the
+        // caller and mret can restore it.
+        self.domain_before_trap = Some(self.domain);
+        self.set_domain(Domain::SecurityMonitor);
+        self.rob.clear();
+        self.lsu.squash_after(0);
+        self.rebuild_spec_rf();
+        self.fetch_pc = self.csr.mtvec;
+        self.fetch_stalled = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Fetch / dispatch
+    // ------------------------------------------------------------------
+
+    fn fetch_stage(&mut self) {
+        let mut dispatched = 0usize;
+        while dispatched < self.config.width
+            && self.rob.len() < self.config.rob_entries
+            && !self.fetch_stalled
+            && !self.halted
+        {
+            let pc = self.fetch_pc;
+            let (word, fetch_exc) = self.fetch_word(pc);
+            let decoded = match fetch_exc {
+                Some(e) => {
+                    // Dispatch a poisoned entry that raises at commit.
+                    self.push_entry(pc, pc + 4, Err(0), Some(e), false);
+                    self.fetch_stalled = true; // wait for the fault to commit
+                    return;
+                }
+                None => Inst::decode(word),
+            };
+            match decoded {
+                Err(_) => {
+                    self.push_entry(pc, pc + 4, Err(word), Some(Exception::IllegalInstruction(word)), false);
+                    self.fetch_stalled = true;
+                    return;
+                }
+                Ok(inst) => {
+                    let serializing = matches!(
+                        inst,
+                        Inst::Csr { .. }
+                            | Inst::Ecall
+                            | Inst::Ebreak
+                            | Inst::Mret
+                            | Inst::Sret
+                            | Inst::Wfi
+                            | Inst::Fence
+                            | Inst::FenceI
+                            | Inst::SfenceVma
+                    );
+                    let predicted = self.predict_next(pc, inst);
+                    self.push_entry(pc, predicted, Ok(inst), None, serializing);
+                    self.fetch_pc = predicted;
+                    if serializing {
+                        self.fetch_stalled = true;
+                    }
+                    dispatched += 1;
+                }
+            }
+        }
+    }
+
+    fn push_entry(
+        &mut self,
+        pc: u64,
+        predicted_next: u64,
+        inst: Result<Inst, u32>,
+        exception: Option<Exception>,
+        serializing: bool,
+    ) {
+        self.next_seq += 1;
+        let state = if exception.is_some() { EntryState::Done } else { EntryState::Waiting };
+        self.rob.push_back(RobEntry {
+            seq: self.next_seq,
+            pc,
+            predicted_next,
+            inst,
+            state,
+            result: None,
+            exception,
+            store: None,
+            serializing,
+            commit_not_before: 0,
+            sys_executed: false,
+            sign_extend_from: None,
+        });
+    }
+
+    fn predict_next(&mut self, pc: u64, inst: Inst) -> u64 {
+        // The eIBRS-style mitigation: entries trained by a different domain
+        // are unreachable (tag mismatch), as if absent.
+        let tagged = self.config.mitigations.tag_bpu_with_domain;
+        let domain = self.domain;
+        let reachable = |e: &crate::btb::BtbEntry| !tagged || e.train_domain == domain;
+        match inst {
+            Inst::Jal { offset, .. } => pc.wrapping_add(offset as i64 as u64),
+            Inst::Jalr { .. } => {
+                if let Some(e) = self.ubtb.predict(pc).filter(|e| reachable(e)) {
+                    e.target
+                } else if let Some(e) = self.ftb.predict(pc).filter(|e| reachable(e)) {
+                    e.target
+                } else {
+                    pc + 4
+                }
+            }
+            Inst::Branch { .. } => {
+                // uBTB hit provides the target; direction from the uBTB's
+                // last outcome or the BHT.
+                if let Some(e) = self.ubtb.predict(pc).filter(|e| reachable(e)) {
+                    if e.taken {
+                        e.target
+                    } else {
+                        pc + 4
+                    }
+                } else if let Some(e) = self.ftb.predict(pc).filter(|e| reachable(e)) {
+                    if self.bht.predict_taken(pc) {
+                        e.target
+                    } else {
+                        pc + 4
+                    }
+                } else {
+                    pc + 4
+                }
+            }
+            _ => pc + 4,
+        }
+    }
+
+    /// Fetches the instruction word at `pc`, performing I-side translation
+    /// and PMP checking. Returns the word and an optional fetch fault.
+    fn fetch_word(&mut self, pc: u64) -> (u32, Option<Exception>) {
+        let pa = if self.priv_level != PrivLevel::Machine && self.csr.satp.is_sv39() {
+            let va = VirtAddr(pc);
+            if !va.is_canonical() {
+                return (0, Some(Exception::InstPageFault(pc)));
+            }
+            let pte = match self.itlb.lookup(va) {
+                Some(p) => p,
+                None => match self.functional_iwalk(va) {
+                    Ok(p) => p,
+                    Err(e) => return (0, Some(e)),
+                },
+            };
+            if !pte.permits(AccessKind::Execute, self.priv_level, false) {
+                return (0, Some(Exception::InstPageFault(pc)));
+            }
+            pte.pa().0 | va.page_offset()
+        } else {
+            pc
+        };
+        if !self.csr.pmp.allows(pa, 4, AccessKind::Execute, self.priv_level) {
+            return (0, Some(Exception::InstAccessFault(pc)));
+        }
+        // I-side cache: fills are traced like every other storage element
+        // (fetch latency itself is not modeled; see DESIGN.md).
+        if !self.l1i.contains(pa) {
+            let line_addr = self.l1i.line_addr(pa);
+            let mut data = vec![0u8; self.config.line_size as usize];
+            self.mem.read_bytes(line_addr, &mut data);
+            self.l1i.fill(line_addr, data.clone(), self.domain);
+            let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+            self.trace.record(TraceEvent {
+                cycle,
+                priv_level,
+                domain,
+                pc: Some(pc),
+                structure: Structure::L1i,
+                kind: TraceEventKind::Fill {
+                    addr: line_addr,
+                    data,
+                    purpose: crate::trace::FillPurpose::Demand,
+                },
+            });
+        }
+        let word = self.l1i.read(pa, 4).expect("line just ensured resident") as u32;
+        (word, None)
+    }
+
+    /// I-side page walk. Modeled functionally (no cache traffic): the
+    /// paper's leakage cases all use the D-side walker; see DESIGN.md.
+    fn functional_iwalk(&mut self, va: VirtAddr) -> Result<Pte, Exception> {
+        let mut table = self.csr.satp.root_pa();
+        for level in (0..SV39_LEVELS).rev() {
+            let pa = pte_addr(PhysAddr(table), va, level);
+            let pte = Pte(self.mem.read_u64(pa.0));
+            if !pte.valid() {
+                return Err(Exception::InstPageFault(va.0));
+            }
+            if pte.is_leaf() {
+                if level != 0 {
+                    return Err(Exception::InstPageFault(va.0));
+                }
+                let slot = self.itlb.insert(va, pte, self.domain);
+                let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
+                self.trace.record(TraceEvent {
+                    cycle,
+                    priv_level,
+                    domain,
+                    pc: Some(va.0),
+                    structure: Structure::Itlb,
+                    kind: TraceEventKind::Write { index: slot as u64, value: pte.0, tag: None },
+                });
+                return Ok(pte);
+            }
+            table = pte.pa().0;
+        }
+        Err(Exception::InstPageFault(va.0))
+    }
+}
+
+fn width_mask(bytes: u64) -> u64 {
+    if bytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (bytes * 8)) - 1
+    }
+}
+
+fn apply_csr_op(op: CsrOp, old: u64, src: u64) -> u64 {
+    match op {
+        CsrOp::Rw => src,
+        CsrOp::Rs => old | src,
+        CsrOp::Rc => old & !src,
+    }
+}
+
+fn decode_domain(v: u64) -> Domain {
+    match v {
+        0 => Domain::Untrusted,
+        1 => Domain::SecurityMonitor,
+        n => Domain::Enclave((n - 2) as u32),
+    }
+}
+
+fn is_hpc_read(addr: CsrAddr) -> bool {
+    (csr::HPMCOUNTER3..csr::HPMCOUNTER3 + 29).contains(&addr)
+        || (csr::MHPMCOUNTER3..csr::MHPMCOUNTER3 + 29).contains(&addr)
+        || addr == csr::CYCLE
+        || addr == csr::INSTRET
+}
+
+fn hpc_read_index(addr: CsrAddr) -> u64 {
+    if (csr::HPMCOUNTER3..csr::HPMCOUNTER3 + 29).contains(&addr) {
+        (addr - csr::HPMCOUNTER3) as u64
+    } else if (csr::MHPMCOUNTER3..csr::MHPMCOUNTER3 + 29).contains(&addr) {
+        (addr - csr::MHPMCOUNTER3) as u64
+    } else {
+        u64::MAX // cycle/instret: not a programmable counter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teesec_isa::asm::Assembler;
+
+    const BASE: u64 = 0x8000_0000;
+
+    fn core_with(cfg: CoreConfig, build: impl FnOnce(&mut Assembler)) -> Core {
+        let mut asm = Assembler::new(BASE);
+        build(&mut asm);
+        let words = asm.assemble().expect("assemble");
+        let mut mem = Memory::new();
+        mem.load_words(BASE, &words);
+        Core::new(cfg, mem, BASE)
+    }
+
+    fn run(core: &mut Core) {
+        assert_eq!(core.run(200_000), RunExit::Halted, "program must halt");
+    }
+
+    #[test]
+    fn arithmetic_program_retires() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::A0, 20);
+            a.li(Reg::A1, 22);
+            a.add(Reg::A2, Reg::A0, Reg::A1);
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A2), 42);
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::T0, 0x8010_0000);
+            a.li(Reg::T1, 0xDEAD_BEEF);
+            a.sd(Reg::T1, Reg::T0, 0);
+            a.ld(Reg::T2, Reg::T0, 0);
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::T2), 0xDEAD_BEEF);
+        assert_eq!(core.mem.read_u64(0x8010_0000), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        // Sum 1..=10.
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::A0, 0);
+            a.li(Reg::T0, 10);
+            a.label("loop");
+            a.add(Reg::A0, Reg::A0, Reg::T0);
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, "loop");
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A0), 55);
+    }
+
+    #[test]
+    fn branch_prediction_trains_ubtb() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::T0, 20);
+            a.label("loop");
+            a.addi(Reg::T0, Reg::T0, -1);
+            a.bnez(Reg::T0, "loop");
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        let trained = core.ubtb.entries().iter().any(|e| e.valid);
+        assert!(trained, "taken branch must train the uBTB");
+        let mispredicts = core.csr.hpm[HpcEvent::BranchMispredict.counter_index()];
+        let taken = core.csr.hpm[HpcEvent::BranchTaken.counter_index()];
+        assert!(taken >= 19);
+        assert!(mispredicts < taken, "prediction must help after training");
+    }
+
+    #[test]
+    fn jalr_returns() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.call("func");
+            a.li(Reg::A1, 7);
+            a.inst(Inst::Ebreak);
+            a.label("func");
+            a.li(Reg::A0, 5);
+            a.ret();
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A0), 5);
+        assert_eq!(core.reg(Reg::A1), 7);
+    }
+
+    #[test]
+    fn ecall_traps_to_mtvec_and_mret_returns() {
+        // Handler at `handler` sets a2=99 and returns past the ecall.
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            // Reset vector (M mode): set mtvec, drop to S-mode code.
+            a.la(Reg::T0, "handler");
+            a.csrw(csr::MTVEC, Reg::T0);
+            a.la(Reg::T1, "smode");
+            a.csrw(csr::MEPC, Reg::T1);
+            a.li(Reg::T2, 0x800); // MPP = S
+            a.csrw(csr::MSTATUS, Reg::T2);
+            a.mret();
+            a.label("smode");
+            a.ecall();
+            a.li(Reg::A3, 1); // runs after handler mret
+            a.inst(Inst::Ebreak);
+            a.label("handler");
+            a.li(Reg::A2, 99);
+            a.csrr(Reg::T3, csr::MEPC);
+            a.addi(Reg::T3, Reg::T3, 4);
+            a.csrw(csr::MEPC, Reg::T3);
+            a.mret();
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A2), 99);
+        assert_eq!(core.reg(Reg::A3), 1);
+        assert_eq!(core.csr.mcause, Exception::Ecall(PrivLevel::Supervisor).cause());
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.la(Reg::T0, "handler");
+            a.csrw(csr::MTVEC, Reg::T0);
+            a.word(0xFFFF_FFFF); // illegal
+            a.nop();
+            a.label("handler");
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert_eq!(core.csr.mcause, 2);
+    }
+
+    #[test]
+    fn transient_leak_on_faulting_load_visible_in_spec_rf() {
+        // The Meltdown-style D4 pattern at the core level: a PMP-protected
+        // value is transiently written back before the fault commits.
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.la(Reg::T0, "handler");
+            a.csrw(csr::MTVEC, Reg::T0);
+            // Protect [0x8040_0000, +4K) from everyone (cfg byte 0x18 =
+            // NAPOT, no perms) — entry 0.
+            a.li(Reg::T1, (0x8040_0000u64 >> 2) | ((0x1000 >> 3) - 1));
+            a.csrw(csr::PMPADDR0, Reg::T1);
+            a.li(Reg::T2, 0x18);
+            a.csrw(csr::PMPCFG0, Reg::T2);
+            // Allow everything else — entry 1 (NAPOT over the whole space).
+            a.li(Reg::T1, u64::MAX >> 10);
+            a.csrw(csr::PMPADDR0 + 1, Reg::T1);
+            a.li(Reg::T2, 0x1F << 8); // entry1: NAPOT, RWX
+            a.csrrs(Reg::ZERO, csr::PMPCFG0, Reg::T2);
+            // Drop to S mode.
+            a.la(Reg::T3, "smode");
+            a.csrw(csr::MEPC, Reg::T3);
+            a.li(Reg::T4, 0x800);
+            a.csrw(csr::MSTATUS, Reg::T4);
+            a.mret();
+            a.label("smode");
+            a.li(Reg::A4, 0x8040_0000);
+            a.ld(Reg::A5, Reg::A4, 0); // faulting load
+            a.xori(Reg::A6, Reg::A5, 0); // dependent consumer (transient)
+            a.label("handler");
+            a.inst(Inst::Ebreak);
+        });
+        // Seed the secret and pre-warm it into caches via memory writes.
+        core.mem.write_u64(0x8040_0000, 0x5EC2_E700_0000_0042);
+        run(&mut core);
+        assert_eq!(core.csr.mcause, Exception::LoadAccessFault(0).cause());
+        // The architectural register must NOT hold the secret...
+        assert_ne!(core.reg(Reg::A5), 0x5EC2_E700_0000_0042);
+        // ...but the trace shows the transient register-file writeback.
+        let leaked = core.trace.for_structure(Structure::RegFile).any(|e| {
+            matches!(e.kind, TraceEventKind::Write { value, .. } if value == 0x5EC2_E700_0000_0042)
+        });
+        assert!(leaked, "transient writeback must appear in the trace");
+    }
+
+    #[test]
+    fn external_interrupt_enters_handler() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.la(Reg::T0, "handler");
+            a.csrw(csr::MTVEC, Reg::T0);
+            a.li(Reg::T1, 1 << 11); // MEIE
+            a.csrw(csr::MIE, Reg::T1);
+            a.li(Reg::T2, 0x8); // MIE (global)
+            a.csrrs(Reg::ZERO, csr::MSTATUS, Reg::T2);
+            a.label("spin");
+            a.j("spin");
+            a.label("handler");
+            a.li(Reg::A0, 0x1A1A);
+            a.inst(Inst::Ebreak);
+        });
+        core.schedule_external_interrupt(200);
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A0), 0x1A1A);
+        assert_eq!(core.csr.mcause, Interrupt::MachineExternal.cause());
+    }
+
+    #[test]
+    fn mdomain_csr_switches_domain() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::T0, 2); // enclave 0
+            a.csrw(MDOMAIN, Reg::T0);
+            a.li(Reg::T0, 0); // untrusted
+            a.csrw(MDOMAIN, Reg::T0);
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        let switches: Vec<Domain> = core
+            .trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::DomainSwitch { to } => Some(to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(switches, vec![Domain::Enclave(0), Domain::Untrusted]);
+        assert_eq!(core.domain, Domain::Untrusted);
+    }
+
+    #[test]
+    fn hpm_counters_count_and_survive_domain_switches() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.li(Reg::T0, 2);
+            a.csrw(MDOMAIN, Reg::T0); // enter "enclave"
+            a.li(Reg::T1, 0x8020_0000);
+            a.ld(Reg::T2, Reg::T1, 0); // enclave L1D miss
+            a.li(Reg::T0, 0);
+            a.csrw(MDOMAIN, Reg::T0); // back to untrusted: no HPC reset
+            a.csrr(Reg::A0, csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()));
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert!(core.reg(Reg::A0) >= 1, "enclave miss visible to untrusted reader");
+        assert!(core.csr.hpc_tainted(HpcEvent::L1dMiss.counter_index()));
+    }
+
+    #[test]
+    fn clear_hpc_mitigation_resets_on_pmp_reconfig() {
+        let mut cfg = CoreConfig::boom();
+        cfg.mitigations.clear_hpc_on_domain_switch = true;
+        let mut core = core_with(cfg, |a| {
+            a.li(Reg::T1, 0x8020_0000);
+            a.ld(Reg::T2, Reg::T1, 0); // L1D miss -> counter > 0
+            // PMP reconfiguration (the domain-switch marker).
+            a.li(Reg::T3, 0xFFFF);
+            a.csrw(csr::PMPADDR0 + 2, Reg::T3);
+            a.csrr(Reg::A0, csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()));
+            a.inst(Inst::Ebreak);
+        });
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A0), 0, "counter cleared at domain switch");
+    }
+
+    #[test]
+    fn wfi_waits_for_interrupt() {
+        let mut core = core_with(CoreConfig::boom(), |a| {
+            a.la(Reg::T0, "handler");
+            a.csrw(csr::MTVEC, Reg::T0);
+            a.li(Reg::T1, 1 << 11);
+            a.csrw(csr::MIE, Reg::T1);
+            // Global MIE off: WFI resumes without trapping.
+            a.wfi();
+            a.li(Reg::A0, 0x77);
+            a.inst(Inst::Ebreak);
+            a.label("handler");
+            a.inst(Inst::Ebreak);
+        });
+        core.schedule_external_interrupt(100);
+        run(&mut core);
+        assert_eq!(core.reg(Reg::A0), 0x77);
+        assert!(core.cycle >= 100, "wfi must have waited for the interrupt");
+    }
+}

@@ -1,0 +1,147 @@
+//! Sparse physical memory backing the simulated SoC.
+
+use std::collections::HashMap;
+
+use teesec_isa::vm::PAGE_SIZE;
+
+/// Byte-addressable sparse physical memory. Unbacked locations read as zero.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8] {
+        let key = addr / PAGE_SIZE;
+        self.pages.entry(key).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr / PAGE_SIZE)) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(addr)[off] = v;
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Writes `data` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian value of `len` bytes (`len <= 8`).
+    pub fn read_uint(&self, addr: u64, len: u64) -> u64 {
+        debug_assert!(len <= 8);
+        let mut v = 0u64;
+        for i in (0..len).rev() {
+            v = (v << 8) | self.read_u8(addr + i) as u64;
+        }
+        v
+    }
+
+    /// Writes a little-endian value of `len` bytes (`len <= 8`).
+    pub fn write_uint(&mut self, addr: u64, v: u64, len: u64) {
+        debug_assert!(len <= 8);
+        for i in 0..len {
+            self.write_u8(addr + i, (v >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 32-bit little-endian word (instruction fetch granule).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: u64, v: u32) {
+        self.write_uint(addr, v as u64, 4)
+    }
+
+    /// Reads a 64-bit little-endian doubleword.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian doubleword.
+    pub fn write_u64(&mut self, addr: u64, v: u64) {
+        self.write_uint(addr, v, 8)
+    }
+
+    /// Loads a program image (32-bit words) at `base`.
+    pub fn load_words(&mut self, base: u64, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            self.write_u32(base + 4 * i as u64, *w);
+        }
+    }
+
+    /// Number of distinct backed pages (for tests/diagnostics).
+    pub fn backed_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbacked_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0xdead_0000), 0);
+        assert_eq!(m.read_u8(12345), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x1000), 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u32(0x1000), 0x5566_7788);
+        assert_eq!(m.read_uint(0x1004, 2), 0x3344);
+        assert_eq!(m.read_u8(0x1007), 0x11);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.write_u64(0x1FFC, 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.read_u64(0x1FFC), 0xAABB_CCDD_EEFF_0011);
+        assert_eq!(m.backed_pages(), 2);
+    }
+
+    #[test]
+    fn load_words_places_instructions() {
+        let mut m = Memory::new();
+        m.load_words(0x8000_0000, &[0x1111_1111, 0x2222_2222]);
+        assert_eq!(m.read_u32(0x8000_0000), 0x1111_1111);
+        assert_eq!(m.read_u32(0x8000_0004), 0x2222_2222);
+    }
+
+    #[test]
+    fn byte_order_is_little_endian() {
+        let mut m = Memory::new();
+        m.write_u32(0x2000, 0x0102_0304);
+        assert_eq!(m.read_u8(0x2000), 0x04);
+        assert_eq!(m.read_u8(0x2003), 0x01);
+    }
+}

@@ -1,0 +1,371 @@
+//! The microarchitectural execution trace.
+//!
+//! This is the Rust analog of the paper's instrumented-RTL simulation log:
+//! every fill/write/update of every inventoried storage element is recorded
+//! together with the cycle, the privilege level and the security *domain*
+//! active at that moment. The TEESec checker consumes this trace to find
+//! P1 (data) and P2 (metadata) violations.
+
+use serde::{Deserialize, Serialize};
+
+use teesec_isa::priv_level::PrivLevel;
+
+/// The security domain executing when an event occurred.
+///
+/// Keystone needs no hardware enclave-mode bit — the domain is defined by
+/// the PMP configuration the security monitor programs. The platform model
+/// tags the trace at each SBI transition, mirroring how the paper's checker
+/// learns test boundaries from the TEE API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Domain {
+    /// Untrusted host user/supervisor.
+    #[default]
+    Untrusted,
+    /// The Keystone security monitor (machine mode firmware).
+    SecurityMonitor,
+    /// An enclave, by platform-assigned id.
+    Enclave(u32),
+}
+
+impl Domain {
+    /// `true` for any enclave domain.
+    pub fn is_enclave(self) -> bool {
+        matches!(self, Domain::Enclave(_))
+    }
+
+    /// `true` for domains whose data is a secret w.r.t. the untrusted host
+    /// (enclaves and the security monitor).
+    pub fn is_trusted(self) -> bool {
+        self != Domain::Untrusted
+    }
+}
+
+/// A microarchitectural storage element class.
+///
+/// These are the structures the verification plan inventories (paper §4.1.3)
+/// and the checker scans for residue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Structure {
+    /// The physical register file (speculative writebacks included).
+    RegFile,
+    /// L1 data cache lines.
+    L1d,
+    /// L1 instruction cache lines.
+    L1i,
+    /// Unified L2 cache lines.
+    L2,
+    /// Line-fill buffers / MSHRs.
+    Lfb,
+    /// Speculative store queue.
+    StoreQueue,
+    /// Committed store buffer.
+    StoreBuffer,
+    /// Data TLB.
+    Dtlb,
+    /// Instruction TLB.
+    Itlb,
+    /// Page-table-walker cache.
+    PtwCache,
+    /// Micro branch target buffer.
+    Ubtb,
+    /// Fetch target buffer (main BTB).
+    Ftb,
+    /// Branch history table.
+    Bht,
+    /// Hardware performance counters.
+    Hpc,
+}
+
+impl Structure {
+    /// Every structure class, in inventory order.
+    pub fn all() -> &'static [Structure] {
+        &[
+            Structure::RegFile,
+            Structure::L1d,
+            Structure::L1i,
+            Structure::L2,
+            Structure::Lfb,
+            Structure::StoreQueue,
+            Structure::StoreBuffer,
+            Structure::Dtlb,
+            Structure::Itlb,
+            Structure::PtwCache,
+            Structure::Ubtb,
+            Structure::Ftb,
+            Structure::Bht,
+            Structure::Hpc,
+        ]
+    }
+
+    /// Stable display name used in reports (matches the paper's terminology).
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Structure::RegFile => "Register-file",
+            Structure::L1d => "L1D-cache",
+            Structure::L1i => "L1I-cache",
+            Structure::L2 => "L2-cache",
+            Structure::Lfb => "Line-fill-buffer",
+            Structure::StoreQueue => "Store-queue",
+            Structure::StoreBuffer => "Store-buffer",
+            Structure::Dtlb => "D-TLB",
+            Structure::Itlb => "I-TLB",
+            Structure::PtwCache => "PTW-cache",
+            Structure::Ubtb => "uBTB",
+            Structure::Ftb => "FTB",
+            Structure::Bht => "BHT",
+            Structure::Hpc => "Perf-counters",
+        }
+    }
+}
+
+/// Why a cache line / fill buffer was filled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillPurpose {
+    /// Demand load/store miss.
+    Demand,
+    /// Hardware prefetch (implicit, unchecked).
+    Prefetch,
+    /// Page-table-walk access (implicit).
+    PageWalk,
+    /// Write-allocate refill for a committed store.
+    StoreRefill,
+}
+
+/// A hardware event counted by the HPM unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HpcEvent {
+    /// Retired instructions.
+    InstRet,
+    /// L1D misses.
+    L1dMiss,
+    /// Data TLB misses.
+    DtlbMiss,
+    /// Taken branches.
+    BranchTaken,
+    /// Branch mispredictions.
+    BranchMispredict,
+    /// Store-to-load forwards.
+    StoreToLoadForward,
+    /// Architectural exceptions raised.
+    Exception,
+    /// Hardware page-table walks performed.
+    PageWalk,
+}
+
+impl HpcEvent {
+    /// The programmable counter index (0-based; counter 0 = `mhpmcounter3`)
+    /// this event increments in the default event mapping.
+    pub fn counter_index(self) -> usize {
+        match self {
+            HpcEvent::InstRet => 0,
+            HpcEvent::L1dMiss => 1,
+            HpcEvent::DtlbMiss => 2,
+            HpcEvent::BranchTaken => 3,
+            HpcEvent::BranchMispredict => 4,
+            HpcEvent::StoreToLoadForward => 5,
+            HpcEvent::Exception => 6,
+            HpcEvent::PageWalk => 7,
+        }
+    }
+
+    /// All events, one per default counter.
+    pub fn all() -> &'static [HpcEvent] {
+        &[
+            HpcEvent::InstRet,
+            HpcEvent::L1dMiss,
+            HpcEvent::DtlbMiss,
+            HpcEvent::BranchTaken,
+            HpcEvent::BranchMispredict,
+            HpcEvent::StoreToLoadForward,
+            HpcEvent::Exception,
+            HpcEvent::PageWalk,
+        ]
+    }
+}
+
+/// What happened to a storage element.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// A full cache-line (or buffer-entry) fill with data.
+    Fill {
+        /// Physical line address.
+        addr: u64,
+        /// Line contents at fill time.
+        data: Vec<u8>,
+        /// What initiated the fill.
+        purpose: FillPurpose,
+    },
+    /// A scalar write (register writeback, TLB/BTB entry install, buffer
+    /// entry write).
+    Write {
+        /// Element index (register number, entry slot, counter index...).
+        index: u64,
+        /// The value written.
+        value: u64,
+        /// A secondary key (virtual address / tag), when meaningful.
+        tag: Option<u64>,
+    },
+    /// A scalar read that returned a value to the pipeline.
+    Read {
+        /// Element index.
+        index: u64,
+        /// The value read.
+        value: u64,
+    },
+    /// The structure (or one entry of it) was flushed/invalidated.
+    Flush,
+    /// An HPM counter increment.
+    CounterBump {
+        /// The hardware event counted.
+        event: HpcEvent,
+    },
+    /// The active security domain changed (platform-level marker).
+    DomainSwitch {
+        /// The domain now active.
+        to: Domain,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation cycle.
+    pub cycle: u64,
+    /// Privilege level at the time of the event.
+    pub priv_level: PrivLevel,
+    /// Security domain at the time of the event.
+    pub domain: Domain,
+    /// Program counter of the associated instruction, when attributable.
+    pub pc: Option<u64>,
+    /// The storage element concerned.
+    pub structure: Structure,
+    /// The event itself.
+    pub kind: TraceEventKind,
+}
+
+/// The growing execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an enabled, empty trace.
+    pub fn new() -> Trace {
+        Trace { events: Vec::new(), enabled: true }
+    }
+
+    /// Enables/disables recording (for performance sweeps that only need
+    /// architectural results).
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates events touching one structure.
+    pub fn for_structure(&self, s: Structure) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.structure == s)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, s: Structure) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            priv_level: PrivLevel::Supervisor,
+            domain: Domain::Untrusted,
+            pc: Some(0x8000_0000),
+            structure: s,
+            kind: TraceEventKind::Flush,
+        }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::new();
+        t.record(ev(1, Structure::L1d));
+        t.record(ev(2, Structure::Lfb));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].cycle, 1);
+        assert_eq!(t.events()[1].structure, Structure::Lfb);
+    }
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.record(ev(1, Structure::L1d));
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn structure_filter() {
+        let mut t = Trace::new();
+        t.record(ev(1, Structure::L1d));
+        t.record(ev(2, Structure::Lfb));
+        t.record(ev(3, Structure::L1d));
+        assert_eq!(t.for_structure(Structure::L1d).count(), 2);
+        assert_eq!(t.for_structure(Structure::Ubtb).count(), 0);
+    }
+
+    #[test]
+    fn domain_classification() {
+        assert!(Domain::Enclave(3).is_enclave());
+        assert!(Domain::Enclave(3).is_trusted());
+        assert!(Domain::SecurityMonitor.is_trusted());
+        assert!(!Domain::SecurityMonitor.is_enclave());
+        assert!(!Domain::Untrusted.is_trusted());
+    }
+
+    #[test]
+    fn hpc_events_map_to_unique_counters() {
+        let mut seen = std::collections::HashSet::new();
+        for e in HpcEvent::all() {
+            assert!(seen.insert(e.counter_index()), "duplicate counter for {e:?}");
+        }
+    }
+
+    #[test]
+    fn structure_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Structure::all() {
+            assert!(seen.insert(s.display_name()));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Differential testing: on randomly generated programs, the out-of-order
+//! core's *architectural* results must match the reference ISS exactly —
+//! speculation, transient writebacks, lazy exceptions, prefetching and
+//! store buffering must all be architecturally invisible. This is the
+//! guard-rail that keeps the leakage behaviours microarchitectural.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use teesec_isa::asm::Assembler;
+use teesec_isa::csr;
+use teesec_isa::inst::{AluOp, Inst, MemWidth};
+use teesec_isa::reg::Reg;
+use teesec_uarch::core::Core;
+use teesec_uarch::iss::{Iss, IssExit};
+use teesec_uarch::mem::Memory;
+use teesec_uarch::{CoreConfig, RunExit};
+
+const BASE: u64 = 0x8000_0000;
+const DATA: u64 = 0x8020_0000;
+const DATA_SIZE: u64 = 0x1000;
+
+/// Registers the generator plays with (x0 and the address base register
+/// included deliberately).
+const POOL: [Reg; 10] =
+    [Reg::ZERO, Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::T0, Reg::T1, Reg::T2, Reg::S2, Reg::S3];
+
+fn reg(rng: &mut StdRng) -> Reg {
+    POOL[rng.gen_range(0..POOL.len())]
+}
+
+/// Emits a random, always-terminating program: straight-line ALU/memory
+/// work, bounded countdown loops, forward branches, and occasional
+/// deliberate faults (the trap vector halts the program).
+fn random_program(seed: u64, len: usize) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assembler::new(BASE);
+    // Any fault ends the program at the handler (deterministically for
+    // both engines).
+    a.la(Reg::T5, "handler");
+    a.csrw(csr::MTVEC, Reg::T5);
+    a.li(Reg::S10, DATA); // memory base pointer, never overwritten
+    let mut label = 0usize;
+    for i in 0..len {
+        match rng.gen_range(0..100) {
+            0..=39 => {
+                // ALU immediate / register ops.
+                let op = [AluOp::Add, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Sll, AluOp::Srl]
+                    [rng.gen_range(0..6)];
+                if rng.gen_bool(0.5) {
+                    let imm = rng.gen_range(-512..512);
+                    let imm = if matches!(op, AluOp::Sll | AluOp::Srl) { imm & 0x3F } else { imm };
+                    a.inst(Inst::AluImm { op, rd: reg(&mut rng), rs1: reg(&mut rng), imm, word: rng.gen_bool(0.2) });
+                } else {
+                    a.inst(Inst::AluReg {
+                        op: [op, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Divu, AluOp::Rem, AluOp::Remu]
+                            [rng.gen_range(0..7)],
+                        rd: reg(&mut rng),
+                        rs1: reg(&mut rng),
+                        rs2: reg(&mut rng),
+                        word: rng.gen_bool(0.2),
+                    });
+                }
+            }
+            40..=59 => {
+                // Aligned memory op within the data window.
+                let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
+                    [rng.gen_range(0..4)];
+                let off =
+                    (rng.gen_range(0..DATA_SIZE / 8) * 8) as i32 % 2040;
+                if rng.gen_bool(0.5) {
+                    a.store(width, reg(&mut rng), Reg::S10, off);
+                } else {
+                    a.load(width, reg(&mut rng), Reg::S10, off);
+                }
+            }
+            60..=74 => {
+                // Forward branch over a small block (always terminates).
+                let l = format!("fwd_{label}");
+                label += 1;
+                a.branch(
+                    [
+                        teesec_isa::inst::BranchCond::Eq,
+                        teesec_isa::inst::BranchCond::Ne,
+                        teesec_isa::inst::BranchCond::Ltu,
+                        teesec_isa::inst::BranchCond::Ge,
+                    ][rng.gen_range(0..4)],
+                    reg(&mut rng),
+                    reg(&mut rng),
+                    &l,
+                );
+                for _ in 0..rng.gen_range(1..4) {
+                    a.addi(reg(&mut rng), reg(&mut rng), rng.gen_range(-64..64));
+                }
+                a.label(l);
+            }
+            75..=84 => {
+                // Bounded countdown loop.
+                let l = format!("loop_{label}");
+                label += 1;
+                a.li(Reg::T4, rng.gen_range(1..6));
+                a.label(&l);
+                a.add(reg(&mut rng), reg(&mut rng), reg(&mut rng));
+                a.addi(Reg::T4, Reg::T4, -1);
+                a.bnez(Reg::T4, &l);
+            }
+            85..=92 => {
+                // Constant materialization.
+                a.li(reg(&mut rng), rng.gen::<u64>());
+            }
+            93..=96 => {
+                // Dependent chain (forwarding stress).
+                let r = reg(&mut rng);
+                a.addi(r, r, 1);
+                a.slli(r, r, 1);
+                a.xori(r, r, 0x55);
+            }
+            _ => {
+                // Occasional misaligned access: traps to the handler and
+                // ends the program on both engines identically.
+                if i > len / 2 {
+                    a.load(MemWidth::D, reg(&mut rng), Reg::S10, 3);
+                } else {
+                    a.nop();
+                }
+            }
+        }
+    }
+    a.j("handler");
+    a.label("handler");
+    a.inst(Inst::Ebreak);
+    a.assemble().expect("random program must assemble")
+}
+
+fn fill_data(mem: &mut Memory, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+    for off in (0..DATA_SIZE).step_by(8) {
+        mem.write_u64(DATA + off, rng.gen());
+    }
+}
+
+fn run_differential(seed: u64, cfg: &CoreConfig) {
+    let words = random_program(seed, 120);
+    let mut mem_core = Memory::new();
+    mem_core.load_words(BASE, &words);
+    fill_data(&mut mem_core, seed);
+    let mut mem_iss = Memory::new();
+    mem_iss.load_words(BASE, &words);
+    fill_data(&mut mem_iss, seed);
+
+    let mut core = Core::new(cfg.clone(), mem_core, BASE);
+    core.trace.set_enabled(false);
+    let core_exit = core.run(2_000_000);
+    let mut iss = Iss::new(mem_iss, BASE);
+    let iss_exit = iss.run(1_000_000);
+
+    assert_eq!(core_exit, RunExit::Halted, "seed {seed}: core must halt on {}", cfg.name);
+    assert_eq!(iss_exit, IssExit::Halted, "seed {seed}: ISS must halt");
+    for r in Reg::all() {
+        assert_eq!(
+            core.reg(r),
+            iss.reg(r),
+            "seed {seed}: register {r} diverged on {} (core {:#x} vs iss {:#x})",
+            cfg.name,
+            core.reg(r),
+            iss.reg(r)
+        );
+    }
+    for off in (0..DATA_SIZE).step_by(8) {
+        let a = core.mem.read_u64(DATA + off);
+        let b = iss.mem.read_u64(DATA + off);
+        assert_eq!(a, b, "seed {seed}: memory at +{off:#x} diverged on {}", cfg.name);
+    }
+    assert_eq!(core.csr.mcause, iss.csr.mcause, "seed {seed}: mcause diverged on {}", cfg.name);
+    assert_eq!(core.csr.mtval, iss.csr.mtval, "seed {seed}: mtval diverged on {}", cfg.name);
+}
+
+#[test]
+fn boom_matches_iss_on_random_programs() {
+    for seed in 0..60 {
+        run_differential(seed, &CoreConfig::boom());
+    }
+}
+
+#[test]
+fn xiangshan_matches_iss_on_random_programs() {
+    for seed in 0..60 {
+        run_differential(seed, &CoreConfig::xiangshan());
+    }
+}
+
+#[test]
+fn mitigated_cores_match_iss_too() {
+    use teesec_uarch::config::MitigationSet;
+    let hardened = CoreConfig::boom().with_mitigations(MitigationSet::all());
+    for seed in 100..130 {
+        run_differential(seed, &hardened);
+    }
+    let hardened_xs = CoreConfig::xiangshan().with_mitigations(MitigationSet::all());
+    for seed in 100..130 {
+        run_differential(seed, &hardened_xs);
+    }
+}

@@ -1,0 +1,339 @@
+//! Pipeline edge cases: squash correctness, fence ordering, TLB staleness
+//! semantics, transient non-retirement, and cache behaviour under pressure.
+
+use teesec_isa::asm::Assembler;
+use teesec_isa::csr;
+use teesec_isa::inst::Inst;
+use teesec_isa::reg::Reg;
+use teesec_isa::vm::{PhysAddr, Pte};
+use teesec_uarch::core::Core;
+use teesec_uarch::mem::Memory;
+use teesec_uarch::trace::{Structure, TraceEventKind};
+use teesec_uarch::{CoreConfig, RunExit};
+
+const BASE: u64 = 0x8000_0000;
+
+fn build(cfg: CoreConfig, f: impl FnOnce(&mut Assembler)) -> Core {
+    let mut asm = Assembler::new(BASE);
+    f(&mut asm);
+    let mut mem = Memory::new();
+    mem.load_words(BASE, &asm.assemble().expect("assemble"));
+    Core::new(cfg, mem, BASE)
+}
+
+#[test]
+fn data_dependent_branches_squash_cleanly() {
+    // Collatz-style loop: heavy data-dependent branching exercises squash
+    // paths; result must be exact.
+    for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        let mut core = build(cfg, |a| {
+            a.li(Reg::A0, 27); // n
+            a.li(Reg::A1, 0); // steps
+            a.li(Reg::T2, 1);
+            a.label("loop");
+            a.beq(Reg::A0, Reg::T2, "done");
+            a.andi(Reg::T0, Reg::A0, 1);
+            a.bnez(Reg::T0, "odd");
+            a.srli(Reg::A0, Reg::A0, 1);
+            a.j("next");
+            a.label("odd");
+            a.slli(Reg::T1, Reg::A0, 1);
+            a.add(Reg::A0, Reg::A0, Reg::T1);
+            a.addi(Reg::A0, Reg::A0, 1);
+            a.label("next");
+            a.addi(Reg::A1, Reg::A1, 1);
+            a.j("loop");
+            a.label("done");
+            a.inst(Inst::Ebreak);
+        });
+        assert_eq!(core.run(1_000_000), RunExit::Halted);
+        assert_eq!(core.reg(Reg::A1), 111, "27 reaches 1 in 111 Collatz steps");
+    }
+}
+
+#[test]
+fn wrong_path_loads_fill_caches_but_never_retire() {
+    // A load guarded by a never-taken branch: the predictor may fetch it
+    // speculatively; its architectural effect must be nil, while its cache
+    // footprint is allowed (that asymmetry is the whole paper).
+    let mut core = build(CoreConfig::boom(), |a| {
+        a.li(Reg::T0, 0x8010_0000);
+        a.li(Reg::S2, 0);
+        a.li(Reg::T2, 10);
+        a.label("loop");
+        // The branch is always taken (skipping the load) but the BHT needs
+        // training; early iterations execute the shadow path transiently.
+        a.bnez(Reg::T2, "skip");
+        a.ld(Reg::S2, Reg::T0, 0); // architecturally never executes
+        a.label("skip");
+        a.addi(Reg::T2, Reg::T2, -1);
+        a.bnez(Reg::T2, "loop");
+        a.inst(Inst::Ebreak);
+    });
+    core.mem.write_u64(0x8010_0000, 0xFEED);
+    assert_eq!(core.run(1_000_000), RunExit::Halted);
+    assert_eq!(core.reg(Reg::S2), 0, "wrong-path load must not retire");
+}
+
+#[test]
+fn fence_drains_stores_before_commit_completes() {
+    // With a fence, memory is up to date the moment the program halts,
+    // before any post-halt drain.
+    let mut core = build(CoreConfig::xiangshan(), |a| {
+        a.li(Reg::T0, 0x8010_0000);
+        a.li(Reg::T1, 0xAB);
+        a.sd(Reg::T1, Reg::T0, 0);
+        a.fence();
+        a.inst(Inst::Ebreak);
+    });
+    while !core.halted && core.cycle < 100_000 {
+        core.step();
+    }
+    assert!(core.halted);
+    // No drain() call: the fence already pushed the store out.
+    assert_eq!(core.mem.read_u64(0x8010_0000), 0xAB);
+    assert!(core.lsu.stores_drained());
+}
+
+#[test]
+fn without_fence_stores_may_lag_behind_halt() {
+    let mut core = build(CoreConfig::xiangshan(), |a| {
+        a.li(Reg::T0, 0x8010_0000);
+        a.li(Reg::T1, 0xAB);
+        a.sd(Reg::T1, Reg::T0, 0);
+        a.inst(Inst::Ebreak);
+    });
+    while !core.halted && core.cycle < 100_000 {
+        core.step();
+    }
+    assert!(core.halted);
+    // The store sits in the buffer (this lag is what D8/D3 exploit)...
+    assert!(!core.lsu.stores_drained(), "store should still be buffered at halt");
+    // ...and the drain completes it.
+    core.drain();
+    assert_eq!(core.mem.read_u64(0x8010_0000), 0xAB);
+}
+
+#[test]
+fn stale_tlb_translations_persist_until_sfence() {
+    // Hardware behaviour the attacker of D2 depends on: changing a PTE
+    // without sfence.vma leaves the old translation live in the TLB.
+    let pt_root = 0x8100_0000u64;
+    let l1 = 0x8100_1000u64;
+    let l0 = 0x8100_2000u64;
+    let va = 0x0000_0000_4000_0000u64;
+    let pa1 = 0x8020_0000u64;
+    let pa2 = 0x8020_1000u64;
+
+    let mut core = build(CoreConfig::boom(), |a| {
+        // M-mode sets up satp for S-mode, then drops privilege.
+        a.li(Reg::T0, teesec_isa::csr::Satp::sv39(pt_root).0);
+        a.csrw(csr::SATP, Reg::T0);
+        a.la(Reg::T1, "smode");
+        a.csrw(csr::MEPC, Reg::T1);
+        a.li(Reg::T2, 0x800);
+        a.csrw(csr::MSTATUS, Reg::T2);
+        a.la(Reg::T3, "handler");
+        a.csrw(csr::MTVEC, Reg::T3);
+        a.mret();
+        a.label("smode");
+        a.li(Reg::S10, va);
+        a.ld(Reg::S2, Reg::S10, 0); // walk -> TLB caches va -> pa1
+        // Rewrite the leaf PTE to pa2 (the page table itself is mapped).
+        a.li(Reg::T0, l0); // identity: S-mode touches PT via physical alias
+        a.li(Reg::T1, Pte::leaf(PhysAddr(pa2), Pte::R | Pte::W).0);
+        a.sd(Reg::T1, Reg::T0, 0);
+        a.fence();
+        a.ld(Reg::S3, Reg::S10, 0); // stale TLB: still pa1
+        a.sfence_vma();
+        a.ld(Reg::S4, Reg::S10, 0); // fresh walk: pa2
+        a.label("handler");
+        a.inst(Inst::Ebreak);
+    });
+    // Build the page tables by hand: the probed VA plus identity maps for
+    // the S-mode code pages and the L0 table page it rewrites.
+    let l1b = 0x8100_3000u64;
+    let l0b = 0x8100_4000u64;
+    let l0c = 0x8100_5000u64;
+    let vaddr = teesec_isa::vm::VirtAddr(va);
+    core.mem.write_u64(pt_root + vaddr.vpn(2) * 8, Pte::table(PhysAddr(l1)).0);
+    core.mem.write_u64(l1 + vaddr.vpn(1) * 8, Pte::table(PhysAddr(l0)).0);
+    core.mem
+        .write_u64(l0 + vaddr.vpn(0) * 8, Pte::leaf(PhysAddr(pa1), Pte::R | Pte::W).0);
+    // Identity maps under vpn2 = 2 (the 0x8000_0000 gigapage).
+    let code = teesec_isa::vm::VirtAddr(BASE);
+    core.mem.write_u64(pt_root + code.vpn(2) * 8, Pte::table(PhysAddr(l1b)).0);
+    core.mem.write_u64(l1b + code.vpn(1) * 8, Pte::table(PhysAddr(l0b)).0);
+    for k in 0..4u64 {
+        let page = BASE + k * 0x1000;
+        core.mem.write_u64(
+            l0b + teesec_isa::vm::VirtAddr(page).vpn(0) * 8,
+            Pte::leaf(PhysAddr(page), Pte::R | Pte::X).0,
+        );
+    }
+    let l0va = teesec_isa::vm::VirtAddr(l0);
+    core.mem.write_u64(l1b + l0va.vpn(1) * 8, Pte::table(PhysAddr(l0c)).0);
+    core.mem
+        .write_u64(l0c + l0va.vpn(0) * 8, Pte::leaf(PhysAddr(l0), Pte::R | Pte::W).0);
+    core.mem.write_u64(pa1, 0x1111);
+    core.mem.write_u64(pa2, 0x2222);
+    assert_eq!(core.run(1_000_000), RunExit::Halted);
+    assert_eq!(core.reg(Reg::S2), 0x1111, "initial translation");
+    assert_eq!(core.reg(Reg::S3), 0x1111, "stale TLB survives the PTE rewrite");
+    assert_eq!(core.reg(Reg::S4), 0x2222, "sfence.vma picks up the new mapping");
+}
+
+#[test]
+fn cache_pressure_evicts_lru_lines() {
+    // Touch ways+1 lines of one L1D set; the first line must be evicted
+    // and re-miss (visible via the L1D-miss counter).
+    let cfg = CoreConfig::boom(); // 64 sets x 4 ways
+    let stride = cfg.l1d_sets as u64 * cfg.line_size;
+    let mut core = build(cfg, |a| {
+        a.li(Reg::S10, 0x8020_0000);
+        for k in 0..5u64 {
+            a.li(Reg::T0, 0x8020_0000 + k * stride);
+            a.ld(Reg::T1, Reg::T0, 0);
+        }
+        // Re-touch the first line: must miss again (LRU evicted it).
+        a.csrr(Reg::S2, csr::mhpmcounter_csr(1)); // L1D-miss counter
+        a.ld(Reg::T1, Reg::S10, 0);
+        a.csrr(Reg::S3, csr::mhpmcounter_csr(1));
+        a.inst(Inst::Ebreak);
+    });
+    assert_eq!(core.run(1_000_000), RunExit::Halted);
+    assert!(
+        core.reg(Reg::S3) > core.reg(Reg::S2),
+        "re-access of the evicted line must miss (misses {} -> {})",
+        core.reg(Reg::S2),
+        core.reg(Reg::S3)
+    );
+}
+
+#[test]
+fn trained_prefetcher_hides_sequential_miss_latency() {
+    // Sequential scan on BOOM: the next-line prefetcher turns most misses
+    // into hits; the same scan on XiangShan (no prefetcher) misses every
+    // line.
+    let run = |cfg: CoreConfig| {
+        let mut core = build(cfg, |a| {
+            a.li(Reg::S10, 0x8020_0000);
+            for k in 0..8i32 {
+                a.ld(Reg::T1, Reg::S10, k * 64);
+                // Spacing beyond the memory round trip so the prefetch has
+                // landed before the next demand access.
+                for _ in 0..120 {
+                    a.nop();
+                }
+            }
+            a.csrr(Reg::S2, csr::mhpmcounter_csr(1));
+            a.inst(Inst::Ebreak);
+        });
+        assert_eq!(core.run(1_000_000), RunExit::Halted);
+        core.reg(Reg::S2)
+    };
+    let boom_misses = run(CoreConfig::boom());
+    let xs_misses = run(CoreConfig::xiangshan());
+    assert!(
+        boom_misses < xs_misses,
+        "prefetcher must reduce demand misses (boom {boom_misses} vs xs {xs_misses})"
+    );
+}
+
+#[test]
+fn transient_writeback_trace_has_pc_attribution() {
+    // Every register-file trace event carries the PC of the writing
+    // instruction — the checker's CheckerLog relies on it.
+    let mut core = build(CoreConfig::boom(), |a| {
+        a.li(Reg::A0, 7);
+        a.addi(Reg::A1, Reg::A0, 1);
+        a.inst(Inst::Ebreak);
+    });
+    assert_eq!(core.run(100_000), RunExit::Halted);
+    for e in core.trace.for_structure(Structure::RegFile) {
+        if let TraceEventKind::Write { .. } = e.kind {
+            let pc = e.pc.expect("RF writes carry a PC");
+            assert!((BASE..BASE + 0x100).contains(&pc), "pc {pc:#x} inside the program");
+        }
+    }
+}
+
+#[test]
+fn cycle_limit_reported_for_runaway_programs() {
+    let mut core = build(CoreConfig::boom(), |a| {
+        a.label("spin");
+        a.j("spin");
+    });
+    assert_eq!(core.run(5_000), RunExit::CycleLimit);
+    assert!(!core.halted);
+}
+
+#[test]
+fn division_in_pipeline_matches_alu_semantics() {
+    let mut core = build(CoreConfig::xiangshan(), |a| {
+        a.li(Reg::A0, (-100i64) as u64);
+        a.li(Reg::A1, 7);
+        a.inst(Inst::AluReg {
+            op: teesec_isa::inst::AluOp::Div,
+            rd: Reg::S2,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            word: false,
+        });
+        a.inst(Inst::AluReg {
+            op: teesec_isa::inst::AluOp::Rem,
+            rd: Reg::S3,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            word: false,
+        });
+        a.inst(Inst::AluReg {
+            op: teesec_isa::inst::AluOp::Divu,
+            rd: Reg::S4,
+            rs1: Reg::A0,
+            rs2: Reg::ZERO,
+            word: false,
+        });
+        a.inst(Inst::Ebreak);
+    });
+    assert_eq!(core.run(100_000), RunExit::Halted);
+    assert_eq!(core.reg(Reg::S2) as i64, -14);
+    assert_eq!(core.reg(Reg::S3) as i64, -2);
+    assert_eq!(core.reg(Reg::S4), u64::MAX, "divide by zero");
+}
+
+#[test]
+fn store_queue_forwards_to_younger_loads() {
+    // A load immediately after a store to the same address must receive the
+    // value from the store queue (and the forward counter must tick) even
+    // though the store has not drained.
+    let mut core = build(CoreConfig::xiangshan(), |a| {
+        a.li(Reg::T0, 0x8010_0000);
+        a.li(Reg::T1, 0x5A5A);
+        a.sd(Reg::T1, Reg::T0, 0);
+        a.ld(Reg::S2, Reg::T0, 0);
+        a.csrr(Reg::S3, csr::mhpmcounter_csr(5)); // store-to-load forwards
+        a.inst(Inst::Ebreak);
+    });
+    assert_eq!(core.run(100_000), RunExit::Halted);
+    assert_eq!(core.reg(Reg::S2), 0x5A5A);
+    assert!(core.reg(Reg::S3) >= 1, "SQ forward must be counted");
+}
+
+#[test]
+fn partial_overlap_stalls_instead_of_forwarding() {
+    // A byte store followed by a doubleword load of the same line must see
+    // the merged memory value, not a bogus forward.
+    let mut core = build(CoreConfig::xiangshan(), |a| {
+        a.li(Reg::T0, 0x8010_0000);
+        a.li(Reg::T1, 0x1111_2222_3333_4444u64);
+        a.sd(Reg::T1, Reg::T0, 0);
+        a.fence();
+        a.li(Reg::T2, 0xAB);
+        a.sb(Reg::T2, Reg::T0, 0);
+        a.ld(Reg::S2, Reg::T0, 0); // partial overlap: must wait for drain
+        a.inst(Inst::Ebreak);
+    });
+    assert_eq!(core.run(200_000), RunExit::Halted);
+    assert_eq!(core.reg(Reg::S2), 0x1111_2222_3333_44AB);
+}

@@ -1,0 +1,47 @@
+//! Full reproduction campaign: the paper's 585-case corpus against both
+//! BOOM-like and XiangShan-like designs, ending with the Table 3 matrix
+//! and a serialized JSON report.
+//!
+//! ```sh
+//! cargo run --release --example full_campaign            # 585 cases/design
+//! cargo run --release --example full_campaign -- 100     # smaller corpus
+//! ```
+
+use std::fs;
+
+use teesec::campaign::{vulnerability_matrix, Campaign};
+use teesec::fuzz::Fuzzer;
+use teesec_uarch::CoreConfig;
+
+fn main() {
+    let cases: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("case count must be a number"))
+        .unwrap_or(teesec::fuzz::PAPER_TEST_CASE_COUNT);
+
+    let mut results = Vec::new();
+    for design in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        println!("running {cases}-case campaign on `{}`...", design.name);
+        let (result, _) = Campaign::new(design, Fuzzer::with_target(cases)).run();
+        println!(
+            "  {} cases, {} leaking, classes: {:?}",
+            result.case_count,
+            result.leaking_cases().count(),
+            result.classes_found
+        );
+        println!(
+            "  phase costs: construct {} ms, simulate {} ms, check {} ms",
+            result.timing.construct_us / 1000,
+            result.timing.simulate_us / 1000,
+            result.timing.check_us / 1000
+        );
+        results.push(result);
+    }
+
+    println!("\n{}", vulnerability_matrix(&results.iter().collect::<Vec<_>>()));
+
+    let json = serde_json::to_string_pretty(&results).expect("serialize");
+    let path = "campaign_results.json";
+    fs::write(path, json).expect("write report");
+    println!("full per-case results written to {path}");
+}

@@ -1,0 +1,79 @@
+//! Mitigation ablation: sweep every Table 4 countermeasure on both designs
+//! and report (a) which vulnerability classes it eliminates and (b) what it
+//! costs in simulated cycles on a representative enclave workload — the
+//! performance question the paper leaves to future work (§8).
+//!
+//! ```sh
+//! cargo run --release --example mitigation_ablation -- 120
+//! ```
+
+use teesec::assemble::{assemble_case, CaseParams, Lifecycle};
+use teesec::campaign::Campaign;
+use teesec::fuzz::Fuzzer;
+use teesec::paths::AccessPath;
+use teesec::runner::run_case;
+use teesec_uarch::config::MitigationSet;
+use teesec_uarch::CoreConfig;
+
+fn variants() -> Vec<(&'static str, MitigationSet)> {
+    vec![
+        ("baseline", MitigationSet::default()),
+        ("flush_l1d", MitigationSet { flush_l1d_on_domain_switch: true, ..Default::default() }),
+        (
+            "flush_sb",
+            MitigationSet { flush_store_buffer_on_domain_switch: true, ..Default::default() },
+        ),
+        ("clear_illegal", MitigationSet { clear_illegal_data_returns: true, ..Default::default() }),
+        ("flush_lfb", MitigationSet { flush_lfb_on_domain_switch: true, ..Default::default() }),
+        (
+            "flush_bpu_hpc",
+            MitigationSet {
+                flush_bpu_on_domain_switch: true,
+                clear_hpc_on_domain_switch: true,
+                ..Default::default()
+            },
+        ),
+        ("serialize_pmp", MitigationSet { serialize_pmp_check: true, ..Default::default() }),
+        ("tag_bpu", MitigationSet { tag_bpu_with_domain: true, ..Default::default() }),
+        ("flush_everything", MitigationSet::flush_everything()),
+        ("all", MitigationSet::all()),
+    ]
+}
+
+/// Simulated cycles of a stop/resume-heavy enclave workload.
+fn workload_cycles(cfg: &CoreConfig) -> u64 {
+    let params = CaseParams {
+        lifecycle: Lifecycle::StopResumeStop,
+        warm_via_stores: true,
+        ..CaseParams::default()
+    };
+    let tc = assemble_case(AccessPath::LoadL1Hit, params, cfg).expect("workload");
+    run_case(&tc, cfg).expect("run").cycles
+}
+
+fn main() {
+    let cases: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    for base in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        println!("=== design: {} ({cases}-case corpus) ===", base.name);
+        let mut baseline_cycles = 0;
+        for (label, m) in variants() {
+            let cfg = base.clone().with_mitigations(m);
+            let (result, _) = Campaign::new(cfg.clone(), Fuzzer::with_target(cases)).run();
+            let cycles = workload_cycles(&cfg);
+            if label == "baseline" {
+                baseline_cycles = cycles;
+            }
+            let overhead = if baseline_cycles > 0 {
+                100.0 * (cycles as f64 - baseline_cycles as f64) / baseline_cycles as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{label:<18} classes {:<34} workload {:>7} cycles ({overhead:+6.1}%)",
+                format!("{:?}", result.classes_found),
+                cycles
+            );
+        }
+        println!();
+    }
+}

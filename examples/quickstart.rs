@@ -1,0 +1,41 @@
+//! Quickstart: profile a design, run a small TEESec campaign against it,
+//! and print every vulnerability class the checker uncovers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use teesec::campaign::Campaign;
+use teesec::fuzz::Fuzzer;
+use teesec::VerificationPlan;
+use teesec_uarch::CoreConfig;
+
+fn main() {
+    // 1. Pick a design under test: the BOOM-like preset (try
+    //    `CoreConfig::xiangshan()` for the other core, or build your own).
+    let design = CoreConfig::boom();
+
+    // 2. The verification plan profiles the microarchitecture: storage
+    //    elements, access paths and their permission-check policies, and
+    //    the TEE API surface.
+    let plan = VerificationPlan::profile(&design);
+    println!("verification plan for `{}`:", plan.design);
+    println!("  storage elements : {}", plan.storage.elements.len());
+    println!("  access paths     : {}", plan.path_count());
+    println!(
+        "  weakly checked   : {} (unchecked or lazily checked)",
+        plan.weakly_checked_paths().count()
+    );
+
+    // 3. Run a campaign: the fuzzer generates test cases from the gadget
+    //    catalog, each case executes on the simulated Keystone platform,
+    //    and the checker scans the trace for P1/P2 violations.
+    let (result, _) = Campaign::new(design, Fuzzer::with_target(60)).run();
+    println!("\ncampaign: {} cases, avg {} cycles/case", result.case_count, result.avg_cycles());
+    println!("vulnerability classes discovered:");
+    for class in &result.classes_found {
+        println!("  {class}: {}", class.description());
+    }
+    let leaking = result.leaking_cases().count();
+    println!("\n{leaking}/{} cases surfaced at least one classified leak.", result.case_count);
+}
