@@ -31,7 +31,10 @@ fn workload(cfg: &CoreConfig) -> teesec::TestCase {
     for k in 0..16u64 {
         tc.push(
             Actor::Host,
-            Step::Load { addr: teesec_tee::layout::SHARED_BASE + 64 * k, width: MemWidth::D },
+            Step::Load {
+                addr: teesec_tee::layout::SHARED_BASE + 64 * k,
+                width: MemWidth::D,
+            },
         );
     }
     tc
@@ -42,15 +45,24 @@ fn variants() -> Vec<(&'static str, MitigationSet)> {
         ("baseline", MitigationSet::default()),
         (
             "flush_l1d",
-            MitigationSet { flush_l1d_on_domain_switch: true, ..MitigationSet::default() },
+            MitigationSet {
+                flush_l1d_on_domain_switch: true,
+                ..MitigationSet::default()
+            },
         ),
         (
             "clear_illegal",
-            MitigationSet { clear_illegal_data_returns: true, ..MitigationSet::default() },
+            MitigationSet {
+                clear_illegal_data_returns: true,
+                ..MitigationSet::default()
+            },
         ),
         (
             "serialize_pmp",
-            MitigationSet { serialize_pmp_check: true, ..MitigationSet::default() },
+            MitigationSet {
+                serialize_pmp_check: true,
+                ..MitigationSet::default()
+            },
         ),
         ("flush_everything", MitigationSet::flush_everything()),
         ("all", MitigationSet::all()),
@@ -64,16 +76,12 @@ fn bench_mitigation_overhead(c: &mut Criterion) {
         for (label, m) in variants() {
             let cfg = base.clone().with_mitigations(m);
             let tc = workload(&cfg);
-            g.bench_with_input(
-                BenchmarkId::new(label, &base.name),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let out = run_case(&tc, cfg).expect("run");
-                        out.cycles // simulated cycles are the figure of merit
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, &base.name), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let out = run_case(&tc, cfg).expect("run");
+                    out.cycles // simulated cycles are the figure of merit
+                });
+            });
         }
     }
     g.finish();

@@ -42,14 +42,17 @@ fn bench_simulate(c: &mut Criterion) {
     g.sample_size(10);
     for cfg in configs() {
         // The Figure-5-style demand-load case: the workhorse of the corpus.
-        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg)
-            .expect("case");
-        g.bench_with_input(BenchmarkId::new("load_l1_hit", &cfg.name), &cfg, |b, cfg| {
-            b.iter(|| run_case(&tc, cfg).expect("run"));
-        });
+        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg).expect("case");
+        g.bench_with_input(
+            BenchmarkId::new("load_l1_hit", &cfg.name),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| run_case(&tc, cfg).expect("run"));
+            },
+        );
         // The most expensive case: the destroy-time scrub.
-        let scrub = assemble_case(AccessPath::SmScrub, CaseParams::default(), &cfg)
-            .expect("scrub case");
+        let scrub =
+            assemble_case(AccessPath::SmScrub, CaseParams::default(), &cfg).expect("scrub case");
         g.bench_with_input(BenchmarkId::new("sm_scrub", &cfg.name), &cfg, |b, cfg| {
             b.iter(|| run_case(&scrub, cfg).expect("run"));
         });
@@ -61,8 +64,7 @@ fn bench_check(c: &mut Criterion) {
     let mut g = c.benchmark_group("checker");
     g.sample_size(20);
     for cfg in configs() {
-        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg)
-            .expect("case");
+        let tc = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &cfg).expect("case");
         let outcome = run_case(&tc, &cfg).expect("run");
         g.bench_with_input(BenchmarkId::new("scan_trace", &cfg.name), &cfg, |b, cfg| {
             b.iter(|| check_case(&tc, &outcome, cfg));
@@ -71,5 +73,11 @@ fn bench_check(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_plan, bench_construct, bench_simulate, bench_check);
+criterion_group!(
+    benches,
+    bench_plan,
+    bench_construct,
+    bench_simulate,
+    bench_check
+);
 criterion_main!(benches);

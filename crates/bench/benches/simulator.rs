@@ -35,21 +35,17 @@ fn bench_core_throughput(c: &mut Criterion) {
     g.sample_size(10);
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         for (label, traced) in [("traced", true), ("untraced", false)] {
-            g.bench_with_input(
-                BenchmarkId::new(label, &cfg.name),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let (mem, base) = loop_image();
-                        let mut core = Core::new(cfg.clone(), mem, base);
-                        core.set_reg(Reg::SP, 0x8030_0000);
-                        core.trace.set_enabled(traced);
-                        core.run(1_000_000);
-                        assert!(core.halted);
-                        core.cycle
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, &cfg.name), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let (mem, base) = loop_image();
+                    let mut core = Core::new(cfg.clone(), mem, base);
+                    core.set_reg(Reg::SP, 0x8030_0000);
+                    core.trace.set_enabled(traced);
+                    core.run(1_000_000);
+                    assert!(core.halted);
+                    core.cycle
+                });
+            });
         }
     }
     g.finish();

@@ -35,14 +35,26 @@ fn run_on(cfg: &CoreConfig) {
         }
     }
     let report = check_case(&tc, &outcome, cfg);
-    let d1 = report.findings.iter().filter(|f| f.class == Some(teesec::LeakClass::D1)).count();
+    let d1 = report
+        .findings
+        .iter()
+        .filter(|f| f.class == Some(teesec::LeakClass::D1))
+        .count();
     println!(
         "  checker: {} finding(s), {} classified D1 -> {}",
         report.findings.len(),
         d1,
-        if d1 > 0 { "VULNERABLE (paper: BOOM vulnerable)" } else { "clean" }
+        if d1 > 0 {
+            "VULNERABLE (paper: BOOM vulnerable)"
+        } else {
+            "clean"
+        }
     );
-    if let Some(f) = report.findings.iter().find(|f| f.class == Some(teesec::LeakClass::D1)) {
+    if let Some(f) = report
+        .findings
+        .iter()
+        .find(|f| f.class == Some(teesec::LeakClass::D1))
+    {
         println!("\n{}", f.render_checker_log());
     }
 }

@@ -20,14 +20,28 @@ fn run_on(cfg: &CoreConfig) {
     let mut walk_fills = 0;
     for e in outcome.platform.core.trace.events() {
         match (&e.structure, &e.kind) {
-            (Structure::Lfb, TraceEventKind::Fill { addr, purpose: FillPurpose::PageWalk, .. }) => {
+            (
+                Structure::Lfb,
+                TraceEventKind::Fill {
+                    addr,
+                    purpose: FillPurpose::PageWalk,
+                    ..
+                },
+            ) => {
                 walk_fills += 1;
                 println!(
                     "  cycle {:>6}: PTW refill -> LFB line {:#x} (domain {:?})   [steps 4-7]",
                     e.cycle, addr, e.domain
                 );
             }
-            (Structure::L2, TraceEventKind::Fill { addr, purpose: FillPurpose::PageWalk, .. }) => {
+            (
+                Structure::L2,
+                TraceEventKind::Fill {
+                    addr,
+                    purpose: FillPurpose::PageWalk,
+                    ..
+                },
+            ) => {
                 println!(
                     "  cycle {:>6}: PTW refill -> L2 line {:#x} (domain {:?})",
                     e.cycle, addr, e.domain
@@ -41,7 +55,11 @@ fn run_on(cfg: &CoreConfig) {
         println!("  refill address before any request left the walker (XiangShan behaviour).");
     }
     let report = check_case(&tc, &outcome, cfg);
-    let d2 = report.findings.iter().filter(|f| f.class == Some(teesec::LeakClass::D2)).count();
+    let d2 = report
+        .findings
+        .iter()
+        .filter(|f| f.class == Some(teesec::LeakClass::D2))
+        .count();
     println!(
         "  checker: {} D2 finding(s) -> {}\n",
         d2,

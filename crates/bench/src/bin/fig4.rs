@@ -16,14 +16,22 @@ fn run_on(cfg: &CoreConfig) {
     let outcome = run_case(&tc, cfg).expect("build");
     println!("  sequence: Fill_Enc_Mem -> Run -> Stop -> Destroy (SM memset) -> host idles");
     println!("  enclave memory after the scrub (must be zero):");
-    let probe = tc.secrets.records().iter().find(|r| r.owner.is_enclave()).expect("secret");
+    let probe = tc
+        .secrets
+        .records()
+        .iter()
+        .find(|r| r.owner.is_enclave())
+        .expect("secret");
     println!(
         "    [{:#x}] = {:#x} (was {:#018x})",
         probe.addr,
         outcome.platform.core.mem.read_u64(probe.addr),
         probe.value
     );
-    println!("  line-fill buffer snapshot at test end (final domain: {:?}):", outcome.platform.core.domain);
+    println!(
+        "  line-fill buffer snapshot at test end (final domain: {:?}):",
+        outcome.platform.core.domain
+    );
     let mut secrets = tc.secrets.clone();
     secrets.reindex();
     let mut residual = 0;
@@ -42,7 +50,11 @@ fn run_on(cfg: &CoreConfig) {
         residual += hits.len();
     }
     let report = check_case(&tc, &outcome, cfg);
-    let d3 = report.findings.iter().filter(|f| f.class == Some(teesec::LeakClass::D3)).count();
+    let d3 = report
+        .findings
+        .iter()
+        .filter(|f| f.class == Some(teesec::LeakClass::D3))
+        .count();
     println!(
         "  checker: {residual} residual secret word(s) in the LFB, {d3} D3 finding(s) -> {}\n",
         if d3 > 0 {

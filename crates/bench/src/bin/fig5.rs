@@ -38,15 +38,24 @@ fn run_lane(cfg: &CoreConfig, warm: bool) {
         );
         loop {
             cycle += 1;
-            lsu.tick(cycle, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                cycle,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
             if !lsu.take_completions().is_empty() {
                 break;
             }
         }
     }
     // Protect the region, then probe it.
-    csr.pmp.program_napot(0, ADDR & !0xFFF, 0x1000, PmpCfg::napot(false, false, false));
-    csr.pmp.program_napot(1, 0, 1 << 48, PmpCfg::napot(true, true, true));
+    csr.pmp
+        .program_napot(0, ADDR & !0xFFF, 0x1000, PmpCfg::napot(false, false, false));
+    csr.pmp
+        .program_napot(1, 0, 1 << 48, PmpCfg::napot(true, true, true));
     let start = cycle;
     lsu.start_load(
         LoadRequest {
@@ -61,14 +70,27 @@ fn run_lane(cfg: &CoreConfig, warm: bool) {
     );
     let done = loop {
         cycle += 1;
-        lsu.tick(cycle, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+        lsu.tick(
+            cycle,
+            PrivLevel::Supervisor,
+            Domain::Untrusted,
+            &mut csr,
+            &mut mem,
+            &mut trace,
+        );
         let mut c = lsu.take_completions();
         if let Some(d) = c.pop() {
             break d;
         }
     };
     let t = done.timeline;
-    let rel = |c: u64| if c >= start { format!("C{}", c - start) } else { "-".into() };
+    let rel = |c: u64| {
+        if c >= start {
+            format!("C{}", c - start)
+        } else {
+            "-".into()
+        }
+    };
     println!(
         "  secret {} in L1D:",
         if warm { "IS    " } else { "is NOT" }
@@ -78,7 +100,11 @@ fn run_lane(cfg: &CoreConfig, warm: bool) {
         rel(t.tlb_req.max(start)),
         rel(t.tlb_resp),
         rel(t.perm_check),
-        if t.cache_req > 0 { rel(t.cache_req) } else { "-".into() },
+        if t.cache_req > 0 {
+            rel(t.cache_req)
+        } else {
+            "-".into()
+        },
         rel(t.cache_resp),
     );
     let verdict = if done.value == SECRET {

@@ -18,8 +18,13 @@ fn run_on(cfg: &CoreConfig) {
     // Calibration: run once without the interrupt to learn the cycle at
     // which the privileged counter read transiently writes back (execution
     // is deterministic), then aim the interrupt into the flush window.
-    let cal_params = CaseParams { restricted_counters: true, ..CaseParams::default() };
-    let Ok(cal_tc) = assemble_case(AccessPath::HpcRead, cal_params, cfg) else { return };
+    let cal_params = CaseParams {
+        restricted_counters: true,
+        ..CaseParams::default()
+    };
+    let Ok(cal_tc) = assemble_case(AccessPath::HpcRead, cal_params, cfg) else {
+        return;
+    };
     let cal = run_case(&cal_tc, cfg).expect("build");
     let windows: Vec<u64> = cal
         .platform
@@ -47,59 +52,58 @@ fn run_on(cfg: &CoreConfig) {
     let mut best: Option<(u64, usize)> = None;
     for &w in &windows {
         for delta in 0..3u64 {
-        let params = CaseParams {
-            restricted_counters: true,
-            irq_at: Some(w + delta),
-            ..CaseParams::default()
-        };
-        let Ok(tc) = assemble_case(AccessPath::HpcRead, params, cfg) else { continue };
-        let outcome = run_case(&tc, cfg).expect("build");
-        let report = check_case(&tc, &outcome, cfg);
-        let hits = report
-            .findings
-            .iter()
-            .filter(|f| f.class == Some(LeakClass::M1) && f.structure == Structure::StoreBuffer)
-            .count();
-        if hits > 0 {
-            // Show the chain for the first leaking timing.
-            if best.is_none() {
-                println!("  interrupt at cycle {}:", w + delta);
-                for e in outcome.platform.core.trace.events() {
-                    match (&e.structure, &e.kind) {
-                        (Structure::Hpc, TraceEventKind::Read { index, value })
-                            if e.priv_level
-                                != teesec_isa::priv_level::PrivLevel::Machine
-                                && *value > 0 =>
-                        {
-                            println!(
+            let params = CaseParams {
+                restricted_counters: true,
+                irq_at: Some(w + delta),
+                ..CaseParams::default()
+            };
+            let Ok(tc) = assemble_case(AccessPath::HpcRead, params, cfg) else {
+                continue;
+            };
+            let outcome = run_case(&tc, cfg).expect("build");
+            let report = check_case(&tc, &outcome, cfg);
+            let hits = report
+                .findings
+                .iter()
+                .filter(|f| f.class == Some(LeakClass::M1) && f.structure == Structure::StoreBuffer)
+                .count();
+            if hits > 0 {
+                // Show the chain for the first leaking timing.
+                if best.is_none() {
+                    println!("  interrupt at cycle {}:", w + delta);
+                    for e in outcome.platform.core.trace.events() {
+                        match (&e.structure, &e.kind) {
+                            (Structure::Hpc, TraceEventKind::Read { index, value })
+                                if e.priv_level != teesec_isa::priv_level::PrivLevel::Machine
+                                    && *value > 0 =>
+                            {
+                                println!(
                                 "    cycle {:>6}: transient read of hpmcounter{} = {} at priv {} (t1-t2)",
                                 e.cycle,
                                 index + 3,
                                 value,
                                 e.priv_level
                             );
-                        }
-                        (Structure::StoreBuffer, TraceEventKind::Write { value, .. })
-                            if *value > 0 && *value < 10_000 =>
-                        {
-                            println!(
+                            }
+                            (Structure::StoreBuffer, TraceEventKind::Write { value, .. })
+                                if *value > 0 && *value < 10_000 =>
+                            {
+                                println!(
                                 "    cycle {:>6}: context-save store of {:#x} entered the store buffer (t4-t5)",
                                 e.cycle, value
                             );
+                            }
+                            _ => {}
                         }
-                        _ => {}
+                    }
+                    if let Some(f) = report.findings.iter().find(|f| {
+                        f.class == Some(LeakClass::M1) && f.structure == Structure::StoreBuffer
+                    }) {
+                        println!("\n{}", f.render_checker_log());
                     }
                 }
-                if let Some(f) = report
-                    .findings
-                    .iter()
-                    .find(|f| f.class == Some(LeakClass::M1) && f.structure == Structure::StoreBuffer)
-                {
-                    println!("\n{}", f.render_checker_log());
-                }
+                best = Some((w + delta, hits));
             }
-            best = Some((w + delta, hits));
-        }
         }
     }
     match best {

@@ -22,11 +22,23 @@ fn run_on(cfg: &CoreConfig) {
     let branch_off = 0x400u64;
     let host_pc = layout::HOST_BASE + branch_off;
     let encl_pc = layout::enclave_base(0) + branch_off;
-    println!("  host branch PC    : {host_pc:#x}  (index {}, tag {:#x})", core.ubtb.index(host_pc), core.ubtb.tag(host_pc));
-    println!("  enclave branch PC : {encl_pc:#x}  (index {}, tag {:#x})", core.ubtb.index(encl_pc), core.ubtb.tag(encl_pc));
+    println!(
+        "  host branch PC    : {host_pc:#x}  (index {}, tag {:#x})",
+        core.ubtb.index(host_pc),
+        core.ubtb.tag(host_pc)
+    );
+    println!(
+        "  enclave branch PC : {encl_pc:#x}  (index {}, tag {:#x})",
+        core.ubtb.index(encl_pc),
+        core.ubtb.tag(encl_pc)
+    );
     println!(
         "  partial-tag collision: {}",
-        if core.ubtb.collides(host_pc, encl_pc) { "YES — same entry, same tag" } else { "no" }
+        if core.ubtb.collides(host_pc, encl_pc) {
+            "YES — same entry, same tag"
+        } else {
+            "no"
+        }
     );
 
     // What does the primed entry hold after the enclave ran?
@@ -40,7 +52,11 @@ fn run_on(cfg: &CoreConfig) {
     }
 
     let report = check_case(&tc, &outcome, cfg);
-    let m2 = report.findings.iter().filter(|f| f.class == Some(LeakClass::M2)).count();
+    let m2 = report
+        .findings
+        .iter()
+        .filter(|f| f.class == Some(LeakClass::M2))
+        .count();
     println!(
         "  checker: {m2} M2 finding(s) -> {}\n",
         if m2 > 0 {

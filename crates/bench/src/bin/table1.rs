@@ -12,12 +12,37 @@ fn main() {
         "Component", "Step", "Paper", "This repo"
     );
     let rows = [
-        ("Verification Plan", "Identifying storage elements", "auto", "auto"),
-        ("Verification Plan", "Listing memory access paths", "manual*", "auto"),
-        ("Verification Plan", "Listing TEE HW/SW APIs", "manual*", "auto"),
-        ("Gadget Constructor", "Access gadgets per access path", "manual", "auto"),
+        (
+            "Verification Plan",
+            "Identifying storage elements",
+            "auto",
+            "auto",
+        ),
+        (
+            "Verification Plan",
+            "Listing memory access paths",
+            "manual*",
+            "auto",
+        ),
+        (
+            "Verification Plan",
+            "Listing TEE HW/SW APIs",
+            "manual*",
+            "auto",
+        ),
+        (
+            "Gadget Constructor",
+            "Access gadgets per access path",
+            "manual",
+            "auto",
+        ),
         ("Gadget Constructor", "Test case assembly", "auto", "auto"),
-        ("TEESec Checker", "RTL simulation log analysis", "auto", "auto"),
+        (
+            "TEESec Checker",
+            "RTL simulation log analysis",
+            "auto",
+            "auto",
+        ),
         ("TEESec Checker", "Leakage discovery", "auto", "auto"),
     ];
     for (comp, step, paper, here) in rows {
@@ -35,5 +60,8 @@ fn main() {
         plan.api.len()
     );
     let catalog = teesec::gadgets::catalog();
-    println!("Gadget catalog: {} gadgets constructed programmatically.", catalog.len());
+    println!(
+        "Gadget catalog: {} gadgets constructed programmatically.",
+        catalog.len()
+    );
 }

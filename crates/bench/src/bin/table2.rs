@@ -16,7 +16,10 @@ fn main() {
     let setup = cat.iter().filter(|g| g.kind == GadgetKind::Setup).count();
     let helper = cat.iter().filter(|g| g.kind == GadgetKind::Helper).count();
     let access = cat.iter().filter(|g| g.kind == GadgetKind::Access).count();
-    println!("{:<12} {:>6} {:>6} {:>6} {:>6}", "Gadgets", "Setup", "Helper", "Access", "Total");
+    println!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6}",
+        "Gadgets", "Setup", "Helper", "Access", "Total"
+    );
     println!(
         "{:<12} {:>6} {:>6} {:>6} {:>6}",
         "No.",
@@ -27,7 +30,10 @@ fn main() {
     );
     println!("(paper: 8 setup, 12 helper, 15 access; 585 generated test cases)\n");
 
-    for cfg in [teesec_uarch::CoreConfig::boom(), teesec_uarch::CoreConfig::xiangshan()] {
+    for cfg in [
+        teesec_uarch::CoreConfig::boom(),
+        teesec_uarch::CoreConfig::xiangshan(),
+    ] {
         let name = cfg.name.clone();
         let result = teesec_bench::run_design(
             cfg,
@@ -39,11 +45,23 @@ fn main() {
             (t.construct_us + t.simulate_us + t.check_us) / result.case_count.max(1) as u128;
         println!("design: {name}");
         println!("  test cases generated/run : {}", result.case_count);
-        println!("  verification plan        : {:>10} us  (one-time, automated)", t.plan_us);
-        println!("  gadget construction      : {:>10} us  (~1 min in the paper)", t.construct_us);
+        println!(
+            "  verification plan        : {:>10} us  (one-time, automated)",
+            t.plan_us
+        );
+        println!(
+            "  gadget construction      : {:>10} us  (~1 min in the paper)",
+            t.construct_us
+        );
         println!("  simulation               : {:>10} us", t.simulate_us);
-        println!("  checker                  : {:>10} us  (~4 min in the paper)", t.check_us);
-        println!("  avg per test case        : {:>10} us  (~5 min in the paper)", per_case_us);
+        println!(
+            "  checker                  : {:>10} us  (~4 min in the paper)",
+            t.check_us
+        );
+        println!(
+            "  avg per test case        : {:>10} us  (~5 min in the paper)",
+            per_case_us
+        );
         println!("  avg simulated cycles/case: {:>10}", result.avg_cycles());
         println!();
     }

@@ -14,8 +14,11 @@ fn main() {
     let opts = teesec_bench::parse_args();
     teesec_bench::header("Table 3: enclave data/metadata leakage cases per design");
     let boom = teesec_bench::run_design(CoreConfig::boom(), MitigationSet::default(), opts.cases);
-    let xs =
-        teesec_bench::run_design(CoreConfig::xiangshan(), MitigationSet::default(), opts.cases);
+    let xs = teesec_bench::run_design(
+        CoreConfig::xiangshan(),
+        MitigationSet::default(),
+        opts.cases,
+    );
 
     println!("{}", vulnerability_matrix(&[&boom, &xs]));
     println!("Case descriptions:");

@@ -56,7 +56,10 @@ fn columns() -> Vec<Column> {
                 ..MitigationSet::default()
             },
         },
-        Column { label: "FlushEvery", mitigations: MitigationSet::flush_everything() },
+        Column {
+            label: "FlushEvery",
+            mitigations: MitigationSet::flush_everything(),
+        },
     ]
 }
 
@@ -66,8 +69,7 @@ fn main() {
 
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         let design = cfg.name.clone();
-        let baseline =
-            teesec_bench::run_design(cfg.clone(), MitigationSet::default(), opts.cases);
+        let baseline = teesec_bench::run_design(cfg.clone(), MitigationSet::default(), opts.cases);
         let cols = columns();
         let mut per_column: Vec<BTreeSet<LeakClass>> = Vec::new();
         for col in &cols {

@@ -45,11 +45,7 @@ pub fn parse_args() -> HarnessOpts {
 }
 
 /// Runs a campaign on one design with an optional mitigation set.
-pub fn run_design(
-    mut cfg: CoreConfig,
-    mitigations: MitigationSet,
-    cases: usize,
-) -> CampaignResult {
+pub fn run_design(mut cfg: CoreConfig, mitigations: MitigationSet, cases: usize) -> CampaignResult {
     cfg.mitigations = mitigations;
     let (result, _) = Campaign::new(cfg, Fuzzer::with_target(cases)).run();
     result

@@ -141,7 +141,11 @@ pub fn assemble_case(
         params.lifecycle,
         params.offset,
         params.width,
-        if params.warm_via_stores { "_st" } else { "_pre" },
+        if params.warm_via_stores {
+            "_st"
+        } else {
+            "_pre"
+        },
     );
     let mut tc = TestCase::new(name, path);
     tc.irq_at = params.irq_at;
@@ -185,7 +189,10 @@ fn validate_combo(path: AccessPath, p: &CaseParams) -> Result<(), SkipReason> {
     // An enclave attacker cannot probe a warmed-L1 state it can't arrange,
     // nor SM-internal paths.
     if p.attacker == Attacker::Enclave1
-        && matches!(path, PtwCached | PtwMemory | PtwPoisonedRoot | SmScrub | PrefetchNextLine)
+        && matches!(
+            path,
+            PtwCached | PtwMemory | PtwPoisonedRoot | SmScrub | PrefetchNextLine
+        )
     {
         return Err(SkipReason::InvalidCombo);
     }
@@ -197,7 +204,10 @@ fn validate_combo(path: AccessPath, p: &CaseParams) -> Result<(), SkipReason> {
     }
     // Host victim only for demand-load style probes.
     if p.victim == Victim::Host
-        && !matches!(path, LoadL1Hit | LoadL2Hit | LoadMemMiss | LoadMisaligned | InstFetch)
+        && !matches!(
+            path,
+            LoadL1Hit | LoadL2Hit | LoadMemMiss | LoadMisaligned | InstFetch
+        )
     {
         return Err(SkipReason::InvalidCombo);
     }
@@ -239,17 +249,33 @@ fn run_victim_enclave(
     match p.lifecycle {
         Lifecycle::Stop => {
             // Implicit terminator stops the enclave.
-            lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+            lc.apply(0, SbiCall::StopEnclave)
+                .map_err(|_| SkipReason::InvalidCombo)?;
         }
         Lifecycle::StopResumeStop => {
-            tc.push(Actor::Enclave(0), Step::Sbi { call: SbiCall::StopEnclave, enclave: 0 });
-            lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+            tc.push(
+                Actor::Enclave(0),
+                Step::Sbi {
+                    call: SbiCall::StopEnclave,
+                    enclave: 0,
+                },
+            );
+            lc.apply(0, SbiCall::StopEnclave)
+                .map_err(|_| SkipReason::InvalidCombo)?;
             sbi(tc, lc, SbiCall::ResumeEnclave, 0)?;
-            lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+            lc.apply(0, SbiCall::StopEnclave)
+                .map_err(|_| SkipReason::InvalidCombo)?;
         }
         Lifecycle::Exit => {
-            tc.push(Actor::Enclave(0), Step::Sbi { call: SbiCall::ExitEnclave, enclave: 0 });
-            lc.apply(0, SbiCall::ExitEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+            tc.push(
+                Actor::Enclave(0),
+                Step::Sbi {
+                    call: SbiCall::ExitEnclave,
+                    enclave: 0,
+                },
+            );
+            lc.apply(0, SbiCall::ExitEnclave)
+                .map_err(|_| SkipReason::InvalidCombo)?;
         }
     }
     Ok(())
@@ -262,7 +288,8 @@ fn sbi(
     call: SbiCall,
     enclave: u64,
 ) -> Result<(), SkipReason> {
-    lc.apply(enclave as usize, call).map_err(|_| SkipReason::InvalidCombo)?;
+    lc.apply(enclave as usize, call)
+        .map_err(|_| SkipReason::InvalidCombo)?;
     tc.push(Actor::Host, Step::Sbi { call, enclave });
     Ok(())
 }
@@ -276,17 +303,36 @@ fn emit_probe(tc: &mut TestCase, path: AccessPath, p: &CaseParams, addr: u64) {
     };
     match path {
         AccessPath::LoadMisaligned => {
-            tc.push(actor, Step::Load { addr: addr + 3, width: p.width });
+            tc.push(
+                actor,
+                Step::Load {
+                    addr: addr + 3,
+                    width: p.width,
+                },
+            );
             tc.push(actor, Step::ConsumeLast);
         }
         AccessPath::StoreL1Hit | AccessPath::StoreMiss => {
-            tc.push(actor, Step::Store { addr, value: 0x4141_4141, width: p.width });
+            tc.push(
+                actor,
+                Step::Store {
+                    addr,
+                    value: 0x4141_4141,
+                    width: p.width,
+                },
+            );
         }
         AccessPath::InstFetch => {
             tc.push(actor, Step::FetchProbe { addr });
         }
         _ => {
-            tc.push(actor, Step::Load { addr, width: p.width });
+            tc.push(
+                actor,
+                Step::Load {
+                    addr,
+                    width: p.width,
+                },
+            );
             tc.push(actor, Step::ConsumeLast);
         }
     }
@@ -301,7 +347,8 @@ fn dispatch_attacker(
     if p.attacker == Attacker::Enclave1 {
         sbi(tc, lc, SbiCall::CreateEnclave, 1)?;
         sbi(tc, lc, SbiCall::RunEnclave, 1)?;
-        lc.apply(1, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+        lc.apply(1, SbiCall::StopEnclave)
+            .map_err(|_| SkipReason::InvalidCombo)?;
     }
     Ok(())
 }
@@ -370,7 +417,8 @@ fn assemble_sb_case(
     gadgets::fill_enc_mem(tc, 0, p.offset, 8);
     sbi(tc, lc, SbiCall::CreateEnclave, 0)?;
     sbi(tc, lc, SbiCall::RunEnclave, 0)?;
-    lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+    lc.apply(0, SbiCall::StopEnclave)
+        .map_err(|_| SkipReason::InvalidCombo)?;
     // Probe the *last* store (deepest in the buffer).
     let addr = layout::enclave_data(0) + p.offset + 8 * 7;
     emit_probe(tc, AccessPath::LoadSbForward, p, addr);
@@ -393,7 +441,13 @@ fn assemble_ptw_legal_case(
             let addr = layout::enclave_data(0) + p.offset;
             if path == AccessPath::PtwCached {
                 // Prime the PTW cache with a neighbouring translation first.
-                tc.push(Actor::Host, Step::Load { addr: addr ^ 0x1000, width: MemWidth::D });
+                tc.push(
+                    Actor::Host,
+                    Step::Load {
+                        addr: addr ^ 0x1000,
+                        width: MemWidth::D,
+                    },
+                );
             }
             emit_probe(tc, path, p, addr);
         }
@@ -429,7 +483,13 @@ fn assemble_ptw_poisoned_case(
     // on the seeded secret: pte_addr = root + vpn2 * 8 (paper Figure 3's
     // `LD a5, Arb_Addr`). The VA is never mapped, so the TLB misses.
     let vpn2 = (secret_addr & 0xFFF) / 8;
-    tc.push(Actor::Host, Step::Load { addr: vpn2 << 30, width: MemWidth::D });
+    tc.push(
+        Actor::Host,
+        Step::Load {
+            addr: vpn2 << 30,
+            width: MemWidth::D,
+        },
+    );
     gadgets::restore_satp(tc);
     Ok(())
 }
@@ -443,9 +503,16 @@ fn assemble_prefetch_case(
     // Secrets live in the *first* line of the enclave region; the enclave
     // never executes (a created-but-not-run enclave, as in Figure 2).
     for k in 0..SECRET_COUNT {
-        tc.secrets.seed(layout::enclave_base(0) + 8 * k, Domain::Enclave(0));
+        tc.secrets
+            .seed(layout::enclave_base(0) + 8 * k, Domain::Enclave(0));
     }
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave: 0 });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::CreateEnclave,
+            enclave: 0,
+        },
+    );
     gadgets::touch_page_boundary(tc, 0);
     // Give the asynchronous prefetch time to land before the test ends.
     gadgets::spin_delay(tc, Actor::Host, 64);
@@ -487,7 +554,8 @@ fn assemble_hpc_case(
     gadgets::enc_branch(tc, 0, 0x200, true);
     sbi(tc, lc, SbiCall::CreateEnclave, 0)?;
     sbi(tc, lc, SbiCall::RunEnclave, 0)?;
-    lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+    lc.apply(0, SbiCall::StopEnclave)
+        .map_err(|_| SkipReason::InvalidCombo)?;
     if p.restricted_counters {
         // Figure 6 variant: counters privileged; the read transiently
         // writes back; an interrupt spills the context through the store
@@ -497,7 +565,13 @@ fn assemble_hpc_case(
         gadgets::read_perf_counters(tc, Actor::Host, cfg.hpm_counters.min(2));
         // Probe the interrupt save slot of a5 (x15).
         let slot = layout::SM_SCRATCH + layout::scratch::IRQ_SAVE + (15 - 1) * 8;
-        tc.push(Actor::Host, Step::Load { addr: slot, width: MemWidth::D });
+        tc.push(
+            Actor::Host,
+            Step::Load {
+                addr: slot,
+                width: MemWidth::D,
+            },
+        );
         tc.push(Actor::Host, Step::ConsumeLast);
     } else {
         gadgets::read_perf_counters(tc, Actor::Host, cfg.hpm_counters);
@@ -519,7 +593,8 @@ fn assemble_btb_case(
     gadgets::enc_branch(tc, 0, branch_off, true);
     sbi(tc, lc, SbiCall::CreateEnclave, 0)?;
     sbi(tc, lc, SbiCall::RunEnclave, 0)?;
-    lc.apply(0, SbiCall::StopEnclave).map_err(|_| SkipReason::InvalidCombo)?;
+    lc.apply(0, SbiCall::StopEnclave)
+        .map_err(|_| SkipReason::InvalidCombo)?;
     // Probe: the host branch again, timing it.
     gadgets::read_cycle(tc, Actor::Host);
     Ok(())
@@ -550,15 +625,18 @@ mod tests {
         let xs = CoreConfig::xiangshan();
         assert!(assemble_case(AccessPath::LoadSbForward, CaseParams::default(), &xs).is_ok());
         assert_eq!(
-            assemble_case(AccessPath::LoadSbForward, CaseParams::default(), &boom())
-                .err(),
+            assemble_case(AccessPath::LoadSbForward, CaseParams::default(), &boom()).err(),
             Some(SkipReason::PathAbsent)
         );
     }
 
     #[test]
     fn invalid_combos_are_pruned() {
-        let p = CaseParams { victim: Victim::Host, attacker: Attacker::Host, ..Default::default() };
+        let p = CaseParams {
+            victim: Victim::Host,
+            attacker: Attacker::Host,
+            ..Default::default()
+        };
         assert_eq!(
             assemble_case(AccessPath::LoadL1Hit, p, &boom()).err(),
             Some(SkipReason::InvalidCombo)
@@ -576,9 +654,15 @@ mod tests {
     #[test]
     fn d6_and_d7_directions_assemble() {
         // D6: enclave 1 probes enclave 0.
-        let p = CaseParams { attacker: Attacker::Enclave1, ..Default::default() };
+        let p = CaseParams {
+            attacker: Attacker::Enclave1,
+            ..Default::default()
+        };
         let tc = assemble_case(AccessPath::LoadMemMiss, p, &boom()).expect("D6 case");
-        assert!(!tc.enclave_steps[1].is_empty(), "attacker enclave has a program");
+        assert!(
+            !tc.enclave_steps[1].is_empty(),
+            "attacker enclave has a program"
+        );
         // D7: enclave 1 probes host data.
         let p = CaseParams {
             victim: Victim::Host,
@@ -586,13 +670,20 @@ mod tests {
             ..Default::default()
         };
         let tc = assemble_case(AccessPath::LoadMemMiss, p, &boom()).expect("D7 case");
-        assert!(tc.secrets.records().iter().any(|r| r.owner == Domain::Untrusted));
+        assert!(tc
+            .secrets
+            .records()
+            .iter()
+            .any(|r| r.owner == Domain::Untrusted));
     }
 
     #[test]
     fn lifecycle_variants_produce_valid_sequences() {
         for lifecycle in [Lifecycle::Stop, Lifecycle::StopResumeStop, Lifecycle::Exit] {
-            let p = CaseParams { lifecycle, ..Default::default() };
+            let p = CaseParams {
+                lifecycle,
+                ..Default::default()
+            };
             assemble_case(AccessPath::LoadL1Hit, p, &boom())
                 .unwrap_or_else(|e| panic!("{lifecycle:?}: {e:?}"));
         }
@@ -615,7 +706,10 @@ mod tests {
         let a = assemble_case(AccessPath::LoadL1Hit, CaseParams::default(), &boom()).unwrap();
         let b = assemble_case(
             AccessPath::LoadL1Hit,
-            CaseParams { offset: 8, ..Default::default() },
+            CaseParams {
+                offset: 8,
+                ..Default::default()
+            },
             &boom(),
         )
         .unwrap();

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 use teesec::assemble::{assemble_case, CaseParams};
 use teesec::campaign::{vulnerability_matrix, Campaign};
 use teesec::checker::check_case;
+use teesec::engine::{EngineOptions, EventSink};
 use teesec::fuzz::Fuzzer;
 use teesec::gadgets::{catalog, GadgetKind};
 use teesec::paths::AccessPath;
@@ -29,6 +30,7 @@ fn usage() -> ExitCode {
         "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
          teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
+         \x20               [--events FILE] [--case-cycle-budget N] [--quiet]\n  \
          teesec matrix [--cases N]"
     );
     ExitCode::from(2)
@@ -42,6 +44,9 @@ struct Opts {
     simlog: Option<String>,
     checker_log: Option<String>,
     output: Option<String>,
+    events: Option<String>,
+    case_cycle_budget: Option<u64>,
+    quiet: bool,
     positional: Vec<String>,
 }
 
@@ -49,11 +54,16 @@ fn parse(args: &[String]) -> Option<Opts> {
     let mut o = Opts {
         design: CoreConfig::boom(),
         cases: 250,
-        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         json: false,
         simlog: None,
         checker_log: None,
         output: None,
+        events: None,
+        case_cycle_budget: None,
+        quiet: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -91,6 +101,15 @@ fn parse(args: &[String]) -> Option<Opts> {
                 i += 1;
                 o.output = Some(args.get(i)?.clone());
             }
+            "--events" => {
+                i += 1;
+                o.events = Some(args.get(i)?.clone());
+            }
+            "--case-cycle-budget" => {
+                i += 1;
+                o.case_cycle_budget = Some(args.get(i)?.parse().ok()?);
+            }
+            "--quiet" => o.quiet = true,
             p if !p.starts_with('-') => o.positional.push(p.to_string()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -104,8 +123,12 @@ fn parse(args: &[String]) -> Option<Opts> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else { return usage() };
-    let Some(opts) = parse(&args[1..]) else { return usage() };
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let Some(opts) = parse(&args[1..]) else {
+        return usage();
+    };
     match cmd.as_str() {
         "list-gadgets" => cmd_list_gadgets(),
         "plan" => cmd_plan(&opts),
@@ -117,9 +140,8 @@ fn main() -> ExitCode {
 }
 
 fn cmd_list_gadgets() -> ExitCode {
-    let by_kind: BTreeMap<&str, Vec<&str>> = catalog().into_iter().fold(
-        BTreeMap::new(),
-        |mut m, g| {
+    let by_kind: BTreeMap<&str, Vec<&str>> =
+        catalog().into_iter().fold(BTreeMap::new(), |mut m, g| {
             let k = match g.kind {
                 GadgetKind::Setup => "setup",
                 GadgetKind::Helper => "helper",
@@ -127,8 +149,7 @@ fn cmd_list_gadgets() -> ExitCode {
             };
             m.entry(k).or_default().push(g.name);
             m
-        },
-    );
+        });
     for (kind, names) in by_kind {
         println!("[{kind}]");
         for n in names {
@@ -145,7 +166,10 @@ fn cmd_list_gadgets() -> ExitCode {
 fn cmd_plan(opts: &Opts) -> ExitCode {
     let plan = VerificationPlan::profile(&opts.design);
     if opts.json {
-        println!("{}", serde_json::to_string_pretty(&plan).expect("serialize"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&plan).expect("serialize")
+        );
         return ExitCode::SUCCESS;
     }
     println!("verification plan: {}", plan.design);
@@ -157,8 +181,16 @@ fn cmd_plan(opts: &Opts) -> ExitCode {
             e.entries,
             e.entry_bytes,
             e.content,
-            if e.implicit_fill { "  implicit-fill" } else { "" },
-            if e.flushed_on_domain_switch { "  flushed-on-switch" } else { "" },
+            if e.implicit_fill {
+                "  implicit-fill"
+            } else {
+                ""
+            },
+            if e.flushed_on_domain_switch {
+                "  flushed-on-switch"
+            } else {
+                ""
+            },
         );
     }
     println!("\naccess paths:");
@@ -178,7 +210,11 @@ fn cmd_plan(opts: &Opts) -> ExitCode {
             a.call,
             if a.from_enclave { "enclave" } else { "host" },
             a.legal_from,
-            if a.switches_domain { "  [domain switch]" } else { "" },
+            if a.switches_domain {
+                "  [domain switch]"
+            } else {
+                ""
+            },
         );
     }
     ExitCode::SUCCESS
@@ -211,9 +247,16 @@ fn cmd_run(opts: &Opts) -> ExitCode {
     if report.clean() {
         println!("checker: no violations found");
     } else {
-        println!("checker: {} finding(s), classes {:?}", report.findings.len(), report.classes());
-        let rendered: String =
-            report.findings.iter().map(|f| f.render_checker_log() + "\n").collect();
+        println!(
+            "checker: {} finding(s), classes {:?}",
+            report.findings.len(),
+            report.classes()
+        );
+        let rendered: String = report
+            .findings
+            .iter()
+            .map(|f| f.render_checker_log() + "\n")
+            .collect();
         match &opts.checker_log {
             Some(p) => {
                 fs::write(p, &rendered).expect("write checker log");
@@ -230,16 +273,38 @@ fn cmd_run(opts: &Opts) -> ExitCode {
 }
 
 fn cmd_campaign(opts: &Opts) -> ExitCode {
+    let events = match &opts.events {
+        Some(p) => match EventSink::file(p) {
+            Ok(sink) => Some(sink),
+            Err(e) => {
+                eprintln!("cannot open event stream `{p}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let campaign =
         Campaign::new(opts.design.clone(), Fuzzer::with_target(opts.cases)).keep_reports();
-    let (result, reports) = campaign.run_parallel(opts.threads);
+    let (result, reports) = campaign.run_engine(EngineOptions {
+        threads: opts.threads,
+        case_cycle_budget: opts.case_cycle_budget,
+        keep_reports: true,
+        progress: !opts.quiet,
+        events,
+    });
+    let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
-        "{}: {} cases, {} leaking, classes {:?}",
+        "{}: {} cases, {} leaking, {} quarantined, {} over budget, classes {:?}",
         result.design,
         result.case_count,
         result.leaking_cases().count(),
+        metrics.cases_quarantined,
+        metrics.cases_budget_exceeded,
         result.classes_found
     );
+    if let Some(p) = &opts.events {
+        println!("event stream written to {p}");
+    }
     if let Some(p) = &opts.output {
         let blob = serde_json::json!({ "summary": result, "reports": reports });
         fs::write(p, serde_json::to_string_pretty(&blob).expect("serialize")).expect("write");

@@ -9,12 +9,11 @@ use serde::{Deserialize, Serialize};
 
 use teesec_uarch::config::CoreConfig;
 
-use crate::checker::check_case;
+use crate::engine::{execute_case, Engine, EngineMetrics, EngineOptions};
 use crate::fuzz::Fuzzer;
 use crate::paths::AccessPath;
 use crate::plan::VerificationPlan;
 use crate::report::{CheckReport, LeakClass};
-use crate::runner::run_case;
 
 /// Summary of one executed + checked case.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -31,6 +30,9 @@ pub struct CaseResult {
     pub classes: BTreeSet<LeakClass>,
     /// Total findings (including unclassified principle violations).
     pub finding_count: usize,
+    /// Why the case was quarantined (build error or panic), if it was.
+    /// Quarantined cases report zero cycles and no findings.
+    pub error: Option<String>,
 }
 
 /// Wall-clock cost of each campaign phase (the Table 2 shape).
@@ -60,6 +62,8 @@ pub struct CampaignResult {
     pub classes_found: BTreeSet<LeakClass>,
     /// Phase costs.
     pub timing: PhaseTiming,
+    /// Engine observability; `None` for the serial reference path.
+    pub engine: Option<EngineMetrics>,
 }
 
 impl CampaignResult {
@@ -71,6 +75,11 @@ impl CampaignResult {
     /// Cases that uncovered at least one classified leak.
     pub fn leaking_cases(&self) -> impl Iterator<Item = &CaseResult> {
         self.cases.iter().filter(|c| !c.classes.is_empty())
+    }
+
+    /// Cases quarantined by fault isolation (build error or panic).
+    pub fn quarantined_cases(&self) -> impl Iterator<Item = &CaseResult> {
+        self.cases.iter().filter(|c| c.error.is_some())
     }
 
     /// Average simulated cycles per case.
@@ -104,7 +113,11 @@ pub struct Campaign {
 impl Campaign {
     /// A campaign over `cfg` with the given fuzzer.
     pub fn new(cfg: CoreConfig, fuzzer: Fuzzer) -> Campaign {
-        Campaign { cfg, fuzzer, keep_reports: false }
+        Campaign {
+            cfg,
+            fuzzer,
+            keep_reports: false,
+        }
     }
 
     /// Also retain full per-case reports (memory-heavier).
@@ -118,126 +131,69 @@ impl Campaign {
         &self.cfg
     }
 
-    /// Runs the campaign across `threads` worker threads. Cases are
+    /// Profiles the plan and generates the corpus, returning it with a
+    /// [`PhaseTiming`] carrying those two phases' costs.
+    fn prepare(&self) -> (Vec<crate::testcase::TestCase>, PhaseTiming) {
+        let t0 = Instant::now();
+        let _plan = VerificationPlan::profile(&self.cfg);
+        let plan_us = t0.elapsed().as_micros();
+
+        let t1 = Instant::now();
+        let corpus = self.fuzzer.generate(&self.cfg);
+        let construct_us = t1.elapsed().as_micros();
+        (
+            corpus,
+            PhaseTiming {
+                plan_us,
+                construct_us,
+                simulate_us: 0,
+                check_us: 0,
+            },
+        )
+    }
+
+    /// Runs the campaign on the work-stealing [`Engine`] with full control
+    /// over isolation, watchdog, and observability options.
+    /// `opts.keep_reports` is overridden by [`Campaign::keep_reports`].
+    ///
+    /// The returned result equals [`Campaign::run`]'s at any thread count,
+    /// modulo `timing` and the attached [`EngineMetrics`].
+    pub fn run_engine(&self, mut opts: EngineOptions) -> (CampaignResult, Vec<CheckReport>) {
+        let (corpus, timing) = self.prepare();
+        opts.keep_reports = self.keep_reports;
+        Engine::new(self.cfg.clone(), opts).run_corpus(&corpus, timing)
+    }
+
+    /// Runs the campaign across `threads` engine workers. Cases are
     /// independent (each builds its own platform), so results are identical
     /// to [`Campaign::run`] — only wall-clock changes. Per-phase timing is
     /// summed across workers (CPU time, not wall time).
     pub fn run_parallel(&self, threads: usize) -> (CampaignResult, Vec<CheckReport>) {
-        let threads = threads.max(1);
-        let t0 = Instant::now();
-        let _plan = VerificationPlan::profile(&self.cfg);
-        let plan_us = t0.elapsed().as_micros();
-        let t1 = Instant::now();
-        let corpus = self.fuzzer.generate(&self.cfg);
-        let construct_us = t1.elapsed().as_micros();
-
-        let chunk = corpus.len().div_ceil(threads);
-        let mut slots: Vec<Vec<(usize, CaseResult, Option<CheckReport>, u128, u128)>> =
-            Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (w, part) in corpus.chunks(chunk.max(1)).enumerate() {
-                let cfg = &self.cfg;
-                let keep = self.keep_reports;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::with_capacity(part.len());
-                    for (k, tc) in part.iter().enumerate() {
-                        let t2 = Instant::now();
-                        let outcome = run_case(tc, cfg)
-                            .unwrap_or_else(|e| panic!("case {} failed to build: {e}", tc.name));
-                        let sim = t2.elapsed().as_micros();
-                        let t3 = Instant::now();
-                        let report = check_case(tc, &outcome, cfg);
-                        let chk = t3.elapsed().as_micros();
-                        let classes = report.classes();
-                        out.push((
-                            w * chunk + k,
-                            CaseResult {
-                                name: tc.name.clone(),
-                                path: tc.path,
-                                cycles: outcome.cycles,
-                                halted: outcome.exit == teesec_uarch::RunExit::Halted,
-                                classes,
-                                finding_count: report.findings.len(),
-                            },
-                            keep.then_some(report),
-                            sim,
-                            chk,
-                        ));
-                    }
-                    out
-                }));
-            }
-            for h in handles {
-                slots.push(h.join().expect("campaign worker panicked"));
-            }
-        });
-        let mut flat: Vec<_> = slots.into_iter().flatten().collect();
-        flat.sort_by_key(|(i, ..)| *i);
-        let mut classes_found = BTreeSet::new();
-        let mut cases = Vec::with_capacity(flat.len());
-        let mut reports = Vec::new();
-        let (mut simulate_us, mut check_us) = (0u128, 0u128);
-        for (_, cr, rep, sim, chk) in flat {
-            classes_found.extend(cr.classes.iter().copied());
-            cases.push(cr);
-            if let Some(r) = rep {
-                reports.push(r);
-            }
-            simulate_us += sim;
-            check_us += chk;
-        }
-        (
-            CampaignResult {
-                design: self.cfg.name.clone(),
-                case_count: cases.len(),
-                cases,
-                classes_found,
-                timing: PhaseTiming { plan_us, construct_us, simulate_us, check_us },
-            },
-            reports,
-        )
+        self.run_engine(EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        })
     }
 
-    /// Runs the whole campaign. Returns the aggregate result and, when
+    /// Runs the whole campaign serially — the reference implementation the
+    /// engine is checked against. Returns the aggregate result and, when
     /// [`Campaign::keep_reports`] was requested, the per-case reports.
+    ///
+    /// Cases that fail to build or panic are quarantined into
+    /// [`CaseResult::error`], exactly as the engine does.
     pub fn run(&self) -> (CampaignResult, Vec<CheckReport>) {
-        let t0 = Instant::now();
-        let _plan = VerificationPlan::profile(&self.cfg);
-        let plan_us = t0.elapsed().as_micros();
-
-        let t1 = Instant::now();
-        let corpus = self.fuzzer.generate(&self.cfg);
-        let construct_us = t1.elapsed().as_micros();
+        let (corpus, mut timing) = self.prepare();
 
         let mut cases = Vec::with_capacity(corpus.len());
         let mut classes_found = BTreeSet::new();
         let mut reports = Vec::new();
-        let mut simulate_us = 0u128;
-        let mut check_us = 0u128;
         for tc in &corpus {
-            let t2 = Instant::now();
-            let outcome = match run_case(tc, &self.cfg) {
-                Ok(o) => o,
-                Err(e) => panic!("test case {} failed to build: {e}", tc.name),
-            };
-            simulate_us += t2.elapsed().as_micros();
-
-            let t3 = Instant::now();
-            let report = check_case(tc, &outcome, &self.cfg);
-            check_us += t3.elapsed().as_micros();
-
-            let classes = report.classes();
-            classes_found.extend(classes.iter().copied());
-            cases.push(CaseResult {
-                name: tc.name.clone(),
-                path: tc.path,
-                cycles: outcome.cycles,
-                halted: outcome.exit == teesec_uarch::RunExit::Halted,
-                classes,
-                finding_count: report.findings.len(),
-            });
-            if self.keep_reports {
+            let exec = execute_case(tc, &self.cfg, self.keep_reports, None);
+            timing.simulate_us += exec.simulate_us;
+            timing.check_us += exec.check_us;
+            classes_found.extend(exec.result.classes.iter().copied());
+            cases.push(exec.result);
+            if let Some(report) = exec.report {
                 reports.push(report);
             }
         }
@@ -247,7 +203,8 @@ impl Campaign {
                 case_count: cases.len(),
                 cases,
                 classes_found,
-                timing: PhaseTiming { plan_us, construct_us, simulate_us, check_us },
+                timing,
+                engine: None,
             },
             reports,
         )
@@ -302,7 +259,11 @@ mod tests {
         let names_p: Vec<_> = parallel.cases.iter().map(|c| &c.name).collect();
         assert_eq!(names_p, names_s, "case order preserved");
         for (a, b) in serial.cases.iter().zip(&parallel.cases) {
-            assert_eq!(a.cycles, b.cycles, "simulation is deterministic: {}", a.name);
+            assert_eq!(
+                a.cycles, b.cycles,
+                "simulation is deterministic: {}",
+                a.name
+            );
             assert_eq!(a.classes, b.classes);
         }
     }

@@ -114,27 +114,36 @@ fn scan_trace(
             (Structure::RegFile, TraceEventKind::Write { value, .. }) => {
                 if let Some(rec) = secrets.identify(*value) {
                     if !authorized(rec.owner, e.domain) {
-                        let class =
-                            classify_rf(rec.owner, e.domain, sb_forwarded.contains(value));
-                        push(findings, Finding {
-                            class,
-                            principle: Principle::P1,
-                            structure: Structure::RegFile,
-                            cycle: e.cycle,
-                            pc: e.pc,
-                            secret: Some(rec),
-                            observer: e.domain,
-                            detail: format!(
-                                "secret written back to the register file in {:?} domain \
+                        let class = classify_rf(rec.owner, e.domain, sb_forwarded.contains(value));
+                        push(
+                            findings,
+                            Finding {
+                                class,
+                                principle: Principle::P1,
+                                structure: Structure::RegFile,
+                                cycle: e.cycle,
+                                pc: e.pc,
+                                secret: Some(rec),
+                                observer: e.domain,
+                                detail: format!(
+                                    "secret written back to the register file in {:?} domain \
                                  (owner {:?})",
-                                e.domain, rec.owner
-                            ),
-                        });
+                                    e.domain, rec.owner
+                                ),
+                            },
+                        );
                     }
                 }
             }
             // ---- P1: secrets arriving in fill buffers / caches -------------
-            (s @ (Structure::Lfb | Structure::L1d | Structure::L2), TraceEventKind::Fill { addr, data, purpose }) => {
+            (
+                s @ (Structure::Lfb | Structure::L1d | Structure::L2),
+                TraceEventKind::Fill {
+                    addr,
+                    data,
+                    purpose,
+                },
+            ) => {
                 for (off, rec) in secrets.scan_bytes(data) {
                     if authorized(rec.owner, e.domain) {
                         continue;
@@ -152,20 +161,23 @@ fn scan_trace(
                     } else {
                         None
                     };
-                    push(findings, Finding {
-                        class,
-                        principle: Principle::P1,
-                        structure: *s,
-                        cycle: e.cycle,
-                        pc: e.pc,
-                        secret: Some(rec),
-                        observer: e.domain,
-                        detail: format!(
-                            "{:?}-initiated fill of line {:#x} carried the secret at byte \
+                    push(
+                        findings,
+                        Finding {
+                            class,
+                            principle: Principle::P1,
+                            structure: *s,
+                            cycle: e.cycle,
+                            pc: e.pc,
+                            secret: Some(rec),
+                            observer: e.domain,
+                            detail: format!(
+                                "{:?}-initiated fill of line {:#x} carried the secret at byte \
                              offset {off} while executing in {:?} domain",
-                            purpose, addr, e.domain
-                        ),
-                    });
+                                purpose, addr, e.domain
+                            ),
+                        },
+                    );
                 }
             }
             // ---- P2: performance counters ---------------------------------
@@ -178,30 +190,32 @@ fn scan_trace(
             (Structure::Hpc, TraceEventKind::Flush) => {
                 tainted.iter_mut().for_each(|t| *t = false);
             }
-            (Structure::Hpc, TraceEventKind::Write { index, value, .. })
-                if *value == 0 => {
-                    if let Some(t) = tainted.get_mut(*index as usize) {
-                        *t = false;
-                    }
+            (Structure::Hpc, TraceEventKind::Write { index, value, .. }) if *value == 0 => {
+                if let Some(t) = tainted.get_mut(*index as usize) {
+                    *t = false;
                 }
+            }
             (Structure::Hpc, TraceEventKind::Read { index, value }) => {
                 let i = *index as usize;
                 if e.domain == Domain::Untrusted && i < tainted.len() && tainted[i] && *value > 0 {
-                    push(findings, Finding {
-                        class: Some(LeakClass::M1),
-                        principle: Principle::P2,
-                        structure: Structure::Hpc,
-                        cycle: e.cycle,
-                        pc: e.pc,
-                        secret: None,
-                        observer: e.domain,
-                        detail: format!(
-                            "hpmcounter{} read {} events accumulated during trusted \
+                    push(
+                        findings,
+                        Finding {
+                            class: Some(LeakClass::M1),
+                            principle: Principle::P2,
+                            structure: Structure::Hpc,
+                            cycle: e.cycle,
+                            pc: e.pc,
+                            secret: None,
+                            observer: e.domain,
+                            detail: format!(
+                                "hpmcounter{} read {} events accumulated during trusted \
                              execution; counters are not reset at enclave boundaries",
-                            i + 3,
-                            value
-                        ),
-                    });
+                                i + 3,
+                                value
+                            ),
+                        },
+                    );
                 }
                 // Privileged-counter transient read (the mcounteren=0
                 // configuration of Figure 6): the read should have been
@@ -216,39 +230,48 @@ fn scan_trace(
             // ---- P2 (Figure 6 tail): counter value spilled via the store
             // buffer by an interrupt context save ---------------------------
             (Structure::StoreBuffer, TraceEventKind::Write { value, .. }) => {
-                if transient_reads.iter().any(|&(c, v)| v == *value && e.cycle >= c) {
-                    push(findings, Finding {
-                        class: Some(LeakClass::M1),
-                        principle: Principle::P2,
-                        structure: Structure::StoreBuffer,
-                        cycle: e.cycle,
-                        pc: e.pc,
-                        secret: None,
-                        observer: Domain::Untrusted,
-                        detail: format!(
-                            "transiently-read privileged counter value {value:#x} entered \
+                if transient_reads
+                    .iter()
+                    .any(|&(c, v)| v == *value && e.cycle >= c)
+                {
+                    push(
+                        findings,
+                        Finding {
+                            class: Some(LeakClass::M1),
+                            principle: Principle::P2,
+                            structure: Structure::StoreBuffer,
+                            cycle: e.cycle,
+                            pc: e.pc,
+                            secret: None,
+                            observer: Domain::Untrusted,
+                            detail: format!(
+                                "transiently-read privileged counter value {value:#x} entered \
                              the store buffer through an interrupt context save and is \
                              exposed to store-buffer forwarding"
-                        ),
-                    });
+                            ),
+                        },
+                    );
                 }
                 // Also: verbatim secrets entering the store buffer outside
                 // their owner's domain (enclave stores drain under host
                 // execution are authorized — owner wrote them).
                 if let Some(rec) = secrets.identify(*value) {
                     if !authorized(rec.owner, e.domain) {
-                        push(findings, Finding {
-                            class: None,
-                            principle: Principle::P1,
-                            structure: Structure::StoreBuffer,
-                            cycle: e.cycle,
-                            pc: e.pc,
-                            secret: Some(rec),
-                            observer: e.domain,
-                            detail: "secret value written into the store buffer outside \
+                        push(
+                            findings,
+                            Finding {
+                                class: None,
+                                principle: Principle::P1,
+                                structure: Structure::StoreBuffer,
+                                cycle: e.cycle,
+                                pc: e.pc,
+                                secret: Some(rec),
+                                observer: e.domain,
+                                detail: "secret value written into the store buffer outside \
                                      its owner's domain"
-                                .into(),
-                        });
+                                    .into(),
+                            },
+                        );
                     }
                 }
             }
@@ -282,26 +305,32 @@ fn scan_snapshot(
             if authorized(rec.owner, observer) {
                 continue;
             }
-            push(findings, Finding {
-                class: classify_lfb(entry.purpose),
-                principle: Principle::P1,
-                structure: Structure::Lfb,
-                cycle: entry.fill_cycle,
-                pc: None,
-                secret: Some(rec),
-                observer,
-                detail: format!(
-                    "residual {:?} fill of line {:#x} still holds the secret at byte \
+            push(
+                findings,
+                Finding {
+                    class: classify_lfb(entry.purpose),
+                    principle: Principle::P1,
+                    structure: Structure::Lfb,
+                    cycle: entry.fill_cycle,
+                    pc: None,
+                    secret: Some(rec),
+                    observer,
+                    detail: format!(
+                        "residual {:?} fill of line {:#x} still holds the secret at byte \
                      offset {off} after the context switch to the untrusted host",
-                    entry.purpose, entry.line_addr
-                ),
-            });
+                        entry.purpose, entry.line_addr
+                    ),
+                },
+            );
         }
     }
 
     // Cache residuals: enclave lines that were never flushed.
     for (structure, lines) in [
-        (Structure::L1d, core.lsu.l1d.valid_lines().collect::<Vec<_>>()),
+        (
+            Structure::L1d,
+            core.lsu.l1d.valid_lines().collect::<Vec<_>>(),
+        ),
         (Structure::L2, core.lsu.l2.valid_lines().collect::<Vec<_>>()),
     ] {
         for line in lines {
@@ -309,20 +338,23 @@ fn scan_snapshot(
                 if authorized(rec.owner, observer) {
                     continue;
                 }
-                push(findings, Finding {
-                    class: None,
-                    principle: Principle::P1,
-                    structure,
-                    cycle: 0,
-                    pc: None,
-                    secret: Some(rec),
-                    observer,
-                    detail: format!(
-                        "secret remains cached in line {:#x} (byte offset {off}) when \
+                push(
+                    findings,
+                    Finding {
+                        class: None,
+                        principle: Principle::P1,
+                        structure,
+                        cycle: 0,
+                        pc: None,
+                        secret: Some(rec),
+                        observer,
+                        detail: format!(
+                            "secret remains cached in line {:#x} (byte offset {off}) when \
                          the CPU is not in enclave mode",
-                        line.line_addr
-                    ),
-                });
+                            line.line_addr
+                        ),
+                    },
+                );
             }
         }
     }
@@ -338,37 +370,43 @@ fn scan_snapshot(
     for e in core.ubtb.entries() {
         if e.valid && e.train_domain.is_enclave() {
             btb_residue = true;
-            push(findings, Finding {
-                class: Some(LeakClass::M2),
-                principle: Principle::P2,
-                structure: Structure::Ubtb,
-                cycle: 0,
-                pc: Some(e.train_pc),
-                secret: None,
-                observer,
-                detail: format!(
-                    "uBTB entry trained by {:?} (pc {:#x}, target {:#x}) survives the \
+            push(
+                findings,
+                Finding {
+                    class: Some(LeakClass::M2),
+                    principle: Principle::P2,
+                    structure: Structure::Ubtb,
+                    cycle: 0,
+                    pc: Some(e.train_pc),
+                    secret: None,
+                    observer,
+                    detail: format!(
+                        "uBTB entry trained by {:?} (pc {:#x}, target {:#x}) survives the \
                      context switch; partial tags let host branches hit it",
-                    e.train_domain, e.train_pc, e.target
-                ),
-            });
+                        e.train_domain, e.train_pc, e.target
+                    ),
+                },
+            );
         }
     }
     if !btb_residue {
         for e in core.ftb.entries() {
             if e.valid && e.train_domain.is_enclave() {
-                push(findings, Finding {
-                    class: Some(LeakClass::M2),
-                    principle: Principle::P2,
-                    structure: Structure::Ftb,
-                    cycle: 0,
-                    pc: Some(e.train_pc),
-                    secret: None,
-                    observer,
-                    detail: "FTB entry trained inside an enclave survives the context \
+                push(
+                    findings,
+                    Finding {
+                        class: Some(LeakClass::M2),
+                        principle: Principle::P2,
+                        structure: Structure::Ftb,
+                        cycle: 0,
+                        pc: Some(e.train_pc),
+                        secret: None,
+                        observer,
+                        detail: "FTB entry trained inside an enclave survives the context \
                              switch"
-                        .into(),
-                });
+                            .into(),
+                    },
+                );
             }
         }
     }

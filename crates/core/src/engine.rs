@@ -1,0 +1,512 @@
+//! The campaign engine: a fault-isolated, work-stealing executor for
+//! simulate-then-check corpora.
+//!
+//! [`Campaign::run`](crate::campaign::Campaign::run) is the serial reference
+//! implementation; the engine produces the *same* [`CampaignResult`] (modulo
+//! timing and the attached [`EngineMetrics`]) at any worker count, because
+//!
+//! * workers pull case indices from one shared atomic cursor (work stealing
+//!   over the corpus — no static chunking, so stragglers cannot idle a
+//!   worker), and results are re-sorted into corpus order before merging;
+//! * every case runs under [`std::panic::catch_unwind`]: a case that fails
+//!   to build or panics mid-simulation is *quarantined* — recorded as a
+//!   [`CaseResult`] carrying the error text — instead of poisoning the
+//!   whole campaign;
+//! * an optional simulated-cycle watchdog clamps each case's cycle budget,
+//!   so a runaway case exits with `halted: false` rather than hogging its
+//!   worker.
+//!
+//! The engine can also narrate itself: an [`EventSink`] receives one JSON
+//! object per line (see [`EngineEvent`]) for live consumption, and the
+//! aggregate [`EngineMetrics`] lands in
+//! [`CampaignResult::engine`](crate::campaign::CampaignResult::engine).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use teesec_uarch::config::CoreConfig;
+use teesec_uarch::RunExit;
+
+use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
+use crate::checker::check_case;
+use crate::report::CheckReport;
+use crate::runner::run_case_budgeted;
+use crate::testcase::TestCase;
+
+/// Tuning knobs for one engine run.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads (0 and 1 both mean "one worker").
+    pub threads: usize,
+    /// Simulated-cycle watchdog: per-case budget overriding any larger
+    /// `TestCase::max_cycles`. Budget-blown cases report `halted: false`.
+    pub case_cycle_budget: Option<u64>,
+    /// Retain full per-case [`CheckReport`]s (memory-heavier).
+    pub keep_reports: bool,
+    /// Emit a live `[done/total]` progress line to stderr.
+    pub progress: bool,
+    /// Structured JSONL event stream.
+    pub events: Option<EventSink>,
+}
+
+/// A thread-safe JSONL sink for [`EngineEvent`]s.
+///
+/// Cloning shares the underlying writer; each event is serialized to a
+/// single line. Event *emission* order is the order workers finish, not
+/// corpus order — consumers should key on `seq`.
+#[derive(Clone)]
+pub struct EventSink {
+    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for EventSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EventSink")
+    }
+}
+
+impl EventSink {
+    /// A sink writing JSON lines to `writer`.
+    pub fn new(writer: impl Write + Send + 'static) -> EventSink {
+        EventSink {
+            writer: Arc::new(Mutex::new(Box::new(writer))),
+        }
+    }
+
+    /// A sink appending to the file at `path` (created/truncated).
+    pub fn file(path: &str) -> std::io::Result<EventSink> {
+        Ok(EventSink::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+
+    /// Serializes `event` as one line. I/O errors are reported to stderr
+    /// once and otherwise ignored — observability must never kill a run.
+    pub fn emit(&self, event: &EngineEvent) {
+        let line = serde_json::to_string(event).expect("serialize event");
+        let mut w = self.writer.lock().expect("event sink poisoned");
+        if let Err(e) = writeln!(w, "{line}") {
+            eprintln!("teesec: event sink write failed: {e}");
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        let _ = self.writer.lock().expect("event sink poisoned").flush();
+    }
+}
+
+/// One line of the engine's JSONL event stream.
+///
+/// Serialized externally tagged, e.g.
+/// `{"CaseFinished":{"seq":3,"case":"...","cycles":41210,...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// The engine accepted a corpus and is starting workers.
+    CampaignStarted {
+        /// Design under test.
+        design: String,
+        /// Corpus size.
+        case_count: usize,
+        /// Worker threads.
+        threads: usize,
+    },
+    /// A worker picked up a case.
+    CaseStarted {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// Worker id (0-based).
+        worker: usize,
+    },
+    /// A case simulated and checked normally.
+    CaseFinished {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// Simulated cycles.
+        cycles: u64,
+        /// Whether the case halted within its budget.
+        halted: bool,
+        /// Total findings.
+        finding_count: usize,
+        /// Findings per microarchitectural structure.
+        findings_by_structure: BTreeMap<String, usize>,
+        /// Simulation phase cost.
+        simulate_us: u128,
+        /// Check phase cost.
+        check_us: u128,
+    },
+    /// A case failed to build or panicked and was quarantined.
+    CaseQuarantined {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// Error description.
+        error: String,
+    },
+    /// All cases drained; aggregate metrics follow.
+    CampaignFinished {
+        /// The run's aggregate metrics.
+        metrics: EngineMetrics,
+    },
+}
+
+/// Aggregate engine observability, attached to
+/// [`CampaignResult::engine`](crate::campaign::CampaignResult::engine).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cases attempted (equals the corpus size).
+    pub cases_total: usize,
+    /// Cases quarantined by fault isolation.
+    pub cases_quarantined: usize,
+    /// Cases stopped by the simulated-cycle watchdog.
+    pub cases_budget_exceeded: usize,
+    /// Findings across all cases.
+    pub findings_total: usize,
+    /// Findings per microarchitectural structure, across all cases.
+    pub findings_by_structure: BTreeMap<String, usize>,
+    /// Cases executed by each worker (work-stealing balance).
+    pub cases_per_worker: Vec<usize>,
+    /// Wall-clock time of the execute+check stage.
+    pub wall_us: u128,
+}
+
+/// The outcome of executing one case (shared by serial and engine paths).
+pub(crate) struct CaseExecution {
+    pub result: CaseResult,
+    pub report: Option<CheckReport>,
+    pub findings_by_structure: BTreeMap<String, usize>,
+    pub budget_exceeded: bool,
+    pub simulate_us: u128,
+    pub check_us: u128,
+}
+
+/// Builds, simulates, and checks `tc`, quarantining build errors and
+/// panics into `CaseResult::error` instead of propagating them.
+pub(crate) fn execute_case(
+    tc: &TestCase,
+    cfg: &CoreConfig,
+    keep_report: bool,
+    budget: Option<u64>,
+) -> CaseExecution {
+    let quarantined = |error: String| CaseExecution {
+        result: CaseResult {
+            name: tc.name.clone(),
+            path: tc.path,
+            cycles: 0,
+            halted: false,
+            classes: Default::default(),
+            finding_count: 0,
+            error: Some(error),
+        },
+        report: None,
+        findings_by_structure: BTreeMap::new(),
+        budget_exceeded: false,
+        simulate_us: 0,
+        check_us: 0,
+    };
+
+    let t_sim = Instant::now();
+    let outcome = match catch_unwind(AssertUnwindSafe(|| run_case_budgeted(tc, cfg, budget))) {
+        Ok(Ok(outcome)) => outcome,
+        Ok(Err(build)) => return quarantined(format!("build error: {build}")),
+        Err(panic) => return quarantined(format!("panic: {}", panic_message(&panic))),
+    };
+    let simulate_us = t_sim.elapsed().as_micros();
+
+    let t_chk = Instant::now();
+    let report = match catch_unwind(AssertUnwindSafe(|| check_case(tc, &outcome, cfg))) {
+        Ok(report) => report,
+        Err(panic) => return quarantined(format!("checker panic: {}", panic_message(&panic))),
+    };
+    let check_us = t_chk.elapsed().as_micros();
+
+    let mut findings_by_structure = BTreeMap::new();
+    for f in &report.findings {
+        *findings_by_structure
+            .entry(f.structure.display_name().to_string())
+            .or_insert(0) += 1;
+    }
+    let budget_exceeded =
+        outcome.exit == RunExit::CycleLimit && budget.is_some_and(|b| b < tc.max_cycles);
+    CaseExecution {
+        result: CaseResult {
+            name: tc.name.clone(),
+            path: tc.path,
+            cycles: outcome.cycles,
+            halted: outcome.exit == RunExit::Halted,
+            classes: report.classes(),
+            finding_count: report.findings.len(),
+            error: None,
+        },
+        report: keep_report.then_some(report),
+        findings_by_structure,
+        budget_exceeded,
+        simulate_us,
+        check_us,
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// A fault-isolated, work-stealing executor over an explicit corpus.
+///
+/// Usually reached through
+/// [`Campaign::run_engine`](crate::campaign::Campaign::run_engine), which
+/// generates the corpus from the campaign's fuzzer; `run_corpus` is public
+/// so tests (and embedders) can inject handcrafted — including deliberately
+/// broken — cases.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: CoreConfig,
+    opts: EngineOptions,
+}
+
+impl Engine {
+    /// An engine for the design `cfg` with the given options.
+    pub fn new(cfg: CoreConfig, opts: EngineOptions) -> Engine {
+        Engine { cfg, opts }
+    }
+
+    /// Executes every case in `corpus`, in any order, and returns results
+    /// in corpus order plus (when `keep_reports`) the per-case reports.
+    ///
+    /// `timing` carries the plan/construct phase costs measured by the
+    /// caller; simulate/check costs are summed across workers (CPU time).
+    pub fn run_corpus(
+        &self,
+        corpus: &[TestCase],
+        mut timing: PhaseTiming,
+    ) -> (CampaignResult, Vec<CheckReport>) {
+        let threads = self.opts.threads.max(1);
+        let t0 = Instant::now();
+        if let Some(sink) = &self.opts.events {
+            sink.emit(&EngineEvent::CampaignStarted {
+                design: self.cfg.name.clone(),
+                case_count: corpus.len(),
+                threads,
+            });
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let quarantined_ctr = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, CaseExecution)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads {
+                let cursor = &cursor;
+                let done = &done;
+                let quarantined_ctr = &quarantined_ctr;
+                let opts = &self.opts;
+                let cfg = &self.cfg;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let seq = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(tc) = corpus.get(seq) else { break };
+                        if let Some(sink) = &opts.events {
+                            sink.emit(&EngineEvent::CaseStarted {
+                                seq,
+                                case: tc.name.clone(),
+                                worker,
+                            });
+                        }
+                        let exec = execute_case(tc, cfg, opts.keep_reports, opts.case_cycle_budget);
+                        if let Some(sink) = &opts.events {
+                            sink.emit(&case_event(seq, &exec));
+                        }
+                        if exec.result.error.is_some() {
+                            quarantined_ctr.fetch_add(1, Ordering::Relaxed);
+                        }
+                        let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if opts.progress {
+                            let q = quarantined_ctr.load(Ordering::Relaxed);
+                            eprint!(
+                                "\r[{finished}/{}] cases done, {q} quarantined",
+                                corpus.len()
+                            );
+                        }
+                        out.push((seq, exec));
+                    }
+                    out
+                }));
+            }
+            for h in handles {
+                per_worker.push(h.join().expect("engine worker panicked outside isolation"));
+            }
+        });
+        if self.opts.progress && !corpus.is_empty() {
+            eprintln!();
+        }
+
+        let mut metrics = EngineMetrics {
+            threads,
+            cases_total: corpus.len(),
+            cases_quarantined: 0,
+            cases_budget_exceeded: 0,
+            findings_total: 0,
+            findings_by_structure: BTreeMap::new(),
+            cases_per_worker: per_worker.iter().map(Vec::len).collect(),
+            wall_us: t0.elapsed().as_micros(),
+        };
+        let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
+        flat.sort_by_key(|(seq, _)| *seq);
+
+        let mut cases = Vec::with_capacity(flat.len());
+        let mut classes_found = std::collections::BTreeSet::new();
+        let mut reports = Vec::new();
+        for (_, exec) in flat {
+            metrics.cases_quarantined += usize::from(exec.result.error.is_some());
+            metrics.cases_budget_exceeded += usize::from(exec.budget_exceeded);
+            metrics.findings_total += exec.result.finding_count;
+            for (s, n) in exec.findings_by_structure {
+                *metrics.findings_by_structure.entry(s).or_insert(0) += n;
+            }
+            timing.simulate_us += exec.simulate_us;
+            timing.check_us += exec.check_us;
+            classes_found.extend(exec.result.classes.iter().copied());
+            cases.push(exec.result);
+            if let Some(r) = exec.report {
+                reports.push(r);
+            }
+        }
+
+        if let Some(sink) = &self.opts.events {
+            sink.emit(&EngineEvent::CampaignFinished {
+                metrics: metrics.clone(),
+            });
+            sink.flush();
+        }
+        (
+            CampaignResult {
+                design: self.cfg.name.clone(),
+                case_count: cases.len(),
+                cases,
+                classes_found,
+                timing,
+                engine: Some(metrics),
+            },
+            reports,
+        )
+    }
+}
+
+fn case_event(seq: usize, exec: &CaseExecution) -> EngineEvent {
+    match &exec.result.error {
+        Some(error) => EngineEvent::CaseQuarantined {
+            seq,
+            case: exec.result.name.clone(),
+            error: error.clone(),
+        },
+        None => EngineEvent::CaseFinished {
+            seq,
+            case: exec.result.name.clone(),
+            cycles: exec.result.cycles,
+            halted: exec.result.halted,
+            finding_count: exec.result.finding_count,
+            findings_by_structure: exec.findings_by_structure.clone(),
+            simulate_us: exec.simulate_us,
+            check_us: exec.check_us,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fuzz::Fuzzer;
+    use serde_json::Value;
+
+    fn small_corpus(cfg: &CoreConfig, n: usize) -> Vec<TestCase> {
+        Fuzzer::with_target(n).generate(cfg)
+    }
+
+    #[test]
+    fn engine_events_are_parseable_jsonl() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 6);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let opts = EngineOptions {
+            threads: 2,
+            events: Some(EventSink::new(SharedBuf(buf.clone()))),
+            ..EngineOptions::default()
+        };
+        let (result, _) = Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+        assert_eq!(result.case_count, 6);
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // started + 6x(case started + case outcome) + finished
+        assert_eq!(lines.len(), 14, "events:\n{text}");
+        for line in &lines {
+            let v: Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.as_object().is_some());
+        }
+        assert!(lines[0].contains("CampaignStarted"));
+        assert!(lines[13].contains("CampaignFinished"));
+    }
+
+    #[test]
+    fn watchdog_marks_budget_blown_cases_unhalted() {
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 4);
+        let opts = EngineOptions {
+            threads: 2,
+            case_cycle_budget: Some(50), // far below any real case
+            ..EngineOptions::default()
+        };
+        let (result, _) = Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+        let metrics = result.engine.as_ref().unwrap();
+        assert_eq!(metrics.cases_budget_exceeded, 4);
+        assert!(result.cases.iter().all(|c| !c.halted));
+        assert!(result.cases.iter().all(|c| c.cycles <= 50));
+    }
+
+    #[test]
+    fn work_stealing_uses_every_worker_on_a_big_corpus() {
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 24);
+        let opts = EngineOptions {
+            threads: 4,
+            ..EngineOptions::default()
+        };
+        let (result, _) = Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+        let metrics = result.engine.as_ref().unwrap();
+        assert_eq!(metrics.cases_per_worker.len(), 4);
+        assert_eq!(metrics.cases_per_worker.iter().sum::<usize>(), 24);
+        assert_eq!(metrics.cases_total, 24);
+        assert_eq!(metrics.cases_quarantined, 0);
+    }
+}

@@ -26,12 +26,18 @@ pub struct Fuzzer {
 impl Fuzzer {
     /// A fuzzer producing the paper's corpus size.
     pub fn paper_default() -> Fuzzer {
-        Fuzzer { seed: 0x7EE5_EC00, target_count: PAPER_TEST_CASE_COUNT }
+        Fuzzer {
+            seed: 0x7EE5_EC00,
+            target_count: PAPER_TEST_CASE_COUNT,
+        }
     }
 
     /// A fuzzer with a custom corpus size (smaller for quick runs).
     pub fn with_target(target_count: usize) -> Fuzzer {
-        Fuzzer { seed: 0x7EE5_EC00, target_count }
+        Fuzzer {
+            seed: 0x7EE5_EC00,
+            target_count,
+        }
     }
 
     /// Overrides the RNG seed (corpus diversity experiments).
@@ -105,8 +111,11 @@ impl Fuzzer {
                 1 => Victim::Host,
                 _ => Victim::Enclave,
             };
-            let attacker =
-                if rng.gen_bool(0.25) { Attacker::Enclave1 } else { Attacker::Host };
+            let attacker = if rng.gen_bool(0.25) {
+                Attacker::Enclave1
+            } else {
+                Attacker::Host
+            };
             let params = CaseParams {
                 victim,
                 attacker,
@@ -176,7 +185,9 @@ mod tests {
         // Phase 1 on BOOM yields ~234 deterministic cases + 12 IRQ sweeps;
         // 300 guarantees the randomized phase 2 contributes.
         let a = Fuzzer::with_target(300).generate(&CoreConfig::boom());
-        let b = Fuzzer::with_target(300).with_seed(42).generate(&CoreConfig::boom());
+        let b = Fuzzer::with_target(300)
+            .with_seed(42)
+            .generate(&CoreConfig::boom());
         let na: Vec<_> = a.iter().map(|c| c.name.clone()).collect();
         let nb: Vec<_> = b.iter().map(|c| c.name.clone()).collect();
         assert_ne!(na, nb);
@@ -187,6 +198,8 @@ mod tests {
         let cases = Fuzzer::with_target(120).generate(&CoreConfig::xiangshan());
         assert!(cases.iter().any(|c| c.path == AccessPath::LoadSbForward));
         let boom_cases = Fuzzer::with_target(120).generate(&CoreConfig::boom());
-        assert!(!boom_cases.iter().any(|c| c.path == AccessPath::LoadSbForward));
+        assert!(!boom_cases
+            .iter()
+            .any(|c| c.path == AccessPath::LoadSbForward));
     }
 }

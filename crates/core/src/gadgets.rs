@@ -47,14 +47,54 @@ pub fn catalog() -> Vec<GadgetSpec> {
     use GadgetKind::*;
     let mut v = vec![
         // ---- setup (8) --------------------------------------------------
-        GadgetSpec { name: "Create_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Run_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Stop_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Resume_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Destroy_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Exit_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Attest_Enclave", kind: Setup, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Setup_Host_VM", kind: Setup, path: None, params: &["mode"] },
+        GadgetSpec {
+            name: "Create_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Run_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Stop_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Resume_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Destroy_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Exit_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Attest_Enclave",
+            kind: Setup,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Setup_Host_VM",
+            kind: Setup,
+            path: None,
+            params: &["mode"],
+        },
         // ---- helper (12) -------------------------------------------------
         GadgetSpec {
             name: "Fill_Enc_Mem",
@@ -74,15 +114,60 @@ pub fn catalog() -> Vec<GadgetSpec> {
             path: None,
             params: &["enclave", "offset", "count"],
         },
-        GadgetSpec { name: "Evict_L1_Set", kind: Helper, path: None, params: &["target"] },
-        GadgetSpec { name: "Poison_Satp", kind: Helper, path: None, params: &["root"] },
-        GadgetSpec { name: "Restore_Satp", kind: Helper, path: None, params: &[] },
-        GadgetSpec { name: "Prime_uBTB", kind: Helper, path: None, params: &["offset"] },
-        GadgetSpec { name: "Enc_Branch", kind: Helper, path: None, params: &["offset", "taken"] },
-        GadgetSpec { name: "Touch_Page_Boundary", kind: Helper, path: None, params: &["enclave"] },
-        GadgetSpec { name: "Fill_Host_Secret", kind: Helper, path: None, params: &["offset"] },
-        GadgetSpec { name: "Read_Cycle", kind: Helper, path: None, params: &[] },
-        GadgetSpec { name: "Spin_Delay", kind: Helper, path: None, params: &["nops"] },
+        GadgetSpec {
+            name: "Evict_L1_Set",
+            kind: Helper,
+            path: None,
+            params: &["target"],
+        },
+        GadgetSpec {
+            name: "Poison_Satp",
+            kind: Helper,
+            path: None,
+            params: &["root"],
+        },
+        GadgetSpec {
+            name: "Restore_Satp",
+            kind: Helper,
+            path: None,
+            params: &[],
+        },
+        GadgetSpec {
+            name: "Prime_uBTB",
+            kind: Helper,
+            path: None,
+            params: &["offset"],
+        },
+        GadgetSpec {
+            name: "Enc_Branch",
+            kind: Helper,
+            path: None,
+            params: &["offset", "taken"],
+        },
+        GadgetSpec {
+            name: "Touch_Page_Boundary",
+            kind: Helper,
+            path: None,
+            params: &["enclave"],
+        },
+        GadgetSpec {
+            name: "Fill_Host_Secret",
+            kind: Helper,
+            path: None,
+            params: &["offset"],
+        },
+        GadgetSpec {
+            name: "Read_Cycle",
+            kind: Helper,
+            path: None,
+            params: &[],
+        },
+        GadgetSpec {
+            name: "Spin_Delay",
+            kind: Helper,
+            path: None,
+            params: &["nops"],
+        },
         // ---- access (15 = 13 data + 2 metadata) --------------------------
     ];
     let access = [
@@ -119,37 +204,79 @@ pub fn catalog() -> Vec<GadgetSpec> {
 
 /// `Create_Enclave()` — host-side SBI create.
 pub fn create_enclave(tc: &mut TestCase, enclave: u64) {
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::CreateEnclave,
+            enclave,
+        },
+    );
 }
 
 /// `Run_Enclave()` — host-side SBI run (context switch into the enclave).
 pub fn run_enclave(tc: &mut TestCase, enclave: u64) {
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::RunEnclave, enclave });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::RunEnclave,
+            enclave,
+        },
+    );
 }
 
 /// `Stop_Enclave()` — enclave-side yield.
 pub fn stop_enclave(tc: &mut TestCase, enclave: usize) {
-    tc.push(Actor::Enclave(enclave), Step::Sbi { call: SbiCall::StopEnclave, enclave: 0 });
+    tc.push(
+        Actor::Enclave(enclave),
+        Step::Sbi {
+            call: SbiCall::StopEnclave,
+            enclave: 0,
+        },
+    );
 }
 
 /// `Resume_Enclave()` — host-side SBI resume.
 pub fn resume_enclave(tc: &mut TestCase, enclave: u64) {
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::ResumeEnclave, enclave });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::ResumeEnclave,
+            enclave,
+        },
+    );
 }
 
 /// `Destroy_Enclave()` — host-side SBI destroy (triggers the SM scrub).
 pub fn destroy_enclave(tc: &mut TestCase, enclave: u64) {
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::DestroyEnclave, enclave });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::DestroyEnclave,
+            enclave,
+        },
+    );
 }
 
 /// `Exit_Enclave()` — enclave-side terminal exit.
 pub fn exit_enclave(tc: &mut TestCase, enclave: usize) {
-    tc.push(Actor::Enclave(enclave), Step::Sbi { call: SbiCall::ExitEnclave, enclave: 0 });
+    tc.push(
+        Actor::Enclave(enclave),
+        Step::Sbi {
+            call: SbiCall::ExitEnclave,
+            enclave: 0,
+        },
+    );
 }
 
 /// `Attest_Enclave()` — host-side SBI attest (SM reads enclave memory).
 pub fn attest_enclave(tc: &mut TestCase, enclave: u64) {
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::AttestEnclave, enclave });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::AttestEnclave,
+            enclave,
+        },
+    );
 }
 
 /// `Setup_Host_VM()` — switch the host environment to sv39.
@@ -170,7 +297,11 @@ pub fn fill_enc_mem(tc: &mut TestCase, enclave: usize, offset: u64, count: u64) 
         let rec = tc.secrets.seed(addr, Domain::Enclave(enclave as u32));
         tc.push(
             Actor::Enclave(enclave),
-            Step::Store { addr, value: rec.value, width: MemWidth::D },
+            Step::Store {
+                addr,
+                value: rec.value,
+                width: MemWidth::D,
+            },
         );
     }
 }
@@ -204,7 +335,13 @@ pub fn fill_host_secret(tc: &mut TestCase, offset: u64) -> u64 {
 pub fn enc_mem_to_l1(tc: &mut TestCase, enclave: usize, offset: u64, count: u64) {
     for k in 0..count {
         let addr = layout::enclave_data(enclave) + offset + 8 * k;
-        tc.push(Actor::Enclave(enclave), Step::Load { addr, width: MemWidth::D });
+        tc.push(
+            Actor::Enclave(enclave),
+            Step::Load {
+                addr,
+                width: MemWidth::D,
+            },
+        );
     }
 }
 
@@ -215,12 +352,21 @@ pub fn evict_l1_set(tc: &mut TestCase, target: u64, l1d_sets: usize, l1d_ways: u
     let stride = l1d_sets as u64 * line;
     let set_off = target % stride;
     let mut emitted = 0;
-    let regions = [(layout::SHARED_BASE, layout::SHARED_SIZE), (layout::HOST_DATA, 0x4000)];
+    let regions = [
+        (layout::SHARED_BASE, layout::SHARED_SIZE),
+        (layout::HOST_DATA, 0x4000),
+    ];
     for (base, size) in regions {
         // First address inside the region mapping to the target's set.
         let mut a = base + (set_off + stride - (base % stride)) % stride;
         while a + 8 <= base + size && emitted < l1d_ways as u64 + 2 {
-            tc.push(Actor::Host, Step::Load { addr: a, width: MemWidth::D });
+            tc.push(
+                Actor::Host,
+                Step::Load {
+                    addr: a,
+                    width: MemWidth::D,
+                },
+            );
             a += stride;
             emitted += 1;
         }
@@ -246,23 +392,35 @@ pub fn restore_satp(tc: &mut TestCase) {
 /// `Prime_uBTB()` — host executes a taken branch at a controlled region
 /// offset (primes/probes partial-tag BTB entries).
 pub fn prime_ubtb(tc: &mut TestCase, offset: u64) {
-    tc.push(Actor::Host, Step::BranchAtOffset { offset, taken: true });
+    tc.push(
+        Actor::Host,
+        Step::BranchAtOffset {
+            offset,
+            taken: true,
+        },
+    );
 }
 
 /// `Enc_Branch()` — the enclave executes a conditional branch at the same
 /// region offset, colliding with the host's uBTB entry.
 pub fn enc_branch(tc: &mut TestCase, enclave: usize, offset: u64, taken: bool) {
-    tc.push(Actor::Enclave(enclave), Step::BranchAtOffset { offset, taken });
+    tc.push(
+        Actor::Enclave(enclave),
+        Step::BranchAtOffset { offset, taken },
+    );
 }
 
 /// `Touch_Page_Boundary()` — host load at the last doubleword before the
 /// enclave region: the next-line prefetcher's target falls inside the
 /// enclave (the D1 trigger, paper Figure 2).
 pub fn touch_page_boundary(tc: &mut TestCase, enclave: usize) {
-    tc.push(Actor::Host, Step::Load {
-        addr: layout::enclave_base(enclave) - 8,
-        width: MemWidth::D,
-    });
+    tc.push(
+        Actor::Host,
+        Step::Load {
+            addr: layout::enclave_base(enclave) - 8,
+            width: MemWidth::D,
+        },
+    );
 }
 
 /// `Read_Cycle()` — timing probe.
@@ -278,7 +436,12 @@ pub fn spin_delay(tc: &mut TestCase, actor: Actor, nops: u32) {
 /// `Rd_PerfCounters()` — read every programmable HPM counter (M1 probe).
 pub fn read_perf_counters(tc: &mut TestCase, actor: Actor, counters: usize) {
     for i in 0..counters {
-        tc.push(actor, Step::CsrRead { csr: csr::hpmcounter_csr(i) });
+        tc.push(
+            actor,
+            Step::CsrRead {
+                csr: csr::hpmcounter_csr(i),
+            },
+        );
     }
 }
 

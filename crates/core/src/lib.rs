@@ -28,7 +28,9 @@
 //!    paper's D1–D8 / M1–M2 cases ([`report`]).
 //!
 //! [`campaign`] drives the full generate → simulate → check pipeline and
-//! produces the paper's Table 3 vulnerability matrix.
+//! produces the paper's Table 3 vulnerability matrix; [`engine`] executes
+//! corpora on a fault-isolated, work-stealing worker pool with a JSONL
+//! event stream and aggregate metrics.
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@
 pub mod assemble;
 pub mod campaign;
 pub mod checker;
+pub mod engine;
 pub mod fuzz;
 pub mod gadgets;
 pub mod paths;
@@ -60,6 +63,7 @@ pub mod testcase;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use checker::check_case;
+pub use engine::{Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink};
 pub use fuzz::Fuzzer;
 pub use paths::AccessPath;
 pub use plan::VerificationPlan;

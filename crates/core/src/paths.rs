@@ -203,9 +203,14 @@ mod tests {
 
     #[test]
     fn thirteen_data_two_metadata() {
-        let data = AccessPath::all().iter().filter(|p| p.payload() == PayloadKind::Data).count();
-        let meta =
-            AccessPath::all().iter().filter(|p| p.payload() == PayloadKind::Metadata).count();
+        let data = AccessPath::all()
+            .iter()
+            .filter(|p| p.payload() == PayloadKind::Data)
+            .count();
+        let meta = AccessPath::all()
+            .iter()
+            .filter(|p| p.payload() == PayloadKind::Metadata)
+            .count();
         assert_eq!(data, 13, "paper: 13 data access gadgets");
         assert_eq!(meta, 2, "paper: 2 metadata access gadgets");
     }
@@ -220,8 +225,14 @@ mod tests {
 
     #[test]
     fn implicit_paths_match_paper() {
-        assert_eq!(AccessPath::PrefetchNextLine.initiation(), Initiation::Implicit);
-        assert_eq!(AccessPath::PtwPoisonedRoot.initiation(), Initiation::Implicit);
+        assert_eq!(
+            AccessPath::PrefetchNextLine.initiation(),
+            Initiation::Implicit
+        );
+        assert_eq!(
+            AccessPath::PtwPoisonedRoot.initiation(),
+            Initiation::Implicit
+        );
         assert_eq!(AccessPath::SmScrub.initiation(), Initiation::Implicit);
         assert_eq!(AccessPath::LoadL1Hit.initiation(), Initiation::Explicit);
     }
@@ -253,8 +264,14 @@ mod tests {
             PermissionPolicy::CheckedBefore
         );
         // Demand loads are lazily checked on both (the D4-D8 root cause).
-        assert_eq!(AccessPath::LoadL1Hit.permission_policy(&boom), PermissionPolicy::CheckedLazy);
-        assert_eq!(AccessPath::LoadL1Hit.permission_policy(&xs), PermissionPolicy::CheckedLazy);
+        assert_eq!(
+            AccessPath::LoadL1Hit.permission_policy(&boom),
+            PermissionPolicy::CheckedLazy
+        );
+        assert_eq!(
+            AccessPath::LoadL1Hit.permission_policy(&xs),
+            PermissionPolicy::CheckedLazy
+        );
         // The serializing mitigation changes the profile.
         let mut hardened = CoreConfig::boom();
         hardened.mitigations.serialize_pmp_check = true;

@@ -95,7 +95,12 @@ impl VerificationPlan {
                 }
             })
             .collect();
-        VerificationPlan { design: cfg.name.clone(), storage, paths, api }
+        VerificationPlan {
+            design: cfg.name.clone(),
+            storage,
+            paths,
+            api,
+        }
     }
 
     /// Paths with no (or lazy) permission checking — the priority targets
@@ -124,9 +129,18 @@ mod tests {
         let boom = VerificationPlan::profile(&CoreConfig::boom());
         let xs = VerificationPlan::profile(&CoreConfig::xiangshan());
         // BOOM has the prefetch path but no SB-forward path; XS vice versa.
-        assert!(boom.paths.iter().any(|p| p.path == AccessPath::PrefetchNextLine));
-        assert!(!boom.paths.iter().any(|p| p.path == AccessPath::LoadSbForward));
-        assert!(!xs.paths.iter().any(|p| p.path == AccessPath::PrefetchNextLine));
+        assert!(boom
+            .paths
+            .iter()
+            .any(|p| p.path == AccessPath::PrefetchNextLine));
+        assert!(!boom
+            .paths
+            .iter()
+            .any(|p| p.path == AccessPath::LoadSbForward));
+        assert!(!xs
+            .paths
+            .iter()
+            .any(|p| p.path == AccessPath::PrefetchNextLine));
         assert!(xs.paths.iter().any(|p| p.path == AccessPath::LoadSbForward));
     }
 
@@ -147,16 +161,27 @@ mod tests {
     #[test]
     fn api_profile_matches_lifecycle() {
         let plan = VerificationPlan::profile(&CoreConfig::boom());
-        let destroy =
-            plan.api.iter().find(|a| a.call == SbiCall::DestroyEnclave).expect("destroy");
+        let destroy = plan
+            .api
+            .iter()
+            .find(|a| a.call == SbiCall::DestroyEnclave)
+            .expect("destroy");
         assert_eq!(
             destroy.legal_from,
             vec![EnclaveState::Stopped, EnclaveState::Exited],
             "destroy only from stopped or exited (paper §7.1.3)"
         );
-        let run = plan.api.iter().find(|a| a.call == SbiCall::RunEnclave).expect("run");
+        let run = plan
+            .api
+            .iter()
+            .find(|a| a.call == SbiCall::RunEnclave)
+            .expect("run");
         assert!(run.switches_domain);
-        let stop = plan.api.iter().find(|a| a.call == SbiCall::StopEnclave).expect("stop");
+        let stop = plan
+            .api
+            .iter()
+            .find(|a| a.call == SbiCall::StopEnclave)
+            .expect("stop");
         assert!(stop.from_enclave);
     }
 

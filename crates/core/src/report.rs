@@ -11,9 +11,7 @@ use crate::paths::AccessPath;
 use crate::secret::SecretRecord;
 
 /// The ten distinct leakage classes of the paper's Table 3.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LeakClass {
     /// Enclave data via L1D prefetcher abuse (LFB).
     D1,
@@ -182,7 +180,11 @@ impl CheckReport {
 
     /// Counts findings per principle: `(p1, p2)`.
     pub fn principle_counts(&self) -> (usize, usize) {
-        let p1 = self.findings.iter().filter(|f| f.principle == Principle::P1).count();
+        let p1 = self
+            .findings
+            .iter()
+            .filter(|f| f.principle == Principle::P1)
+            .count();
         (p1, self.findings.len() - p1)
     }
 }

@@ -27,8 +27,27 @@ pub struct RunOutcome {
 /// Propagates [`BuildError`] when the lowered program does not assemble or
 /// overflows a region.
 pub fn run_case(tc: &TestCase, cfg: &CoreConfig) -> Result<RunOutcome, BuildError> {
+    run_case_budgeted(tc, cfg, None)
+}
+
+/// [`run_case`] under a simulated-cycle watchdog: the effective cycle limit
+/// is `min(tc.max_cycles, budget)`, so a budget-blown case exits with
+/// [`RunExit::CycleLimit`] instead of running out its full `max_cycles`.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] exactly as [`run_case`] does.
+pub fn run_case_budgeted(
+    tc: &TestCase,
+    cfg: &CoreConfig,
+    budget: Option<u64>,
+) -> Result<RunOutcome, BuildError> {
     let mut builder = Platform::builder(cfg.clone())
-        .host_vm(if tc.host_sv39 { HostVm::Sv39 } else { HostVm::Bare })
+        .host_vm(if tc.host_sv39 {
+            HostVm::Sv39
+        } else {
+            HostVm::Bare
+        })
         .sm_options(SmOptions {
             mcounteren: tc.mcounteren,
             clear_hpcs_on_switch: tc.sm_clear_hpcs,
@@ -64,9 +83,14 @@ pub fn run_case(tc: &TestCase, cfg: &CoreConfig) -> Result<RunOutcome, BuildErro
         builder = builder.external_interrupt_at(at);
     }
     let mut platform = builder.build()?;
-    let exit = platform.run(tc.max_cycles);
+    let limit = budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
+    let exit = platform.run(limit);
     let cycles = platform.core.cycle;
-    Ok(RunOutcome { platform, exit, cycles })
+    Ok(RunOutcome {
+        platform,
+        exit,
+        cycles,
+    })
 }
 
 #[cfg(test)]

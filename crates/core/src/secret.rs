@@ -63,7 +63,11 @@ impl SecretCatalog {
 
     /// Seeds one address-derived secret and records it.
     pub fn seed(&mut self, addr: u64, owner: Domain) -> SecretRecord {
-        let rec = SecretRecord { addr, value: secret_for(addr), owner };
+        let rec = SecretRecord {
+            addr,
+            value: secret_for(addr),
+            owner,
+        };
         self.by_value.insert(rec.value, self.records.len());
         self.records.push(rec);
         rec
@@ -119,8 +123,12 @@ impl SecretCatalog {
 
     /// Rebuilds the value index (after deserialization).
     pub fn reindex(&mut self) {
-        self.by_value =
-            self.records.iter().enumerate().map(|(i, r)| (r.value, i)).collect();
+        self.by_value = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.value, i))
+            .collect();
     }
 }
 
@@ -167,7 +175,11 @@ mod tests {
         c.seed(0x8040_2000, Domain::SecurityMonitor);
         let json = serde_json::to_string(&c).expect("serialize");
         let mut back: SecretCatalog = serde_json::from_str(&json).expect("deserialize");
-        assert_eq!(back.identify(secret_for(0x8040_2000)), None, "index skipped");
+        assert_eq!(
+            back.identify(secret_for(0x8040_2000)),
+            None,
+            "index skipped"
+        );
         back.reindex();
         assert!(back.identify(secret_for(0x8040_2000)).is_some());
     }

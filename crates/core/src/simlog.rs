@@ -22,8 +22,13 @@ pub fn render_simlog(trace: &Trace) -> String {
             e.structure.display_name()
         );
         match &e.kind {
-            TraceEventKind::Fill { addr, data, purpose } => {
-                let head = u64::from_le_bytes(data[..8.min(data.len())].try_into().unwrap_or([0; 8]));
+            TraceEventKind::Fill {
+                addr,
+                data,
+                purpose,
+            } => {
+                let head =
+                    u64::from_le_bytes(data[..8.min(data.len())].try_into().unwrap_or([0; 8]));
                 let _ = writeln!(
                     out,
                     "FILL line={addr:#x} purpose={purpose:?} bytes={} head={head:#018x}",
@@ -82,13 +87,22 @@ mod tests {
             data: vec![0xAB; 64],
             purpose: teesec_uarch::trace::FillPurpose::Prefetch,
         }));
-        t.record(base(TraceEventKind::Write { index: 5, value: 0x123, tag: Some(7) }));
-        t.record(base(TraceEventKind::Read { index: 5, value: 0x123 }));
+        t.record(base(TraceEventKind::Write {
+            index: 5,
+            value: 0x123,
+            tag: Some(7),
+        }));
+        t.record(base(TraceEventKind::Read {
+            index: 5,
+            value: 0x123,
+        }));
         t.record(base(TraceEventKind::Flush));
         t.record(base(TraceEventKind::CounterBump {
             event: teesec_uarch::trace::HpcEvent::L1dMiss,
         }));
-        t.record(base(TraceEventKind::DomainSwitch { to: Domain::Untrusted }));
+        t.record(base(TraceEventKind::DomainSwitch {
+            to: Domain::Untrusted,
+        }));
         let log = render_simlog(&t);
         assert_eq!(log.lines().count(), 6);
         assert!(log.contains("FILL line=0x80400000 purpose=Prefetch"));

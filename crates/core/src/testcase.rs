@@ -258,10 +258,20 @@ mod tests {
         lower_steps(
             &mut a,
             &[
-                Step::Sbi { call: SbiCall::RunEnclave, enclave: 0 },
-                Step::Load { addr: 0x8040_2000, width: MemWidth::D },
+                Step::Sbi {
+                    call: SbiCall::RunEnclave,
+                    enclave: 0,
+                },
+                Step::Load {
+                    addr: 0x8040_2000,
+                    width: MemWidth::D,
+                },
                 Step::ConsumeLast,
-                Step::Store { addr: 0x8030_0000, value: 7, width: MemWidth::W },
+                Step::Store {
+                    addr: 0x8030_0000,
+                    value: 7,
+                    width: MemWidth::W,
+                },
                 Step::ReadCycle,
                 Step::Nops(3),
             ],
@@ -279,11 +289,22 @@ mod tests {
     #[test]
     fn branch_at_offset_lands_exactly() {
         let mut a = Assembler::new(0x8010_0000);
-        lower_steps(&mut a, &[Step::BranchAtOffset { offset: 0x40, taken: true }], 0x8010_0000, "t");
+        lower_steps(
+            &mut a,
+            &[Step::BranchAtOffset {
+                offset: 0x40,
+                taken: true,
+            }],
+            0x8010_0000,
+            "t",
+        );
         let words = a.assemble().expect("assemble");
         // The word at offset 0x40 must be the conditional branch.
         let w = words[0x40 / 4];
-        assert!(matches!(Inst::decode(w), Ok(Inst::Branch { .. })), "{w:#010x}");
+        assert!(
+            matches!(Inst::decode(w), Ok(Inst::Branch { .. })),
+            "{w:#010x}"
+        );
     }
 
     #[test]
@@ -293,13 +314,26 @@ mod tests {
         for _ in 0..32 {
             a.nop();
         }
-        lower_steps(&mut a, &[Step::BranchAtOffset { offset: 0x10, taken: true }], 0x8010_0000, "t");
+        lower_steps(
+            &mut a,
+            &[Step::BranchAtOffset {
+                offset: 0x10,
+                taken: true,
+            }],
+            0x8010_0000,
+            "t",
+        );
     }
 
     #[test]
     fn fetch_probe_sets_recovery_point() {
         let mut a = Assembler::new(0x8010_0000);
-        lower_steps(&mut a, &[Step::FetchProbe { addr: 0x8040_0000 }], 0x8010_0000, "t");
+        lower_steps(
+            &mut a,
+            &[Step::FetchProbe { addr: 0x8040_0000 }],
+            0x8010_0000,
+            "t",
+        );
         let words = a.assemble().expect("assemble");
         // la (2 words: auipc+addi) + li + jalr.
         assert!(words.len() >= 4);

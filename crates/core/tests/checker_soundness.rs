@@ -15,7 +15,12 @@ use teesec_uarch::CoreConfig;
 
 fn run_and_check(tc: &TestCase, cfg: &CoreConfig) -> teesec::CheckReport {
     let outcome = run_case(tc, cfg).expect("build");
-    assert_eq!(outcome.exit, teesec_uarch::RunExit::Halted, "{} must halt", tc.name);
+    assert_eq!(
+        outcome.exit,
+        teesec_uarch::RunExit::Halted,
+        "{} must halt",
+        tc.name
+    );
     check_case(tc, &outcome, cfg)
 }
 
@@ -25,15 +30,21 @@ fn host_only_work_is_clean() {
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         let mut tc = TestCase::new("host_only", AccessPath::LoadL1Hit);
         for k in 0..16u64 {
-            tc.push(Actor::Host, Step::Store {
-                addr: layout::SHARED_BASE + 8 * k,
-                value: 0x1000 + k,
-                width: MemWidth::D,
-            });
-            tc.push(Actor::Host, Step::Load {
-                addr: layout::SHARED_BASE + 8 * k,
-                width: MemWidth::D,
-            });
+            tc.push(
+                Actor::Host,
+                Step::Store {
+                    addr: layout::SHARED_BASE + 8 * k,
+                    value: 0x1000 + k,
+                    width: MemWidth::D,
+                },
+            );
+            tc.push(
+                Actor::Host,
+                Step::Load {
+                    addr: layout::SHARED_BASE + 8 * k,
+                    width: MemWidth::D,
+                },
+            );
         }
         let report = run_and_check(&tc, &cfg);
         assert!(report.clean(), "{}: {:?}", cfg.name, report.findings);
@@ -49,10 +60,28 @@ fn enclave_touching_its_own_secrets_without_probe_reports_only_residue() {
     let mut tc = TestCase::new("self_touch", AccessPath::LoadL1Hit);
     let addr = layout::enclave_data(0);
     tc.secrets.seed(addr, Domain::Enclave(0));
-    tc.push(Actor::Enclave(0), Step::Load { addr, width: MemWidth::D });
+    tc.push(
+        Actor::Enclave(0),
+        Step::Load {
+            addr,
+            width: MemWidth::D,
+        },
+    );
     tc.push(Actor::Enclave(0), Step::ConsumeLast);
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave: 0 });
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::RunEnclave, enclave: 0 });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::CreateEnclave,
+            enclave: 0,
+        },
+    );
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::RunEnclave,
+            enclave: 0,
+        },
+    );
     let report = run_and_check(&tc, &cfg);
     for f in &report.findings {
         assert_eq!(f.class, None, "no Table 3 class without a probe: {f:?}");
@@ -101,8 +130,20 @@ fn attest_alone_does_not_classify_a_leak() {
     let cfg = CoreConfig::xiangshan();
     let mut tc = TestCase::new("attest_only", AccessPath::LoadL1Hit);
     tc.secrets.seed(layout::enclave_data(0), Domain::Enclave(0));
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::CreateEnclave, enclave: 0 });
-    tc.push(Actor::Host, Step::Sbi { call: SbiCall::AttestEnclave, enclave: 0 });
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::CreateEnclave,
+            enclave: 0,
+        },
+    );
+    tc.push(
+        Actor::Host,
+        Step::Sbi {
+            call: SbiCall::AttestEnclave,
+            enclave: 0,
+        },
+    );
     let report = run_and_check(&tc, &cfg);
     assert!(
         report.findings.iter().all(|f| f.class.is_none()),
@@ -117,7 +158,12 @@ fn untouched_counters_do_not_raise_m1() {
     let cfg = CoreConfig::boom();
     let mut tc = TestCase::new("cold_counters", AccessPath::HpcRead);
     for i in 0..4 {
-        tc.push(Actor::Host, Step::CsrRead { csr: teesec_isa::csr::hpmcounter_csr(i) });
+        tc.push(
+            Actor::Host,
+            Step::CsrRead {
+                csr: teesec_isa::csr::hpmcounter_csr(i),
+            },
+        );
     }
     let report = run_and_check(&tc, &cfg);
     assert!(report.clean(), "{:?}", report.findings);
@@ -152,7 +198,10 @@ fn classified_findings_always_carry_coherent_metadata() {
             other => panic!("unknown source {other}"),
         }
         if !class.is_metadata() {
-            assert!(f.secret.is_some(), "data leaks carry the traced secret: {f:?}");
+            assert!(
+                f.secret.is_some(),
+                "data leaks carry the traced secret: {f:?}"
+            );
         }
     }
 }

@@ -18,18 +18,24 @@ fn any_params() -> impl Strategy<Value = CaseParams> {
         (0u64..0x100).prop_map(|o| o * 8),
         prop::sample::select(vec![MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]),
         any::<bool>(),
-        prop::sample::select(vec![Lifecycle::Stop, Lifecycle::StopResumeStop, Lifecycle::Exit]),
+        prop::sample::select(vec![
+            Lifecycle::Stop,
+            Lifecycle::StopResumeStop,
+            Lifecycle::Exit,
+        ]),
     )
-        .prop_map(|(victim, attacker, offset, width, warm_via_stores, lifecycle)| CaseParams {
-            victim,
-            attacker,
-            offset,
-            width,
-            warm_via_stores,
-            lifecycle,
-            irq_at: None,
-            restricted_counters: false,
-        })
+        .prop_map(
+            |(victim, attacker, offset, width, warm_via_stores, lifecycle)| CaseParams {
+                victim,
+                attacker,
+                offset,
+                width,
+                warm_via_stores,
+                lifecycle,
+                irq_at: None,
+                restricted_counters: false,
+            },
+        )
 }
 
 fn any_path() -> impl Strategy<Value = AccessPath> {

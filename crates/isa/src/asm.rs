@@ -16,11 +16,22 @@ use crate::reg::Reg;
 enum Item {
     Inst(Inst),
     /// `jal rd, label`
-    JalTo { rd: Reg, label: String },
+    JalTo {
+        rd: Reg,
+        label: String,
+    },
     /// `b<cond> rs1, rs2, label`
-    BranchTo { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    BranchTo {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
     /// `la rd, label` — expands to `auipc` + `addi`.
-    LoadAddr { rd: Reg, label: String },
+    LoadAddr {
+        rd: Reg,
+        label: String,
+    },
     /// Raw data word.
     Word(u32),
 }
@@ -82,7 +93,10 @@ pub struct Assembler {
 impl Assembler {
     /// Creates an assembler whose first word lands at `base`.
     pub fn new(base: u64) -> Assembler {
-        Assembler { base, ..Assembler::default() }
+        Assembler {
+            base,
+            ..Assembler::default()
+        }
     }
 
     /// The base address.
@@ -125,52 +139,112 @@ impl Assembler {
 
     /// `addi rd, rs1, imm`
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Add, rd, rs1, imm, word: false })
+        self.inst(Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        })
     }
 
     /// `andi rd, rs1, imm`
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::And, rd, rs1, imm, word: false })
+        self.inst(Inst::AluImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        })
     }
 
     /// `xori rd, rs1, imm`
     pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Xor, rd, rs1, imm, word: false })
+        self.inst(Inst::AluImm {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            imm,
+            word: false,
+        })
     }
 
     /// `slli rd, rs1, shamt`
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm: shamt, word: false })
+        self.inst(Inst::AluImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+            word: false,
+        })
     }
 
     /// `srli rd, rs1, shamt`
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
-        self.inst(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm: shamt, word: false })
+        self.inst(Inst::AluImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+            word: false,
+        })
     }
 
     /// `add rd, rs1, rs2`
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::AluReg { op: AluOp::Add, rd, rs1, rs2, word: false })
+        self.inst(Inst::AluReg {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        })
     }
 
     /// `sub rd, rs1, rs2`
     pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::AluReg { op: AluOp::Sub, rd, rs1, rs2, word: false })
+        self.inst(Inst::AluReg {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        })
     }
 
     /// `xor rd, rs1, rs2`
     pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::AluReg { op: AluOp::Xor, rd, rs1, rs2, word: false })
+        self.inst(Inst::AluReg {
+            op: AluOp::Xor,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        })
     }
 
     /// `mul rd, rs1, rs2`
     pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.inst(Inst::AluReg { op: AluOp::Mul, rd, rs1, rs2, word: false })
+        self.inst(Inst::AluReg {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2,
+            word: false,
+        })
     }
 
     /// Load of the given width (signed variants for sub-double widths).
     pub fn load(&mut self, width: MemWidth, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::Load { width, signed: true, rd, rs1, offset })
+        self.inst(Inst::Load {
+            width,
+            signed: true,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `ld rd, offset(rs1)`
@@ -185,12 +259,23 @@ impl Assembler {
 
     /// `lbu rd, offset(rs1)`
     pub fn lbu(&mut self, rd: Reg, rs1: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::Load { width: MemWidth::B, signed: false, rd, rs1, offset })
+        self.inst(Inst::Load {
+            width: MemWidth::B,
+            signed: false,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// Store of the given width.
     pub fn store(&mut self, width: MemWidth, rs2: Reg, rs1: Reg, offset: i32) -> &mut Self {
-        self.inst(Inst::Store { width, rs2, rs1, offset })
+        self.inst(Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        })
     }
 
     /// `sd rs2, offset(rs1)`
@@ -245,12 +330,22 @@ impl Assembler {
 
     /// `csrrw rd, csr, rs1`
     pub fn csrrw(&mut self, rd: Reg, csr: CsrAddr, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Csr { op: CsrOp::Rw, rd, src: CsrSrc::Reg(rs1), csr })
+        self.inst(Inst::Csr {
+            op: CsrOp::Rw,
+            rd,
+            src: CsrSrc::Reg(rs1),
+            csr,
+        })
     }
 
     /// `csrrs rd, csr, rs1`
     pub fn csrrs(&mut self, rd: Reg, csr: CsrAddr, rs1: Reg) -> &mut Self {
-        self.inst(Inst::Csr { op: CsrOp::Rs, rd, src: CsrSrc::Reg(rs1), csr })
+        self.inst(Inst::Csr {
+            op: CsrOp::Rs,
+            rd,
+            src: CsrSrc::Reg(rs1),
+            csr,
+        })
     }
 
     // ---- pseudo-instructions -------------------------------------------
@@ -300,9 +395,18 @@ impl Assembler {
             let hi = (v.wrapping_add(0x800) >> 12) & 0xFFFFF;
             let lo = ((v << 52) >> 52) as i32;
             if hi != 0 {
-                self.inst(Inst::Lui { rd, imm20: sign20(hi as i32) });
+                self.inst(Inst::Lui {
+                    rd,
+                    imm20: sign20(hi as i32),
+                });
                 if lo != 0 {
-                    self.inst(Inst::AluImm { op: AluOp::Add, rd, rs1: rd, imm: lo, word: true });
+                    self.inst(Inst::AluImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                        word: true,
+                    });
                 }
             } else {
                 self.addi(rd, Reg::ZERO, lo);
@@ -319,13 +423,19 @@ impl Assembler {
 
     /// `j label`
     pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
-        self.items.push(Item::JalTo { rd: Reg::ZERO, label: label.into() });
+        self.items.push(Item::JalTo {
+            rd: Reg::ZERO,
+            label: label.into(),
+        });
         self
     }
 
     /// `jal label` (links into `ra`).
     pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
-        self.items.push(Item::JalTo { rd: Reg::RA, label: label.into() });
+        self.items.push(Item::JalTo {
+            rd: Reg::RA,
+            label: label.into(),
+        });
         self
     }
 
@@ -362,13 +472,21 @@ impl Assembler {
         rs2: Reg,
         label: impl Into<String>,
     ) -> &mut Self {
-        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.into() });
+        self.items.push(Item::BranchTo {
+            cond,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
 
     /// `la rd, label` (PC-relative address formation).
     pub fn la(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
-        self.items.push(Item::LoadAddr { rd, label: label.into() });
+        self.items.push(Item::LoadAddr {
+            rd,
+            label: label.into(),
+        });
         self.nop() // reserve the second slot of the auipc/addi pair
     }
 
@@ -393,7 +511,8 @@ impl Assembler {
             return Err(e.clone());
         }
         let resolve = |label: &str| -> Result<u64, AssembleError> {
-            self.label_addr(label).ok_or_else(|| AssembleError::UndefinedLabel(label.to_string()))
+            self.label_addr(label)
+                .ok_or_else(|| AssembleError::UndefinedLabel(label.to_string()))
         };
         let mut out = Vec::with_capacity(self.items.len());
         let mut skip_reserved = false;
@@ -417,9 +536,20 @@ impl Assembler {
                             offset,
                         });
                     }
-                    out.push(Inst::Jal { rd: *rd, offset: offset as i32 }.encode());
+                    out.push(
+                        Inst::Jal {
+                            rd: *rd,
+                            offset: offset as i32,
+                        }
+                        .encode(),
+                    );
                 }
-                Item::BranchTo { cond, rs1, rs2, label } => {
+                Item::BranchTo {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let target = resolve(label)?;
                     let offset = target as i64 - pc as i64;
                     if !(-4096..4096).contains(&offset) {
@@ -429,8 +559,13 @@ impl Assembler {
                         });
                     }
                     out.push(
-                        Inst::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: offset as i32 }
-                            .encode(),
+                        Inst::Branch {
+                            cond: *cond,
+                            rs1: *rs1,
+                            rs2: *rs2,
+                            offset: offset as i32,
+                        }
+                        .encode(),
                     );
                 }
                 Item::LoadAddr { rd, label } => {
@@ -439,11 +574,23 @@ impl Assembler {
                     let hi = ((offset + 0x800) >> 12) as i32;
                     let lo = (offset & 0xFFF) as i32;
                     let lo = if lo >= 0x800 { lo - 0x1000 } else { lo };
-                    out.push(Inst::Auipc { rd: *rd, imm20: sign20(hi) }.encode());
+                    out.push(
+                        Inst::Auipc {
+                            rd: *rd,
+                            imm20: sign20(hi),
+                        }
+                        .encode(),
+                    );
                     // Overwrites the nop reserved by `la`.
                     out.push(
-                        Inst::AluImm { op: AluOp::Add, rd: *rd, rs1: *rd, imm: lo, word: false }
-                            .encode(),
+                        Inst::AluImm {
+                            op: AluOp::Add,
+                            rd: *rd,
+                            rs1: *rd,
+                            imm: lo,
+                            word: false,
+                        }
+                        .encode(),
                     );
                     skip_reserved = true;
                 }
@@ -477,13 +624,24 @@ mod tests {
                 Inst::Lui { rd, imm20 } => {
                     regs[rd.index() as usize] = ((imm20 as i64) << 12) as u64;
                 }
-                Inst::AluImm { op, rd, rs1, imm, word } => {
+                Inst::AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm,
+                    word,
+                } => {
                     let v = op.eval(regs[rs1.index() as usize], imm as i64 as u64, word);
                     regs[rd.index() as usize] = v;
                 }
-                Inst::AluReg { op, rd, rs1, rs2, word } => {
-                    let v =
-                        op.eval(regs[rs1.index() as usize], regs[rs2.index() as usize], word);
+                Inst::AluReg {
+                    op,
+                    rd,
+                    rs1,
+                    rs2,
+                    word,
+                } => {
+                    let v = op.eval(regs[rs1.index() as usize], regs[rs2.index() as usize], word);
                     regs[rd.index() as usize] = v;
                 }
                 other => panic!("unexpected instruction in ALU test: {other:?}"),
@@ -545,7 +703,10 @@ mod tests {
     fn undefined_label_is_error() {
         let mut asm = Assembler::new(0);
         asm.j("nowhere");
-        assert_eq!(asm.assemble(), Err(AssembleError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            asm.assemble(),
+            Err(AssembleError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]
@@ -554,7 +715,10 @@ mod tests {
         asm.label("x");
         asm.nop();
         asm.label("x");
-        assert_eq!(asm.assemble(), Err(AssembleError::DuplicateLabel("x".into())));
+        assert_eq!(
+            asm.assemble(),
+            Err(AssembleError::DuplicateLabel("x".into()))
+        );
     }
 
     #[test]

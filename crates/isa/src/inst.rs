@@ -398,7 +398,10 @@ fn enc_s(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
 }
 
 fn enc_b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
-    debug_assert!((-4096..=4095).contains(&imm) && imm % 2 == 0, "B-imm {imm} out of range");
+    debug_assert!(
+        (-4096..=4095).contains(&imm) && imm % 2 == 0,
+        "B-imm {imm} out of range"
+    );
     let imm = imm as u32;
     ((imm >> 12 & 1) << 31)
         | ((imm >> 5 & 0x3F) << 25)
@@ -411,7 +414,10 @@ fn enc_b(opcode: u32, funct3: u32, rs1: Reg, rs2: Reg, imm: i32) -> u32 {
 }
 
 fn enc_u(opcode: u32, rd: Reg, imm20: i32) -> u32 {
-    debug_assert!((-(1 << 19)..(1 << 19)).contains(&imm20), "U-imm {imm20} out of range");
+    debug_assert!(
+        (-(1 << 19)..(1 << 19)).contains(&imm20),
+        "U-imm {imm20} out of range"
+    );
     (((imm20 as u32) & 0xFFFFF) << 12) | rd_bits(rd) | opcode
 }
 
@@ -476,10 +482,19 @@ impl Inst {
             Inst::Auipc { rd, imm20 } => enc_u(OPC_AUIPC, rd, imm20),
             Inst::Jal { rd, offset } => enc_j(OPC_JAL, rd, offset),
             Inst::Jalr { rd, rs1, offset } => enc_i(OPC_JALR, 0, rd, rs1, offset),
-            Inst::Branch { cond, rs1, rs2, offset } => {
-                enc_b(OPC_BRANCH, cond.funct3(), rs1, rs2, offset)
-            }
-            Inst::Load { width, signed, rd, rs1, offset } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => enc_b(OPC_BRANCH, cond.funct3(), rs1, rs2, offset),
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let funct3 = match (width, signed) {
                     (MemWidth::B, true) => 0,
                     (MemWidth::H, true) => 1,
@@ -491,7 +506,12 @@ impl Inst {
                 };
                 enc_i(OPC_LOAD, funct3, rd, rs1, offset)
             }
-            Inst::Store { width, rs2, rs1, offset } => {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let funct3 = match width {
                     MemWidth::B => 0,
                     MemWidth::H => 1,
@@ -500,7 +520,13 @@ impl Inst {
                 };
                 enc_s(OPC_STORE, funct3, rs1, rs2, offset)
             }
-            Inst::AluImm { op, rd, rs1, imm, word } => {
+            Inst::AluImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 let opcode = if word { OPC_OP_IMM_32 } else { OPC_OP_IMM };
                 match op {
                     AluOp::Add => enc_i(opcode, 0, rd, rs1, imm),
@@ -512,11 +538,21 @@ impl Inst {
                     AluOp::Sll => enc_i(opcode, 1, rd, rs1, imm & 0x3F),
                     AluOp::Srl => enc_i(opcode, 5, rd, rs1, imm & 0x3F),
                     AluOp::Sra => enc_i(opcode, 5, rd, rs1, (imm & 0x3F) | 0x400),
-                    AluOp::Sub | AluOp::Mul | AluOp::Div | AluOp::Divu | AluOp::Rem
+                    AluOp::Sub
+                    | AluOp::Mul
+                    | AluOp::Div
+                    | AluOp::Divu
+                    | AluOp::Rem
                     | AluOp::Remu => panic!("{op:?} has no immediate form"),
                 }
             }
-            Inst::AluReg { op, rd, rs1, rs2, word } => {
+            Inst::AluReg {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 let opcode = if word { OPC_OP_32 } else { OPC_OP };
                 let (funct3, funct7) = match op {
                     AluOp::Add => (0, 0x00),
@@ -571,12 +607,23 @@ impl Inst {
         let funct7 = (w >> 25) & 0x7F;
         let err = Err(DecodeError { word: w });
         let inst = match opcode {
-            OPC_LUI => Inst::Lui { rd: dec_rd(w), imm20: (w as i32) >> 12 },
-            OPC_AUIPC => Inst::Auipc { rd: dec_rd(w), imm20: (w as i32) >> 12 },
-            OPC_JAL => Inst::Jal { rd: dec_rd(w), offset: dec_j_imm(w) },
-            OPC_JALR if funct3 == 0 => {
-                Inst::Jalr { rd: dec_rd(w), rs1: dec_rs1(w), offset: dec_i_imm(w) }
-            }
+            OPC_LUI => Inst::Lui {
+                rd: dec_rd(w),
+                imm20: (w as i32) >> 12,
+            },
+            OPC_AUIPC => Inst::Auipc {
+                rd: dec_rd(w),
+                imm20: (w as i32) >> 12,
+            },
+            OPC_JAL => Inst::Jal {
+                rd: dec_rd(w),
+                offset: dec_j_imm(w),
+            },
+            OPC_JALR if funct3 == 0 => Inst::Jalr {
+                rd: dec_rd(w),
+                rs1: dec_rs1(w),
+                offset: dec_i_imm(w),
+            },
             OPC_BRANCH => {
                 let cond = match funct3 {
                     0 => BranchCond::Eq,
@@ -587,7 +634,12 @@ impl Inst {
                     7 => BranchCond::Geu,
                     _ => return err,
                 };
-                Inst::Branch { cond, rs1: dec_rs1(w), rs2: dec_rs2(w), offset: dec_b_imm(w) }
+                Inst::Branch {
+                    cond,
+                    rs1: dec_rs1(w),
+                    rs2: dec_rs2(w),
+                    offset: dec_b_imm(w),
+                }
             }
             OPC_LOAD => {
                 let (width, signed) = match funct3 {
@@ -600,7 +652,13 @@ impl Inst {
                     6 => (MemWidth::W, false),
                     _ => return err,
                 };
-                Inst::Load { width, signed, rd: dec_rd(w), rs1: dec_rs1(w), offset: dec_i_imm(w) }
+                Inst::Load {
+                    width,
+                    signed,
+                    rd: dec_rd(w),
+                    rs1: dec_rs1(w),
+                    offset: dec_i_imm(w),
+                }
             }
             OPC_STORE => {
                 let width = match funct3 {
@@ -610,7 +668,12 @@ impl Inst {
                     3 => MemWidth::D,
                     _ => return err,
                 };
-                Inst::Store { width, rs2: dec_rs2(w), rs1: dec_rs1(w), offset: dec_s_imm(w) }
+                Inst::Store {
+                    width,
+                    rs2: dec_rs2(w),
+                    rs1: dec_rs1(w),
+                    offset: dec_s_imm(w),
+                }
             }
             OPC_OP_IMM | OPC_OP_IMM_32 => {
                 let word = opcode == OPC_OP_IMM_32;
@@ -627,7 +690,13 @@ impl Inst {
                     5 => (AluOp::Srl, imm & 0x3F),
                     _ => return err,
                 };
-                Inst::AluImm { op, rd: dec_rd(w), rs1: dec_rs1(w), imm, word }
+                Inst::AluImm {
+                    op,
+                    rd: dec_rd(w),
+                    rs1: dec_rs1(w),
+                    imm,
+                    word,
+                }
             }
             OPC_OP | OPC_OP_32 => {
                 let word = opcode == OPC_OP_32;
@@ -649,7 +718,13 @@ impl Inst {
                     (7, 0x00) => AluOp::And,
                     _ => return err,
                 };
-                Inst::AluReg { op, rd: dec_rd(w), rs1: dec_rs1(w), rs2: dec_rs2(w), word }
+                Inst::AluReg {
+                    op,
+                    rd: dec_rd(w),
+                    rs1: dec_rs1(w),
+                    rs2: dec_rs2(w),
+                    word,
+                }
             }
             OPC_MISC_MEM => match funct3 {
                 0 => Inst::Fence,
@@ -698,7 +773,10 @@ impl Inst {
 
     /// `true` for control-flow instructions.
     pub fn is_control_flow(self) -> bool {
-        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. })
+        matches!(
+            self,
+            Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Branch { .. }
+        )
     }
 
     /// The destination register, if the instruction writes one.
@@ -730,7 +808,10 @@ impl Inst {
                 v.push(rs1);
                 v.push(rs2);
             }
-            Inst::Csr { src: CsrSrc::Reg(r), .. } => v.push(r),
+            Inst::Csr {
+                src: CsrSrc::Reg(r),
+                ..
+            } => v.push(r),
             _ => {}
         }
         v.retain(|r| !r.is_zero());
@@ -750,21 +831,53 @@ mod tests {
 
     #[test]
     fn roundtrip_u_and_j_types() {
-        roundtrip(Inst::Lui { rd: Reg::A0, imm20: -0x12345 }); // negative imm
-        roundtrip(Inst::Lui { rd: Reg::A0, imm20: 0x7FFFF });
-        roundtrip(Inst::Auipc { rd: Reg::T1, imm20: -1 });
-        roundtrip(Inst::Jal { rd: Reg::RA, offset: 2048 });
-        roundtrip(Inst::Jal { rd: Reg::ZERO, offset: -4096 });
+        roundtrip(Inst::Lui {
+            rd: Reg::A0,
+            imm20: -0x12345,
+        }); // negative imm
+        roundtrip(Inst::Lui {
+            rd: Reg::A0,
+            imm20: 0x7FFFF,
+        });
+        roundtrip(Inst::Auipc {
+            rd: Reg::T1,
+            imm20: -1,
+        });
+        roundtrip(Inst::Jal {
+            rd: Reg::RA,
+            offset: 2048,
+        });
+        roundtrip(Inst::Jal {
+            rd: Reg::ZERO,
+            offset: -4096,
+        });
     }
 
     #[test]
     fn roundtrip_loads_stores() {
         for width in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
-            roundtrip(Inst::Load { width, signed: true, rd: Reg::A5, rs1: Reg::A4, offset: -8 });
-            roundtrip(Inst::Store { width, rs2: Reg::A5, rs1: Reg::SP, offset: 2040 });
+            roundtrip(Inst::Load {
+                width,
+                signed: true,
+                rd: Reg::A5,
+                rs1: Reg::A4,
+                offset: -8,
+            });
+            roundtrip(Inst::Store {
+                width,
+                rs2: Reg::A5,
+                rs1: Reg::SP,
+                offset: 2040,
+            });
         }
         for width in [MemWidth::B, MemWidth::H, MemWidth::W] {
-            roundtrip(Inst::Load { width, signed: false, rd: Reg::T0, rs1: Reg::T1, offset: 7 });
+            roundtrip(Inst::Load {
+                width,
+                signed: false,
+                rd: Reg::T0,
+                rs1: Reg::T1,
+                offset: 7,
+            });
         }
     }
 
@@ -778,8 +891,18 @@ mod tests {
             BranchCond::Ltu,
             BranchCond::Geu,
         ] {
-            roundtrip(Inst::Branch { cond, rs1: Reg::A0, rs2: Reg::A1, offset: -2048 });
-            roundtrip(Inst::Branch { cond, rs1: Reg::S0, rs2: Reg::S1, offset: 4094 });
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -2048,
+            });
+            roundtrip(Inst::Branch {
+                cond,
+                rs1: Reg::S0,
+                rs2: Reg::S1,
+                offset: 4094,
+            });
         }
     }
 
@@ -796,7 +919,13 @@ mod tests {
             AluOp::Srl,
             AluOp::Sra,
         ] {
-            roundtrip(Inst::AluImm { op, rd: Reg::A0, rs1: Reg::A1, imm: 33, word: false });
+            roundtrip(Inst::AluImm {
+                op,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                imm: 33,
+                word: false,
+            });
         }
         for op in [
             AluOp::Add,
@@ -815,8 +944,20 @@ mod tests {
             AluOp::Or,
             AluOp::And,
         ] {
-            roundtrip(Inst::AluReg { op, rd: Reg::T2, rs1: Reg::T3, rs2: Reg::T4, word: false });
-            roundtrip(Inst::AluReg { op, rd: Reg::T2, rs1: Reg::T3, rs2: Reg::T4, word: true });
+            roundtrip(Inst::AluReg {
+                op,
+                rd: Reg::T2,
+                rs1: Reg::T3,
+                rs2: Reg::T4,
+                word: false,
+            });
+            roundtrip(Inst::AluReg {
+                op,
+                rd: Reg::T2,
+                rs1: Reg::T3,
+                rs2: Reg::T4,
+                word: true,
+            });
         }
     }
 
@@ -840,7 +981,14 @@ mod tests {
             src: CsrSrc::Imm(1),
             csr: crate::csr::MIE,
         });
-        for i in [Inst::Ecall, Inst::Ebreak, Inst::Mret, Inst::Sret, Inst::Wfi, Inst::FenceI] {
+        for i in [
+            Inst::Ecall,
+            Inst::Ebreak,
+            Inst::Mret,
+            Inst::Sret,
+            Inst::Wfi,
+            Inst::FenceI,
+        ] {
             roundtrip(i);
         }
     }
@@ -886,7 +1034,10 @@ mod tests {
         assert_eq!(AluOp::Divu.eval(7, 2, false), 3);
         assert_eq!(AluOp::Remu.eval(7, 2, false), 1);
         // Word forms sign-extend and use 32-bit overflow rules.
-        assert_eq!(AluOp::Div.eval(0x8000_0000, u64::MAX, true), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(
+            AluOp::Div.eval(0x8000_0000, u64::MAX, true),
+            0xFFFF_FFFF_8000_0000
+        );
         assert_eq!(AluOp::Divu.eval(10, 0, true), u64::MAX); // zext32(-1) sext -> all ones
     }
 
@@ -899,14 +1050,31 @@ mod tests {
 
     #[test]
     fn dest_and_sources() {
-        let ld = Inst::Load { width: MemWidth::D, signed: true, rd: Reg::A5, rs1: Reg::A4, offset: 0 };
+        let ld = Inst::Load {
+            width: MemWidth::D,
+            signed: true,
+            rd: Reg::A5,
+            rs1: Reg::A4,
+            offset: 0,
+        };
         assert_eq!(ld.dest(), Some(Reg::A5));
         assert_eq!(ld.sources(), vec![Reg::A4]);
-        let st = Inst::Store { width: MemWidth::D, rs2: Reg::A5, rs1: Reg::A4, offset: 0 };
+        let st = Inst::Store {
+            width: MemWidth::D,
+            rs2: Reg::A5,
+            rs1: Reg::A4,
+            offset: 0,
+        };
         assert_eq!(st.dest(), None);
         assert_eq!(st.sources(), vec![Reg::A4, Reg::A5]);
         // x0 destination is no destination.
-        let nop = Inst::AluImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0, word: false };
+        let nop = Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+            word: false,
+        };
         assert_eq!(nop.dest(), None);
         assert!(nop.sources().is_empty());
     }

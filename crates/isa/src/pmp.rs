@@ -99,12 +99,24 @@ impl PmpCfg {
 
     /// Convenience: a TOR entry with the given permissions.
     pub fn tor(r: bool, w: bool, x: bool) -> PmpCfg {
-        PmpCfg { r, w, x, a: PmpAddrMatch::Tor, l: false }
+        PmpCfg {
+            r,
+            w,
+            x,
+            a: PmpAddrMatch::Tor,
+            l: false,
+        }
     }
 
     /// Convenience: a NAPOT entry with the given permissions.
     pub fn napot(r: bool, w: bool, x: bool) -> PmpCfg {
-        PmpCfg { r, w, x, a: PmpAddrMatch::Napot, l: false }
+        PmpCfg {
+            r,
+            w,
+            x,
+            a: PmpAddrMatch::Napot,
+            l: false,
+        }
     }
 
     /// Whether this entry grants the given access kind.
@@ -150,7 +162,10 @@ pub struct PmpDecision {
 impl PmpSet {
     /// Creates a PMP unit with `n` entries, all `Off`.
     pub fn new(n: usize) -> PmpSet {
-        PmpSet { cfg: vec![PmpCfg::default(); n], addr: vec![0; n] }
+        PmpSet {
+            cfg: vec![PmpCfg::default(); n],
+            addr: vec![0; n],
+        }
     }
 
     /// Number of entries.
@@ -199,7 +214,10 @@ impl PmpSet {
     /// Panics if `size` is not a power of two ≥ 8 or `base` is not
     /// `size`-aligned.
     pub fn program_napot(&mut self, i: usize, base: u64, size: u64, cfg: PmpCfg) {
-        assert!(size.is_power_of_two() && size >= 8, "NAPOT size must be a power of two >= 8");
+        assert!(
+            size.is_power_of_two() && size >= 8,
+            "NAPOT size must be a power of two >= 8"
+        );
         assert_eq!(base % size, 0, "NAPOT base must be size-aligned");
         let mut c = cfg;
         c.a = PmpAddrMatch::Napot;
@@ -260,7 +278,13 @@ impl PmpSet {
     /// access determines the outcome; an access that straddles an entry
     /// boundary fails unless fully contained (modeled conservatively: the
     /// access must be fully inside the matched range to use its permissions).
-    pub fn check(&self, addr: u64, len: u64, kind: AccessKind, priv_level: PrivLevel) -> PmpDecision {
+    pub fn check(
+        &self,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        priv_level: PrivLevel,
+    ) -> PmpDecision {
         let end = addr.saturating_add(len.max(1));
         for i in 0..self.cfg.len() {
             let Some((lo, hi)) = self.entry_range(i) else {
@@ -274,10 +298,16 @@ impl PmpSet {
             let cfg = self.cfg[i];
             if priv_level == PrivLevel::Machine && !cfg.l {
                 // Unlocked entries do not constrain M-mode.
-                return PmpDecision { allowed: true, matched_entry: Some(i) };
+                return PmpDecision {
+                    allowed: true,
+                    matched_entry: Some(i),
+                };
             }
             let allowed = contained && cfg.permits(kind);
-            return PmpDecision { allowed, matched_entry: Some(i) };
+            return PmpDecision {
+                allowed,
+                matched_entry: Some(i),
+            };
         }
         // No match: M succeeds; S/U succeed only if no entry is active
         // (hardware with zero implemented entries). Keystone always installs

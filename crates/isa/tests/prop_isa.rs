@@ -73,35 +73,86 @@ fn any_inst() -> impl Strategy<Value = Inst> {
         (any_reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Inst::Auipc { rd, imm20 }),
         (any_reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
             .prop_map(|(rd, offset)| Inst::Jal { rd, offset }),
-        (any_reg(), any_reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
-        (any_cond(), any_reg(), any_reg(), (-2048i32..2048).prop_map(|o| o * 2))
-            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch { cond, rs1, rs2, offset }),
-        (any_width(), any::<bool>(), any_reg(), any_reg(), -2048i32..2048).prop_map(
-            |(width, signed, rd, rs1, offset)| {
+        (any_reg(), any_reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (
+            any_cond(),
+            any_reg(),
+            any_reg(),
+            (-2048i32..2048).prop_map(|o| o * 2)
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }),
+        (
+            any_width(),
+            any::<bool>(),
+            any_reg(),
+            any_reg(),
+            -2048i32..2048
+        )
+            .prop_map(|(width, signed, rd, rs1, offset)| {
                 // `ld` has no unsigned variant.
                 let signed = signed || width == MemWidth::D;
-                Inst::Load { width, signed, rd, rs1, offset }
+                Inst::Load {
+                    width,
+                    signed,
+                    rd,
+                    rs1,
+                    offset,
+                }
+            }),
+        (any_width(), any_reg(), any_reg(), -2048i32..2048).prop_map(
+            |(width, rs2, rs1, offset)| Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset
             }
         ),
-        (any_width(), any_reg(), any_reg(), -2048i32..2048)
-            .prop_map(|(width, rs2, rs1, offset)| Inst::Store { width, rs2, rs1, offset }),
-        (any_imm_op(), any_reg(), any_reg(), -2048i32..2048, any::<bool>()).prop_map(
-            |(op, rd, rs1, imm, word)| {
+        (
+            any_imm_op(),
+            any_reg(),
+            any_reg(),
+            -2048i32..2048,
+            any::<bool>()
+        )
+            .prop_map(|(op, rd, rs1, imm, word)| {
                 let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
                     imm & 0x3F
                 } else {
                     imm
                 };
-                Inst::AluImm { op, rd, rs1, imm, word }
+                Inst::AluImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm,
+                    word,
+                }
+            }),
+        (any_alu_op(), any_reg(), any_reg(), any_reg(), any::<bool>()).prop_map(
+            |(op, rd, rs1, rs2, word)| Inst::AluReg {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word
             }
         ),
-        (any_alu_op(), any_reg(), any_reg(), any_reg(), any::<bool>())
-            .prop_map(|(op, rd, rs1, rs2, word)| Inst::AluReg { op, rd, rs1, rs2, word }),
         (
             prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)],
             any_reg(),
-            prop_oneof![any_reg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)],
+            prop_oneof![
+                any_reg().prop_map(CsrSrc::Reg),
+                (0u8..32).prop_map(CsrSrc::Imm)
+            ],
             0u16..4096
         )
             .prop_map(|(op, rd, src, csr)| Inst::Csr { op, rd, src, csr }),

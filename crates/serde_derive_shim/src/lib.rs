@@ -1,0 +1,462 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-repo serde
+//! facade, implemented directly on `proc_macro` (no syn/quote — the build
+//! environment is fully offline).
+//!
+//! The derive supports exactly the shapes this workspace uses: named-field
+//! structs, tuple (including newtype) structs, unit structs, and enums with
+//! unit, tuple, and struct variants. Field-level `#[serde(skip)]` omits a
+//! field on serialize and fills it from `Default` on deserialize. Generic
+//! types are not supported.
+//!
+//! Representation (chosen for round-trip fidelity, not serde compatibility):
+//! named structs become objects; newtype structs are transparent; n-tuple
+//! structs become arrays; unit variants become strings; payload variants are
+//! externally tagged (`{"Variant": payload}`).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// One struct or enum-variant field.
+struct Field {
+    /// Identifier for named fields, decimal index for tuple fields.
+    name: String,
+    /// `#[serde(skip)]` present.
+    skip: bool,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Body {
+    UnitStruct,
+    TupleStruct(Vec<Field>),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize` (the facade's single-method trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize must parse")
+}
+
+/// Derives `serde::Deserialize` (the facade's single-method trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes; returns whether any was `#[serde(skip)]`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let Some(TokenTree::Group(g)) = toks.get(*i) else {
+            panic!("serde_derive: `#` not followed by an attribute group")
+        };
+        if g.delimiter() == Delimiter::Bracket {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        if args
+                            .stream()
+                            .to_string()
+                            .split(',')
+                            .any(|a| a.trim() == "skip")
+                        {
+                            skip = true;
+                        }
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Consumes a type, tracking `<...>` nesting, up to a top-level comma (also
+/// consumed) or end of stream.
+fn eat_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i64;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected field name, found `{t}`"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            t => panic!("serde_derive: expected `:` after field `{name}`, found `{t}`"),
+        }
+        eat_type_until_comma(&toks, &mut i);
+        out.push(Field { name, skip });
+    }
+    out
+}
+
+fn parse_tuple_fields(g: &Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        eat_type_until_comma(&toks, &mut i);
+        out.push(Field {
+            name: out.len().to_string(),
+            skip,
+        });
+    }
+    out
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("serde_derive: expected variant name, found `{t}`"),
+        };
+        i += 1;
+        let mut fields = VariantFields::Unit;
+        if let Some(TokenTree::Group(vg)) = toks.get(i) {
+            match vg.delimiter() {
+                Delimiter::Parenthesis => {
+                    fields = VariantFields::Tuple(parse_tuple_fields(vg).len());
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    fields = VariantFields::Named(parse_named_fields(vg));
+                    i += 1;
+                }
+                _ => {}
+            }
+        }
+        // Skip any explicit discriminant up to the separating comma.
+        while i < toks.len() && !matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1;
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, found `{t}`"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("serde_derive: expected type name, found `{t}`"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the offline shim");
+    }
+    let body = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            t => panic!("serde_derive: unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            t => panic!("serde_derive: unsupported enum body for `{name}`: {t:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    };
+    Input { name, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Body::TupleStruct(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Body::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), \
+                     ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), \
+                                     ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Object(::std::vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `match obj_get(...) {{ Some => from_value, None => absent }}` for one
+/// named field; skipped fields come from `Default`.
+fn named_field_init(ty: &str, owner: &str, f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::std::default::Default::default(),\n", f.name)
+    } else {
+        format!(
+            "{0}: match ::serde::object_get(__obj, \"{0}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::absent(\"{ty}{owner}.{0}\")?,\n\
+             }},\n",
+            f.name
+        )
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::TupleStruct(fields) if fields.len() == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Body::TupleStruct(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::invalid_type(\"array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::invalid_type(\
+                 \"{n}-element array for {name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", "),
+            )
+        }
+        Body::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| named_field_init(name, "", f))
+                .collect();
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::invalid_type(\"object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantFields::Tuple(n) if *n == 1 => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __arr = __payload.as_array().ok_or_else(|| \
+                             ::serde::Error::invalid_type(\"array for {name}::{vn}\"))?;\n\
+                             if __arr.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::invalid_type(\
+                             \"{n}-element array for {name}::{vn}\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vn}({items}))\n}}\n",
+                            items = items.join(", "),
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| named_field_init(name, &format!("::{vn}"), f))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __obj = __payload.as_object().ok_or_else(|| \
+                             ::serde::Error::invalid_type(\"object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __payload) = (&__pairs[0].0, &__pairs[0].1);\n\
+                 match __tag.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::Error::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(\
+                 ::serde::Error::invalid_type(\"string or 1-key object for {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

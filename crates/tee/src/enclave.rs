@@ -87,7 +87,9 @@ pub struct LifecycleTracker {
 impl LifecycleTracker {
     /// Creates a tracker for `n` enclave slots.
     pub fn new(n: usize) -> LifecycleTracker {
-        LifecycleTracker { states: vec![EnclaveState::Fresh; n] }
+        LifecycleTracker {
+            states: vec![EnclaveState::Fresh; n],
+        }
     }
 
     /// Current state of slot `i`.
@@ -137,8 +139,12 @@ mod tests {
 
     #[test]
     fn destroy_requires_stopped_or_exited() {
-        assert!(EnclaveState::Running.apply(SbiCall::DestroyEnclave).is_err());
-        assert!(EnclaveState::Created.apply(SbiCall::DestroyEnclave).is_err());
+        assert!(EnclaveState::Running
+            .apply(SbiCall::DestroyEnclave)
+            .is_err());
+        assert!(EnclaveState::Created
+            .apply(SbiCall::DestroyEnclave)
+            .is_err());
         assert!(EnclaveState::Stopped.apply(SbiCall::DestroyEnclave).is_ok());
         assert!(EnclaveState::Exited.apply(SbiCall::DestroyEnclave).is_ok());
     }

@@ -25,7 +25,10 @@ impl PageTableBuilder {
     /// least one table.
     pub fn new(arena_base: u64, arena_size: u64, mem: &mut Memory) -> PageTableBuilder {
         assert_eq!(arena_base % PAGE_SIZE, 0, "arena must be page aligned");
-        assert!(arena_size >= PAGE_SIZE, "arena must hold at least the root table");
+        assert!(
+            arena_size >= PAGE_SIZE,
+            "arena must hold at least the root table"
+        );
         // Zero the root table.
         for off in (0..PAGE_SIZE).step_by(8) {
             mem.write_u64(arena_base + off, 0);
@@ -43,7 +46,10 @@ impl PageTableBuilder {
     }
 
     fn alloc_table(&mut self, mem: &mut Memory) -> u64 {
-        assert!(self.next_free + PAGE_SIZE <= self.limit, "page-table arena exhausted");
+        assert!(
+            self.next_free + PAGE_SIZE <= self.limit,
+            "page-table arena exhausted"
+        );
         let t = self.next_free;
         self.next_free += PAGE_SIZE;
         for off in (0..PAGE_SIZE).step_by(8) {

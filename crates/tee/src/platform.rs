@@ -80,7 +80,11 @@ impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::Assemble(e) => write!(f, "assembly failed: {e}"),
-            BuildError::CodeTooLarge { region, words, capacity } => {
+            BuildError::CodeTooLarge {
+                region,
+                words,
+                capacity,
+            } => {
                 write!(f, "{region} code too large: {words} words > {capacity}")
             }
         }
@@ -192,7 +196,12 @@ impl<'a> PlatformBuilder<'a> {
                 let mut pt = PageTableBuilder::new(layout::PT_BASE, layout::PT_SIZE, &mut mem);
                 let rwx = Pte::R | Pte::W | Pte::X;
                 pt.identity_map(layout::HOST_BASE, layout::HOST_SIZE, rwx, &mut mem);
-                pt.identity_map(layout::SHARED_BASE, layout::SHARED_SIZE, rwx | Pte::U, &mut mem);
+                pt.identity_map(
+                    layout::SHARED_BASE,
+                    layout::SHARED_SIZE,
+                    rwx | Pte::U,
+                    &mut mem,
+                );
                 for i in 0..layout::MAX_ENCLAVES {
                     // The malicious OS maps enclave physical memory into its
                     // own address space; PMP is the only line of defense.
@@ -313,7 +322,10 @@ mod tests {
             .expect("build");
         assert_eq!(p.run(500_000), RunExit::Halted);
         assert_eq!(p.core.reg(Reg::S2), 0x1234);
-        assert_eq!(p.core.priv_level, teesec_isa::priv_level::PrivLevel::Supervisor);
+        assert_eq!(
+            p.core.priv_level,
+            teesec_isa::priv_level::PrivLevel::Supervisor
+        );
         assert_eq!(p.core.domain, Domain::Untrusted);
     }
 
@@ -382,7 +394,11 @@ mod tests {
             .iter()
             .any(|e| e.domain == Domain::Enclave(0));
         assert!(saw_enclave_domain, "trace must attribute enclave execution");
-        assert_eq!(p.core.domain, Domain::Untrusted, "back to untrusted at halt");
+        assert_eq!(
+            p.core.domain,
+            Domain::Untrusted,
+            "back to untrusted at halt"
+        );
     }
 
     #[test]
@@ -393,9 +409,9 @@ mod tests {
                 a.li(Reg::S5, 0xA);
                 a.li(Reg::A7, SbiCall::StopEnclave.id());
                 a.ecall(); // yield mid-way
-                // Resumed here. S5 is *not* preserved across the switch in
-                // this SM (registers are the enclave runtime's job), so
-                // write a token from fresh registers instead.
+                           // Resumed here. S5 is *not* preserved across the switch in
+                           // this SM (registers are the enclave runtime's job), so
+                           // write a token from fresh registers instead.
                 a.li(Reg::T0, data);
                 a.li(Reg::T1, 0xBEEF);
                 a.sd(Reg::T1, Reg::T0, 0);
@@ -431,7 +447,10 @@ mod tests {
         assert_eq!(p.run(1_000_000), RunExit::Halted);
         assert_eq!(p.core.reg(Reg::S2), 0x5AFE);
         // The hardware walker must have inserted translations.
-        assert!(p.core.lsu.dtlb.valid_count() > 0, "DTLB populated by hardware walks");
+        assert!(
+            p.core.lsu.dtlb.valid_count() > 0,
+            "DTLB populated by hardware walks"
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn napot_addr(base: u64, size: u64) -> u64 {
 
 /// The packed `pmpcfg0` value with the given per-entry bytes.
 fn pack_cfg(bytes: [u8; 8]) -> u64 {
-    bytes.iter().rev().fold(0u64, |acc, &b| (acc << 8) | b as u64)
+    bytes
+        .iter()
+        .rev()
+        .fold(0u64, |acc, &b| (acc << 8) | b as u64)
 }
 
 const DENY: u8 = 0x18; // NAPOT, no permissions
@@ -120,9 +123,15 @@ fn emit_boot(a: &mut Assembler, opts: &SmOptions) {
     a.csrw(csr::pmpaddr_csr_for_entry(pmp_entry::SM), Reg::T0);
     a.li(Reg::T0, napot_addr(layout::HOST_BASE, layout::HOST_SIZE));
     a.csrw(csr::pmpaddr_csr_for_entry(pmp_entry::HOST), Reg::T0);
-    a.li(Reg::T0, napot_addr(layout::enclave_base(0), layout::ENCLAVE_SIZE));
+    a.li(
+        Reg::T0,
+        napot_addr(layout::enclave_base(0), layout::ENCLAVE_SIZE),
+    );
     a.csrw(csr::pmpaddr_csr_for_entry(pmp_entry::ENCLAVE0), Reg::T0);
-    a.li(Reg::T0, napot_addr(layout::enclave_base(1), layout::ENCLAVE_SIZE));
+    a.li(
+        Reg::T0,
+        napot_addr(layout::enclave_base(1), layout::ENCLAVE_SIZE),
+    );
     a.csrw(csr::pmpaddr_csr_for_entry(pmp_entry::ENCLAVE1), Reg::T0);
     a.li(Reg::T0, u64::MAX >> 10); // NAPOT over the whole address space
     a.csrw(csr::pmpaddr_csr_for_entry(pmp_entry::DEFAULT), Reg::T0);
@@ -225,7 +234,11 @@ fn emit_trap_handler(a: &mut Assembler, opts: &SmOptions) {
         a.label(format!("stop_{i}"));
         // Save the enclave's resume point and (optionally) its registers.
         a.csrr(Reg::T3, csr::MEPC);
-        a.sd(Reg::T3, Reg::T0, (scratch::ENC_RESUME + 8 * i as u64) as i32);
+        a.sd(
+            Reg::T3,
+            Reg::T0,
+            (scratch::ENC_RESUME + 8 * i as u64) as i32,
+        );
         if opts.full_context_switch {
             emit_save_context(a, scratch::ENC_GPRS + 0x100 * i as u64);
         }
@@ -467,8 +480,11 @@ mod tests {
 
     #[test]
     fn firmware_with_hpc_clearing_assembles() {
-        let opts =
-            SmOptions { clear_hpcs_on_switch: true, hpm_counters: 8, ..SmOptions::default() };
+        let opts = SmOptions {
+            clear_hpcs_on_switch: true,
+            hpm_counters: 8,
+            ..SmOptions::default()
+        };
         let words = generate(&opts).assemble().expect("assemble");
         assert!((words.len() as u64) * 4 <= layout::SM_SCRATCH - layout::SM_BASE);
     }

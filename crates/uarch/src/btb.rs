@@ -52,8 +52,15 @@ impl Ubtb {
     /// Creates a uBTB with `entries` slots (power of two) tagging
     /// `tag_bits` PC bits above the index.
     pub fn new(entries: usize, tag_bits: u32) -> Ubtb {
-        assert!(entries.is_power_of_two(), "uBTB entries must be a power of two");
-        Ubtb { entries: vec![EMPTY; entries], index_bits: entries.trailing_zeros(), tag_bits }
+        assert!(
+            entries.is_power_of_two(),
+            "uBTB entries must be a power of two"
+        );
+        Ubtb {
+            entries: vec![EMPTY; entries],
+            index_bits: entries.trailing_zeros(),
+            tag_bits,
+        }
     }
 
     /// The entry index for a PC (instructions are 4-byte aligned).
@@ -120,7 +127,13 @@ impl Ftb {
     /// Creates an FTB with the given geometry.
     pub fn new(sets: usize, ways: usize, tag_bits: u32) -> Ftb {
         assert!(sets.is_power_of_two(), "FTB sets must be a power of two");
-        Ftb { entries: vec![EMPTY; sets * ways], sets, ways, tag_bits, use_counter: 0 }
+        Ftb {
+            entries: vec![EMPTY; sets * ways],
+            sets,
+            ways,
+            tag_bits,
+            use_counter: 0,
+        }
     }
 
     fn set_of(&self, pc: u64) -> usize {
@@ -190,7 +203,9 @@ impl Bht {
     /// Creates a BHT with `n` two-bit counters, initialized weakly not-taken.
     pub fn new(n: usize) -> Bht {
         assert!(n.is_power_of_two(), "BHT size must be a power of two");
-        Bht { counters: vec![1; n] }
+        Bht {
+            counters: vec![1; n],
+        }
     }
 
     fn index(&self, pc: u64) -> usize {

@@ -45,7 +45,10 @@ impl Cache {
     /// Panics unless `sets` and `line_size` are powers of two.
     pub fn new(sets: usize, ways: usize, line_size: u64) -> Cache {
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let line = CacheLine {
             valid: false,
             line_addr: 0,
@@ -53,7 +56,13 @@ impl Cache {
             last_use: 0,
             fill_domain: Domain::Untrusted,
         };
-        Cache { sets, ways, line_size, lines: vec![line; sets * ways], use_counter: 0 }
+        Cache {
+            sets,
+            ways,
+            line_size,
+            lines: vec![line; sets * ways],
+            use_counter: 0,
+        }
     }
 
     /// The line-aligned address containing `addr`.
@@ -123,7 +132,11 @@ impl Cache {
     /// Installs a line, evicting LRU if needed. Returns the evicted line if
     /// one was displaced.
     pub fn fill(&mut self, line_addr: u64, data: Vec<u8>, domain: Domain) -> Option<CacheLine> {
-        debug_assert_eq!(line_addr & (self.line_size - 1), 0, "fill address must be line aligned");
+        debug_assert_eq!(
+            line_addr & (self.line_size - 1),
+            0,
+            "fill address must be line aligned"
+        );
         debug_assert_eq!(data.len() as u64, self.line_size);
         self.use_counter += 1;
         let counter = self.use_counter;
@@ -139,10 +152,23 @@ impl Cache {
         let victim = range
             .clone()
             .find(|&i| !self.lines[i].valid)
-            .unwrap_or_else(|| range.min_by_key(|&i| self.lines[i].last_use).expect("ways >= 1"));
-        let evicted = if self.lines[victim].valid { Some(self.lines[victim].clone()) } else { None };
-        self.lines[victim] =
-            CacheLine { valid: true, line_addr, data, last_use: counter, fill_domain: domain };
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].last_use)
+                    .expect("ways >= 1")
+            });
+        let evicted = if self.lines[victim].valid {
+            Some(self.lines[victim].clone())
+        } else {
+            None
+        };
+        self.lines[victim] = CacheLine {
+            valid: true,
+            line_addr,
+            data,
+            last_use: counter,
+            fill_domain: domain,
+        };
         evicted
     }
 
@@ -216,7 +242,12 @@ impl Lfb {
             fill_domain: Domain::Untrusted,
             fill_cycle: 0,
         };
-        Lfb { entries: vec![e; n], line_size, alloc_clock: 0, alloc_stamp: vec![0; n] }
+        Lfb {
+            entries: vec![e; n],
+            line_size,
+            alloc_clock: 0,
+            alloc_stamp: vec![0; n],
+        }
     }
 
     /// Allocates an entry for a new outstanding fill.
@@ -225,18 +256,14 @@ impl Lfb {
     /// residual data is thereby finally displaced). Returns `None` when
     /// every entry is still pending (structural stall).
     pub fn allocate(&mut self, line_addr: u64, purpose: FillPurpose) -> Option<usize> {
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| !e.valid)
-            .or_else(|| {
-                self.entries
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, e)| e.state == LfbState::Filled)
-                    .min_by_key(|&(i, _)| self.alloc_stamp[i])
-                    .map(|(i, _)| i)
-            })?;
+        let idx = self.entries.iter().position(|e| !e.valid).or_else(|| {
+            self.entries
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.state == LfbState::Filled)
+                .min_by_key(|&(i, _)| self.alloc_stamp[i])
+                .map(|(i, _)| i)
+        })?;
         self.alloc_clock += 1;
         self.alloc_stamp[idx] = self.alloc_clock;
         let e = &mut self.entries[idx];
@@ -337,7 +364,9 @@ mod tests {
         c.fill(0x0040, line(2), Domain::Untrusted);
         // Touch the first line so the second becomes LRU.
         assert!(c.read(0x0000, 1).is_some());
-        let evicted = c.fill(0x0080, line(3), Domain::Untrusted).expect("eviction");
+        let evicted = c
+            .fill(0x0080, line(3), Domain::Untrusted)
+            .expect("eviction");
         assert_eq!(evicted.line_addr, 0x0040);
         assert!(c.contains(0x0000) && c.contains(0x0080) && !c.contains(0x0040));
     }

@@ -352,14 +352,35 @@ impl CoreConfig {
     /// Panics on an inconsistent configuration; construction sites are
     /// expected to call this once.
     pub fn validate(&self) {
-        assert!(self.line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(self.l1d_sets.is_power_of_two(), "l1d sets must be a power of two");
-        assert!(self.l2_sets.is_power_of_two(), "l2 sets must be a power of two");
-        assert!(self.ubtb_entries.is_power_of_two(), "ubtb entries must be a power of two");
-        assert!(self.ftb_sets.is_power_of_two(), "ftb sets must be a power of two");
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.l1d_sets.is_power_of_two(),
+            "l1d sets must be a power of two"
+        );
+        assert!(
+            self.l2_sets.is_power_of_two(),
+            "l2 sets must be a power of two"
+        );
+        assert!(
+            self.ubtb_entries.is_power_of_two(),
+            "ubtb entries must be a power of two"
+        );
+        assert!(
+            self.ftb_sets.is_power_of_two(),
+            "ftb sets must be a power of two"
+        );
         assert!(self.width >= 1, "pipeline width must be at least 1");
-        assert!(self.rob_entries >= self.width, "ROB must hold at least one dispatch group");
-        assert!(self.lfb_entries >= 1, "at least one line-fill buffer entry required");
+        assert!(
+            self.rob_entries >= self.width,
+            "ROB must hold at least one dispatch group"
+        );
+        assert!(
+            self.lfb_entries >= 1,
+            "at least one line-fill buffer entry required"
+        );
         assert!(self.hpm_counters <= teesec_isa::csr::HPM_COUNTER_COUNT);
     }
 }

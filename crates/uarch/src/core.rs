@@ -242,7 +242,14 @@ impl Core {
                 self.csr.mip |= 1 << Interrupt::MachineExternal.number();
             }
         }
-        self.lsu.tick(self.cycle, self.priv_level, self.domain, &mut self.csr, &mut self.mem, &mut self.trace);
+        self.lsu.tick(
+            self.cycle,
+            self.priv_level,
+            self.domain,
+            &mut self.csr,
+            &mut self.mem,
+            &mut self.trace,
+        );
         self.collect_lsu_completions();
         if self.take_interrupt_if_pending() {
             return;
@@ -269,7 +276,11 @@ impl Core {
                 Err(_) => None,
             };
             if dest == Some(r) {
-                return if e.state == EntryState::Done { e.result } else { None };
+                return if e.state == EntryState::Done {
+                    e.result
+                } else {
+                    None
+                };
             }
         }
         Some(self.arch_rf[r.index() as usize])
@@ -277,16 +288,25 @@ impl Core {
 
     fn operands_ready(&self, pos: usize) -> bool {
         match self.rob[pos].inst {
-            Ok(i) => i.sources().iter().all(|&r| self.source_value(pos, r).is_some()),
+            Ok(i) => i
+                .sources()
+                .iter()
+                .all(|&r| self.source_value(pos, r).is_some()),
             Err(_) => true,
         }
     }
 
     /// Is this entry the youngest writer of its destination register?
     fn is_youngest_writer(&self, pos: usize) -> bool {
-        let Ok(inst) = self.rob[pos].inst else { return false };
+        let Ok(inst) = self.rob[pos].inst else {
+            return false;
+        };
         let Some(d) = inst.dest() else { return false };
-        !self.rob.iter().skip(pos + 1).any(|e| matches!(e.inst, Ok(i) if i.dest() == Some(d)))
+        !self
+            .rob
+            .iter()
+            .skip(pos + 1)
+            .any(|e| matches!(e.inst, Ok(i) if i.dest() == Some(d)))
     }
 
     fn writeback(&mut self, pos: usize, value: u64) {
@@ -304,7 +324,11 @@ impl Core {
             domain,
             pc: Some(pc),
             structure: Structure::RegFile,
-            kind: TraceEventKind::Write { index: d.index() as u64, value, tag: None },
+            kind: TraceEventKind::Write {
+                index: d.index() as u64,
+                value,
+                tag: None,
+            },
         });
     }
 
@@ -378,11 +402,13 @@ impl Core {
                 continue;
             }
             let exact = st.vaddr == vaddr && st.width == width;
-            let translated =
-                self.priv_level != PrivLevel::Machine && self.csr.satp.is_sv39();
+            let translated = self.priv_level != PrivLevel::Machine && self.csr.satp.is_sv39();
             if exact
                 && !translated
-                && self.csr.pmp.allows(vaddr, width, AccessKind::Read, self.priv_level)
+                && self
+                    .csr
+                    .pmp
+                    .allows(vaddr, width, AccessKind::Read, self.priv_level)
             {
                 return SqScan::Forward(st.value);
             }
@@ -427,13 +453,17 @@ impl Core {
                     self.writeback(pos, v);
                     issued += 1;
                 }
-                Inst::AluImm { op, rs1, imm, word, .. } => {
+                Inst::AluImm {
+                    op, rs1, imm, word, ..
+                } => {
                     let v = op.eval(src(self, rs1), imm as i64 as u64, word);
                     self.rob[pos].state = EntryState::Done;
                     self.writeback(pos, v);
                     issued += 1;
                 }
-                Inst::AluReg { op, rs1, rs2, word, .. } => {
+                Inst::AluReg {
+                    op, rs1, rs2, word, ..
+                } => {
                     let v = op.eval(src(self, rs1), src(self, rs2), word);
                     self.rob[pos].state = EntryState::Done;
                     self.writeback(pos, v);
@@ -458,10 +488,18 @@ impl Core {
                     pos += 1;
                     continue;
                 }
-                Inst::Branch { cond, rs1, rs2, offset } => {
+                Inst::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     let taken = cond.taken(src(self, rs1), src(self, rs2));
-                    let target =
-                        if taken { pc.wrapping_add(offset as i64 as u64) } else { pc + 4 };
+                    let target = if taken {
+                        pc.wrapping_add(offset as i64 as u64)
+                    } else {
+                        pc + 4
+                    };
                     self.rob[pos].state = EntryState::Done;
                     if taken {
                         self.csr.hpc_bump(HpcEvent::BranchTaken, self.domain);
@@ -473,7 +511,13 @@ impl Core {
                     pos += 1;
                     continue;
                 }
-                Inst::Load { width, signed, rs1, offset, .. } => {
+                Inst::Load {
+                    width,
+                    signed,
+                    rs1,
+                    offset,
+                    ..
+                } => {
                     let vaddr = src(self, rs1).wrapping_add(offset as i64 as u64);
                     let bytes = width.bytes();
                     match self.scan_store_queue(pos, vaddr, bytes) {
@@ -500,7 +544,10 @@ impl Core {
                                 domain,
                                 pc: Some(pc),
                                 structure: Structure::StoreQueue,
-                                kind: TraceEventKind::Read { index: vaddr, value: v },
+                                kind: TraceEventKind::Read {
+                                    index: vaddr,
+                                    value: v,
+                                },
                             });
                             self.rob[pos].state = EntryState::Done;
                             self.writeback(pos, v);
@@ -522,12 +569,21 @@ impl Core {
                         }
                     }
                 }
-                Inst::Store { width, rs2, rs1, offset } => {
+                Inst::Store {
+                    width,
+                    rs2,
+                    rs1,
+                    offset,
+                } => {
                     let vaddr = src(self, rs1).wrapping_add(offset as i64 as u64);
                     let value = src(self, rs2);
                     let bytes = width.bytes();
-                    self.rob[pos].store =
-                        Some(StoreInfo { pa: None, vaddr, value, width: bytes });
+                    self.rob[pos].store = Some(StoreInfo {
+                        pa: None,
+                        vaddr,
+                        value,
+                        width: bytes,
+                    });
                     let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
                     self.trace.record(TraceEvent {
                         cycle,
@@ -535,7 +591,11 @@ impl Core {
                         domain,
                         pc: Some(pc),
                         structure: Structure::StoreQueue,
-                        kind: TraceEventKind::Write { index: vaddr, value, tag: Some(bytes) },
+                        kind: TraceEventKind::Write {
+                            index: vaddr,
+                            value,
+                            tag: Some(bytes),
+                        },
                     });
                     let req = XlateRequest {
                         seq: self.rob[pos].seq,
@@ -577,7 +637,11 @@ impl Core {
             domain,
             pc: Some(pc),
             structure: Structure::Bht,
-            kind: TraceEventKind::Write { index: pc >> 2, value: taken as u64, tag: None },
+            kind: TraceEventKind::Write {
+                index: pc >> 2,
+                value: taken as u64,
+                tag: None,
+            },
         });
         if taken {
             let idx = self.ubtb.train(pc, target, taken, domain);
@@ -600,7 +664,11 @@ impl Core {
                 domain,
                 pc: Some(pc),
                 structure: Structure::Ftb,
-                kind: TraceEventKind::Write { index: pc >> 2, value: target, tag: None },
+                kind: TraceEventKind::Write {
+                    index: pc >> 2,
+                    value: target,
+                    tag: None,
+                },
             });
         }
     }
@@ -781,7 +849,8 @@ impl Core {
                 self.l1i.flush_all();
             }
             Inst::SfenceVma => {
-                self.lsu.sfence(self.cycle, &mut self.trace, self.priv_level, self.domain);
+                self.lsu
+                    .sfence(self.cycle, &mut self.trace, self.priv_level, self.domain);
                 self.itlb.flush_all();
                 let (cycle, priv_level, domain) = (self.cycle, self.priv_level, self.domain);
                 self.trace.record(TraceEvent {
@@ -793,7 +862,12 @@ impl Core {
                     kind: TraceEventKind::Flush,
                 });
             }
-            Inst::Csr { op, rd, src, csr: addr } => {
+            Inst::Csr {
+                op,
+                rd,
+                src,
+                csr: addr,
+            } => {
                 self.execute_csr(op, rd, src, addr, pc);
             }
             _ => unreachable!("non-serializing instruction at system execute"),
@@ -943,7 +1017,10 @@ impl Core {
                 domain,
                 pc: Some(pc),
                 structure: Structure::Hpc,
-                kind: TraceEventKind::Read { index: hpc_read_index(addr), value: old },
+                kind: TraceEventKind::Read {
+                    index: hpc_read_index(addr),
+                    value: old,
+                },
             });
         }
     }
@@ -959,13 +1036,16 @@ impl Core {
             // committed stores first, otherwise they would re-pollute the
             // invalidated cache moments later.
             self.lsu.drain_all_stores(&mut self.mem);
-            self.lsu.flush_l1d(cycle, &mut self.trace, priv_level, domain);
+            self.lsu
+                .flush_l1d(cycle, &mut self.trace, priv_level, domain);
         }
         if m.flush_lfb_on_domain_switch {
-            self.lsu.flush_lfb(cycle, &mut self.trace, priv_level, domain);
+            self.lsu
+                .flush_lfb(cycle, &mut self.trace, priv_level, domain);
         }
         if m.flush_store_buffer_on_domain_switch {
-            self.lsu.flush_store_buffer(&mut self.mem, cycle, &mut self.trace, priv_level, domain);
+            self.lsu
+                .flush_store_buffer(&mut self.mem, cycle, &mut self.trace, priv_level, domain);
         }
         if m.flush_bpu_on_domain_switch {
             self.ubtb.flush_all();
@@ -1091,7 +1171,13 @@ impl Core {
             };
             match decoded {
                 Err(_) => {
-                    self.push_entry(pc, pc + 4, Err(word), Some(Exception::IllegalInstruction(word)), false);
+                    self.push_entry(
+                        pc,
+                        pc + 4,
+                        Err(word),
+                        Some(Exception::IllegalInstruction(word)),
+                        false,
+                    );
                     self.fetch_stalled = true;
                     return;
                 }
@@ -1129,7 +1215,11 @@ impl Core {
         serializing: bool,
     ) {
         self.next_seq += 1;
-        let state = if exception.is_some() { EntryState::Done } else { EntryState::Waiting };
+        let state = if exception.is_some() {
+            EntryState::Done
+        } else {
+            EntryState::Waiting
+        };
         self.rob.push_back(RobEntry {
             seq: self.next_seq,
             pc,
@@ -1208,7 +1298,11 @@ impl Core {
         } else {
             pc
         };
-        if !self.csr.pmp.allows(pa, 4, AccessKind::Execute, self.priv_level) {
+        if !self
+            .csr
+            .pmp
+            .allows(pa, 4, AccessKind::Execute, self.priv_level)
+        {
             return (0, Some(Exception::InstAccessFault(pc)));
         }
         // I-side cache: fills are traced like every other storage element
@@ -1258,7 +1352,11 @@ impl Core {
                     domain,
                     pc: Some(va.0),
                     structure: Structure::Itlb,
-                    kind: TraceEventKind::Write { index: slot as u64, value: pte.0, tag: None },
+                    kind: TraceEventKind::Write {
+                        index: slot as u64,
+                        value: pte.0,
+                        tag: None,
+                    },
                 });
                 return Ok(pte);
             }
@@ -1430,7 +1528,10 @@ mod tests {
         run(&mut core);
         assert_eq!(core.reg(Reg::A2), 99);
         assert_eq!(core.reg(Reg::A3), 1);
-        assert_eq!(core.csr.mcause, Exception::Ecall(PrivLevel::Supervisor).cause());
+        assert_eq!(
+            core.csr.mcause,
+            Exception::Ecall(PrivLevel::Supervisor).cause()
+        );
     }
 
     #[test]
@@ -1544,11 +1645,17 @@ mod tests {
             a.ld(Reg::T2, Reg::T1, 0); // enclave L1D miss
             a.li(Reg::T0, 0);
             a.csrw(MDOMAIN, Reg::T0); // back to untrusted: no HPC reset
-            a.csrr(Reg::A0, csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()));
+            a.csrr(
+                Reg::A0,
+                csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()),
+            );
             a.inst(Inst::Ebreak);
         });
         run(&mut core);
-        assert!(core.reg(Reg::A0) >= 1, "enclave miss visible to untrusted reader");
+        assert!(
+            core.reg(Reg::A0) >= 1,
+            "enclave miss visible to untrusted reader"
+        );
         assert!(core.csr.hpc_tainted(HpcEvent::L1dMiss.counter_index()));
     }
 
@@ -1559,10 +1666,13 @@ mod tests {
         let mut core = core_with(cfg, |a| {
             a.li(Reg::T1, 0x8020_0000);
             a.ld(Reg::T2, Reg::T1, 0); // L1D miss -> counter > 0
-            // PMP reconfiguration (the domain-switch marker).
+                                       // PMP reconfiguration (the domain-switch marker).
             a.li(Reg::T3, 0xFFFF);
             a.csrw(csr::PMPADDR0 + 2, Reg::T3);
-            a.csrr(Reg::A0, csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()));
+            a.csrr(
+                Reg::A0,
+                csr::mhpmcounter_csr(HpcEvent::L1dMiss.counter_index()),
+            );
             a.inst(Inst::Ebreak);
         });
         run(&mut core);

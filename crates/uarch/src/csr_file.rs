@@ -123,7 +123,9 @@ impl CsrFile {
     /// `true` if counter `i` has accumulated events from a trusted domain
     /// since its last reset.
     pub fn hpc_tainted(&self, i: usize) -> bool {
-        self.hpm_contributors.get(i).is_some_and(|c| c.iter().any(|d| d.is_trusted()))
+        self.hpm_contributors
+            .get(i)
+            .is_some_and(|c| c.iter().any(|d| d.is_trusted()))
     }
 
     fn counter_accessible(&self, idx: u64, priv_level: PrivLevel) -> bool {
@@ -189,9 +191,7 @@ impl CsrFile {
                 self.instret
             }
             csr::TIME => self.cycle, // mtime mirrors mcycle in this model
-            _ if (csr::PMPCFG0..csr::PMPCFG0 + 4).contains(&addr) => {
-                self.read_pmpcfg(addr)?
-            }
+            _ if (csr::PMPCFG0..csr::PMPCFG0 + 4).contains(&addr) => self.read_pmpcfg(addr)?,
             _ if (csr::PMPADDR0..csr::PMPADDR0 + 16).contains(&addr) => {
                 self.pmp.addr_raw((addr - csr::PMPADDR0) as usize)
             }
@@ -222,7 +222,11 @@ impl CsrFile {
         let mut v = 0u64;
         for i in (0..8).rev() {
             let e = base + i;
-            let b = if e < self.pmp.len() { self.pmp.cfg(e).to_byte() } else { 0 };
+            let b = if e < self.pmp.len() {
+                self.pmp.cfg(e).to_byte()
+            } else {
+                0
+            };
             v = (v << 8) | b as u64;
         }
         Ok(v)
@@ -246,10 +250,8 @@ impl CsrFile {
             csr::MSTATUS => self.mstatus = Mstatus(value),
             csr::SSTATUS => {
                 // Restricted write: SIE, SPIE, SPP, SUM only.
-                let mask = Mstatus::SIE_BIT
-                    | Mstatus::SPIE_BIT
-                    | Mstatus::SPP_BIT
-                    | Mstatus::SUM_BIT;
+                let mask =
+                    Mstatus::SIE_BIT | Mstatus::SPIE_BIT | Mstatus::SPP_BIT | Mstatus::SUM_BIT;
                 self.mstatus = Mstatus((self.mstatus.0 & !mask) | (value & mask));
             }
             csr::MTVEC => self.mtvec = value,
@@ -280,7 +282,8 @@ impl CsrFile {
                 effect.pmp_reconfigured = true;
             }
             _ if (csr::PMPADDR0..csr::PMPADDR0 + 16).contains(&addr) => {
-                self.pmp.set_addr_raw((addr - csr::PMPADDR0) as usize, value);
+                self.pmp
+                    .set_addr_raw((addr - csr::PMPADDR0) as usize, value);
                 effect.pmp_reconfigured = true;
             }
             _ if (csr::MHPMCOUNTER3..csr::MHPMCOUNTER3 + 29).contains(&addr) => {
@@ -308,7 +311,8 @@ impl CsrFile {
         for i in 0..8 {
             let e = base + i;
             if e < self.pmp.len() {
-                self.pmp.set_cfg(e, PmpCfg::from_byte((value >> (8 * i)) as u8));
+                self.pmp
+                    .set_cfg(e, PmpCfg::from_byte((value >> (8 * i)) as u8));
             }
         }
         Ok(())
@@ -333,10 +337,16 @@ mod tests {
     #[test]
     fn privilege_gating() {
         let f = CsrFile::new(8);
-        assert_eq!(f.read(csr::MSTATUS, PrivLevel::Supervisor), Err(CsrError::NotPrivileged));
+        assert_eq!(
+            f.read(csr::MSTATUS, PrivLevel::Supervisor),
+            Err(CsrError::NotPrivileged)
+        );
         assert!(f.read(csr::MSTATUS, PrivLevel::Machine).is_ok());
         assert!(f.read(csr::SATP, PrivLevel::Supervisor).is_ok());
-        assert_eq!(f.read(csr::SATP, PrivLevel::User), Err(CsrError::NotPrivileged));
+        assert_eq!(
+            f.read(csr::SATP, PrivLevel::User),
+            Err(CsrError::NotPrivileged)
+        );
     }
 
     #[test]
@@ -344,12 +354,20 @@ mod tests {
         let mut f = CsrFile::new(8);
         assert!(f.read(csr::CYCLE, PrivLevel::User).is_ok());
         f.mcounteren = 0;
-        assert_eq!(f.read(csr::CYCLE, PrivLevel::User), Err(CsrError::NotPrivileged));
-        assert_eq!(f.read(csr::CYCLE, PrivLevel::Supervisor), Err(CsrError::NotPrivileged));
+        assert_eq!(
+            f.read(csr::CYCLE, PrivLevel::User),
+            Err(CsrError::NotPrivileged)
+        );
+        assert_eq!(
+            f.read(csr::CYCLE, PrivLevel::Supervisor),
+            Err(CsrError::NotPrivileged)
+        );
         assert!(f.read(csr::CYCLE, PrivLevel::Machine).is_ok());
         // hpmcounter3 likewise.
         f.mcounteren = 0b1000; // bit 3 only
-        assert!(f.read(csr::hpmcounter_csr(0), PrivLevel::Supervisor).is_ok());
+        assert!(f
+            .read(csr::hpmcounter_csr(0), PrivLevel::Supervisor)
+            .is_ok());
         assert_eq!(
             f.read(csr::hpmcounter_csr(1), PrivLevel::Supervisor),
             Err(CsrError::NotPrivileged)
@@ -359,7 +377,10 @@ mod tests {
     #[test]
     fn read_only_counters_reject_writes() {
         let mut f = CsrFile::new(8);
-        assert_eq!(f.write(csr::CYCLE, 0, PrivLevel::Machine), Err(CsrError::ReadOnly));
+        assert_eq!(
+            f.write(csr::CYCLE, 0, PrivLevel::Machine),
+            Err(CsrError::ReadOnly)
+        );
     }
 
     #[test]
@@ -369,14 +390,23 @@ mod tests {
         let base = 0x8040_0000u64;
         let size = 0x20_0000u64;
         let addr_val = (base >> 2) | ((size >> 3) - 1);
-        let eff = f.write(csr::PMPADDR0, addr_val, PrivLevel::Machine).unwrap();
+        let eff = f
+            .write(csr::PMPADDR0, addr_val, PrivLevel::Machine)
+            .unwrap();
         assert!(eff.pmp_reconfigured);
         let cfg = PmpCfg::napot(true, true, true).to_byte() as u64;
         f.write(csr::PMPCFG0, cfg, PrivLevel::Machine).unwrap();
-        assert!(f.pmp.allows(base + 8, 8, AccessKind::Read, PrivLevel::Supervisor));
-        assert!(!f.pmp.allows(base - 8, 8, AccessKind::Read, PrivLevel::Supervisor));
+        assert!(f
+            .pmp
+            .allows(base + 8, 8, AccessKind::Read, PrivLevel::Supervisor));
+        assert!(!f
+            .pmp
+            .allows(base - 8, 8, AccessKind::Read, PrivLevel::Supervisor));
         // Read back the packed cfg byte.
-        assert_eq!(f.read(csr::PMPCFG0, PrivLevel::Machine).unwrap() & 0xFF, cfg);
+        assert_eq!(
+            f.read(csr::PMPCFG0, PrivLevel::Machine).unwrap() & 0xFF,
+            cfg
+        );
     }
 
     #[test]
@@ -413,7 +443,9 @@ mod tests {
     #[test]
     fn satp_write_reports_effect() {
         let mut f = CsrFile::new(8);
-        let eff = f.write(csr::SATP, Satp::sv39(0x8020_0000).0, PrivLevel::Supervisor).unwrap();
+        let eff = f
+            .write(csr::SATP, Satp::sv39(0x8020_0000).0, PrivLevel::Supervisor)
+            .unwrap();
         assert!(eff.satp_written && !eff.pmp_reconfigured);
         assert!(f.satp.is_sv39());
     }
@@ -432,6 +464,9 @@ mod tests {
     #[test]
     fn nonexistent_csr() {
         let f = CsrFile::new(8);
-        assert_eq!(f.read(0x7FF, PrivLevel::Machine), Err(CsrError::Nonexistent));
+        assert_eq!(
+            f.read(0x7FF, PrivLevel::Machine),
+            Err(CsrError::Nonexistent)
+        );
     }
 }

@@ -189,7 +189,10 @@ impl StorageInventory {
         // turns the LFB into an implicit-fill target. Nothing extra to list
         // when absent.
         let _ = matches!(config.l1d_prefetcher, PrefetcherKind::NextLine);
-        StorageInventory { design: config.name.clone(), elements }
+        StorageInventory {
+            design: config.name.clone(),
+            elements,
+        }
     }
 
     /// Looks up one element.
@@ -205,12 +208,17 @@ impl StorageInventory {
 
     /// Elements holding enclave-relevant metadata (P2 targets).
     pub fn metadata_elements(&self) -> impl Iterator<Item = &StorageElement> {
-        self.elements.iter().filter(|e| e.content == ContentClass::Metadata)
+        self.elements
+            .iter()
+            .filter(|e| e.content == ContentClass::Metadata)
     }
 
     /// Total modeled state in bytes (diagnostic).
     pub fn total_state_bytes(&self) -> usize {
-        self.elements.iter().map(|e| e.entries * e.entry_bytes).sum()
+        self.elements
+            .iter()
+            .map(|e| e.entries * e.entry_bytes)
+            .sum()
     }
 }
 
@@ -237,10 +245,26 @@ mod tests {
     fn mitigations_reflect_in_inventory() {
         let cfg = CoreConfig::boom().with_mitigations(MitigationSet::flush_everything());
         let inv = StorageInventory::profile(&cfg);
-        assert!(inv.element(Structure::L1d).unwrap().flushed_on_domain_switch);
-        assert!(inv.element(Structure::Lfb).unwrap().flushed_on_domain_switch);
-        assert!(inv.element(Structure::Ubtb).unwrap().flushed_on_domain_switch);
-        assert!(inv.element(Structure::Hpc).unwrap().flushed_on_domain_switch);
+        assert!(
+            inv.element(Structure::L1d)
+                .unwrap()
+                .flushed_on_domain_switch
+        );
+        assert!(
+            inv.element(Structure::Lfb)
+                .unwrap()
+                .flushed_on_domain_switch
+        );
+        assert!(
+            inv.element(Structure::Ubtb)
+                .unwrap()
+                .flushed_on_domain_switch
+        );
+        assert!(
+            inv.element(Structure::Hpc)
+                .unwrap()
+                .flushed_on_domain_switch
+        );
         // L2 is never flushed even under "flush everything" (the paper's
         // flush targets are the core-private buffers).
         assert!(!inv.element(Structure::L2).unwrap().flushed_on_domain_switch);
@@ -249,8 +273,7 @@ mod tests {
     #[test]
     fn implicit_fill_targets_include_lfb_and_caches() {
         let inv = StorageInventory::profile(&CoreConfig::boom());
-        let implicit: Vec<Structure> =
-            inv.implicit_fill_targets().map(|e| e.structure).collect();
+        let implicit: Vec<Structure> = inv.implicit_fill_targets().map(|e| e.structure).collect();
         assert!(implicit.contains(&Structure::Lfb));
         assert!(implicit.contains(&Structure::L1d));
         assert!(implicit.contains(&Structure::PtwCache));
@@ -271,7 +294,10 @@ mod tests {
     fn capacities_follow_config() {
         let cfg = CoreConfig::xiangshan();
         let inv = StorageInventory::profile(&cfg);
-        assert_eq!(inv.element(Structure::Ubtb).unwrap().entries, cfg.ubtb_entries);
+        assert_eq!(
+            inv.element(Structure::Ubtb).unwrap().entries,
+            cfg.ubtb_entries
+        );
         assert_eq!(
             inv.element(Structure::L1d).unwrap().entries,
             cfg.l1d_sets * cfg.l1d_ways

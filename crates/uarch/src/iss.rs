@@ -121,10 +121,14 @@ impl Iss {
     }
 
     fn fetch(&mut self, pc: u64) -> Result<u32, Exception> {
-        let pa = self.translate(pc, AccessKind::Execute).map_err(|_| {
-            Exception::InstPageFault(pc)
-        })?;
-        if !self.csr.pmp.allows(pa, 4, AccessKind::Execute, self.priv_level) {
+        let pa = self
+            .translate(pc, AccessKind::Execute)
+            .map_err(|_| Exception::InstPageFault(pc))?;
+        if !self
+            .csr
+            .pmp
+            .allows(pa, 4, AccessKind::Execute, self.priv_level)
+        {
             return Err(Exception::InstAccessFault(pc));
         }
         Ok(self.mem.read_u32(pa))
@@ -168,7 +172,11 @@ impl Iss {
         if pa % width != 0 {
             return Err(Exception::LoadMisaligned(vaddr));
         }
-        if !self.csr.pmp.allows(pa, width, AccessKind::Read, self.priv_level) {
+        if !self
+            .csr
+            .pmp
+            .allows(pa, width, AccessKind::Read, self.priv_level)
+        {
             return Err(Exception::LoadAccessFault(vaddr));
         }
         let _ = kind_src;
@@ -182,7 +190,11 @@ impl Iss {
         if pa % width != 0 {
             return Err(Exception::StoreMisaligned(vaddr));
         }
-        if !self.csr.pmp.allows(pa, width, AccessKind::Write, self.priv_level) {
+        if !self
+            .csr
+            .pmp
+            .allows(pa, width, AccessKind::Write, self.priv_level)
+        {
             return Err(Exception::StoreAccessFault(vaddr));
         }
         self.mem.write_uint(pa, value, width);
@@ -209,14 +221,25 @@ impl Iss {
                 self.set_reg(rd, next);
                 Ok(target)
             }
-            Inst::Branch { cond, rs1, rs2, offset } => {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 if cond.taken(self.reg(rs1), self.reg(rs2)) {
                     Ok(pc.wrapping_add(offset as i64 as u64))
                 } else {
                     Ok(next)
                 }
             }
-            Inst::Load { width, signed, rd, rs1, offset } => {
+            Inst::Load {
+                width,
+                signed,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let vaddr = self.reg(rs1).wrapping_add(offset as i64 as u64);
                 let bytes = width.bytes();
                 let mut v = self.load(vaddr, bytes, 0)?;
@@ -227,20 +250,42 @@ impl Iss {
                 self.set_reg(rd, v);
                 Ok(next)
             }
-            Inst::Store { width, rs2, rs1, offset } => {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let vaddr = self.reg(rs1).wrapping_add(offset as i64 as u64);
                 self.store(vaddr, self.reg(rs2), width.bytes())?;
                 Ok(next)
             }
-            Inst::AluImm { op, rd, rs1, imm, word } => {
+            Inst::AluImm {
+                op,
+                rd,
+                rs1,
+                imm,
+                word,
+            } => {
                 self.set_reg(rd, op.eval(self.reg(rs1), imm as i64 as u64, word));
                 Ok(next)
             }
-            Inst::AluReg { op, rd, rs1, rs2, word } => {
+            Inst::AluReg {
+                op,
+                rd,
+                rs1,
+                rs2,
+                word,
+            } => {
                 self.set_reg(rd, op.eval(self.reg(rs1), self.reg(rs2), word));
                 Ok(next)
             }
-            Inst::Csr { op, rd, src, csr: addr } => {
+            Inst::Csr {
+                op,
+                rd,
+                src,
+                csr: addr,
+            } => {
                 self.execute_csr(op, rd, src, addr)?;
                 Ok(next)
             }
@@ -305,7 +350,9 @@ impl Iss {
             };
             match self.csr.write(addr, new, self.priv_level) {
                 Ok(_) => {}
-                Err(CsrError::ReadOnly) | Err(CsrError::NotPrivileged) | Err(CsrError::Nonexistent) => {
+                Err(CsrError::ReadOnly)
+                | Err(CsrError::NotPrivileged)
+                | Err(CsrError::Nonexistent) => {
                     return Err(Exception::IllegalInstruction(0));
                 }
             }

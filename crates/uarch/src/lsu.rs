@@ -27,7 +27,9 @@ use teesec_isa::priv_level::PrivLevel;
 use teesec_isa::vm::{pte_addr, Pte, VirtAddr, SV39_LEVELS};
 
 use crate::cache::{Cache, Lfb};
-use crate::config::{CoreConfig, FaultingMissPolicy, PmpCheckTiming, PrefetcherKind, PtwRequestPath};
+use crate::config::{
+    CoreConfig, FaultingMissPolicy, PmpCheckTiming, PrefetcherKind, PtwRequestPath,
+};
 use crate::csr_file::CsrFile;
 use crate::mem::Memory;
 use crate::tlb::{PtwCache, Tlb};
@@ -150,7 +152,10 @@ enum LoadLane {
     /// Waiting for a fill (`mem_req` id).
     WaitFill(u64),
     /// Respond with `value` once `at` is reached.
-    Respond { value: u64, at: u64 },
+    Respond {
+        value: u64,
+        at: u64,
+    },
     Done,
 }
 
@@ -284,7 +289,10 @@ impl Lsu {
 
     /// Enqueues a demand load.
     pub fn start_load(&mut self, req: LoadRequest, cycle: u64) {
-        let timeline = LoadTimeline { tlb_req: cycle, ..LoadTimeline::default() };
+        let timeline = LoadTimeline {
+            tlb_req: cycle,
+            ..LoadTimeline::default()
+        };
         self.loads.push(LoadOp {
             req,
             squashed: false,
@@ -319,7 +327,13 @@ impl Lsu {
         trace: &mut Trace,
         priv_level: PrivLevel,
     ) {
-        self.store_buffer.push_back(StoreBufferEntry { pa, value, width, domain, cycle });
+        self.store_buffer.push_back(StoreBufferEntry {
+            pa,
+            value,
+            width,
+            domain,
+            cycle,
+        });
         if self.cfg.store_buffer_entries > 0 {
             trace.record(TraceEvent {
                 cycle,
@@ -327,7 +341,11 @@ impl Lsu {
                 domain,
                 pc: None,
                 structure: Structure::StoreBuffer,
-                kind: TraceEventKind::Write { index: pa, value, tag: Some(width) },
+                kind: TraceEventKind::Write {
+                    index: pa,
+                    value,
+                    tag: Some(width),
+                },
             });
         }
     }
@@ -496,8 +514,13 @@ impl Lsu {
     }
 
     fn walk_has_waiters(&self, walk_id: u64) -> bool {
-        self.loads.iter().any(|l| l.state == LoadLane::Walking(walk_id))
-            || self.xlates.iter().any(|x| x.state == XlateState::Walking(walk_id))
+        self.loads
+            .iter()
+            .any(|l| l.state == LoadLane::Walking(walk_id))
+            || self
+                .xlates
+                .iter()
+                .any(|x| x.state == XlateState::Walking(walk_id))
     }
 
     fn alloc_req_id(&mut self) -> u64 {
@@ -516,8 +539,12 @@ impl Lsu {
         mem: &mut Memory,
         trace: &mut Trace,
     ) {
-        let ready: Vec<MemReq> =
-            self.mem_reqs.iter().filter(|r| r.complete_at <= cycle).copied().collect();
+        let ready: Vec<MemReq> = self
+            .mem_reqs
+            .iter()
+            .filter(|r| r.complete_at <= cycle)
+            .copied()
+            .collect();
         self.mem_reqs.retain(|r| r.complete_at > cycle);
         for req in ready {
             let line_size = self.l1d.line_size();
@@ -597,18 +624,17 @@ impl Lsu {
                                 v = (v << 8) | data[off + i] as u64;
                             }
                             l.timeline.cache_resp = cycle;
-                            l.state = LoadLane::Respond { value: v, at: cycle };
+                            l.state = LoadLane::Respond {
+                                value: v,
+                                at: cycle,
+                            };
                         }
                     }
                 }
                 ReqDest::Walk(walk_id) => {
                     if let Some(w) = self.walks.iter_mut().find(|w| w.id == walk_id) {
                         if w.state == WalkState::WaitMem(req.id) {
-                            let pa = pte_addr(
-                                teesec_isa::vm::PhysAddr(w.table_pa),
-                                w.va,
-                                w.level,
-                            );
+                            let pa = pte_addr(teesec_isa::vm::PhysAddr(w.table_pa), w.va, w.level);
                             let off = (pa.0 - req.line_addr) as usize;
                             let mut v = 0u64;
                             for i in (0..8).rev() {
@@ -687,7 +713,8 @@ impl Lsu {
                         // XiangShan: PMP-check the refill address before
                         // creating the request; if denied, no request at all.
                         let ptw_denied =
-                            !csr.pmp.allows(paddr.0, 8, AccessKind::Read, PrivLevel::Supervisor);
+                            !csr.pmp
+                                .allows(paddr.0, 8, AccessKind::Read, PrivLevel::Supervisor);
                         if self.cfg.effective_ptw_precheck() && ptw_denied {
                             self.walks[wi].outcome =
                                 Some(WalkOutcome::Fault(access_fault(access, va.0)));
@@ -739,7 +766,9 @@ impl Lsu {
                             domain,
                             pc: None,
                             structure: Structure::Hpc,
-                            kind: TraceEventKind::CounterBump { event: HpcEvent::PageWalk },
+                            kind: TraceEventKind::CounterBump {
+                                event: HpcEvent::PageWalk,
+                            },
                         });
                         new_reqs.push(MemReq {
                             id,
@@ -805,7 +834,10 @@ impl Lsu {
     }
 
     fn walk_outcome(&self, walk_id: u64) -> Option<WalkOutcome> {
-        self.walks.iter().find(|w| w.id == walk_id).and_then(|w| w.outcome)
+        self.walks
+            .iter()
+            .find(|w| w.id == walk_id)
+            .and_then(|w| w.outcome)
     }
 
     // ---- loads ----------------------------------------------------------
@@ -826,8 +858,7 @@ impl Lsu {
                     if at <= cycle {
                         let l = &mut self.loads[i];
                         let mut value = value;
-                        if l.exception.is_some()
-                            && self.cfg.mitigations.clear_illegal_data_returns
+                        if l.exception.is_some() && self.cfg.mitigations.clear_illegal_data_returns
                         {
                             value = 0;
                         }
@@ -845,7 +876,17 @@ impl Lsu {
                 }
                 LoadLane::Translate => {
                     let req = self.loads[i].req;
-                    match self.translate(req.vaddr, req.priv_level, req.sum, req.satp, AccessKind::Read, cycle, domain, csr, trace) {
+                    match self.translate(
+                        req.vaddr,
+                        req.priv_level,
+                        req.sum,
+                        req.satp,
+                        AccessKind::Read,
+                        cycle,
+                        domain,
+                        csr,
+                        trace,
+                    ) {
                         TranslateOutcome::Done(pa) => {
                             self.loads[i].pa = Some(pa);
                             self.loads[i].timeline.tlb_resp = cycle;
@@ -858,8 +899,10 @@ impl Lsu {
                         TranslateOutcome::Fault(e) => {
                             self.loads[i].timeline.tlb_resp = cycle;
                             self.loads[i].exception = Some(e);
-                            self.loads[i].state =
-                                LoadLane::Respond { value: 0, at: cycle + 1 };
+                            self.loads[i].state = LoadLane::Respond {
+                                value: 0,
+                                at: cycle + 1,
+                            };
                         }
                         TranslateOutcome::Walking(id) => {
                             self.loads[i].state = LoadLane::Walking(id);
@@ -885,8 +928,7 @@ impl Lsu {
                                     },
                                 });
                                 if pte.permits(AccessKind::Read, req.priv_level, req.sum) {
-                                    let pa =
-                                        pte.pa().0 | (req.vaddr & 0xFFF);
+                                    let pa = pte.pa().0 | (req.vaddr & 0xFFF);
                                     self.loads[i].pa = Some(pa);
                                     self.loads[i].timeline.tlb_resp = cycle;
                                     self.loads[i].state = LoadLane::Access;
@@ -895,15 +937,19 @@ impl Lsu {
                                     self.loads[i].timeline.tlb_resp = cycle;
                                     self.loads[i].exception =
                                         Some(Exception::LoadPageFault(req.vaddr));
-                                    self.loads[i].state =
-                                        LoadLane::Respond { value: 0, at: cycle + 1 };
+                                    self.loads[i].state = LoadLane::Respond {
+                                        value: 0,
+                                        at: cycle + 1,
+                                    };
                                 }
                             }
                             WalkOutcome::Fault(e) => {
                                 self.loads[i].timeline.tlb_resp = cycle;
                                 self.loads[i].exception = Some(e);
-                                self.loads[i].state =
-                                    LoadLane::Respond { value: 0, at: cycle + 1 };
+                                self.loads[i].state = LoadLane::Respond {
+                                    value: 0,
+                                    at: cycle + 1,
+                                };
                             }
                         }
                     }
@@ -932,10 +978,15 @@ impl Lsu {
         let pa = self.loads[i].pa.expect("access stage requires a PA");
         if !pa.is_multiple_of(req.width) {
             self.loads[i].exception = Some(Exception::LoadMisaligned(req.vaddr));
-            self.loads[i].state = LoadLane::Respond { value: 0, at: cycle + 1 };
+            self.loads[i].state = LoadLane::Respond {
+                value: 0,
+                at: cycle + 1,
+            };
             return;
         }
-        let decision = csr.pmp.check(pa, req.width, AccessKind::Read, req.priv_level);
+        let decision = csr
+            .pmp
+            .check(pa, req.width, AccessKind::Read, req.priv_level);
         self.loads[i].timeline.perm_check = cycle;
         let faulted = !decision.allowed;
         if faulted {
@@ -943,7 +994,10 @@ impl Lsu {
         }
         if faulted && self.cfg.effective_pmp_check() == PmpCheckTiming::BeforeAccess {
             // Serialized check: the access never reaches the hierarchy.
-            self.loads[i].state = LoadLane::Respond { value: 0, at: cycle + 1 };
+            self.loads[i].state = LoadLane::Respond {
+                value: 0,
+                at: cycle + 1,
+            };
             return;
         }
 
@@ -975,8 +1029,10 @@ impl Lsu {
                     // XiangShan forwards even to faulting loads (case D8).
                     self.loads[i].timeline.cache_resp = cycle + 1;
                     self.loads[i].timeline.sb_forward = true;
-                    self.loads[i].state =
-                        LoadLane::Respond { value, at: cycle + 1 };
+                    self.loads[i].state = LoadLane::Respond {
+                        value,
+                        at: cycle + 1,
+                    };
                     return;
                 }
                 SbProbe::Conflict => {
@@ -990,8 +1046,10 @@ impl Lsu {
         if self.l1d.contains(pa) {
             let value = self.l1d.read(pa, req.width).expect("hit read");
             self.loads[i].timeline.cache_resp = cycle + self.cfg.l1_hit_latency;
-            self.loads[i].state =
-                LoadLane::Respond { value, at: cycle + self.cfg.l1_hit_latency };
+            self.loads[i].state = LoadLane::Respond {
+                value,
+                at: cycle + self.cfg.l1_hit_latency,
+            };
             return;
         }
 
@@ -1006,7 +1064,9 @@ impl Lsu {
                 domain,
                 pc: None,
                 structure: Structure::Hpc,
-                kind: TraceEventKind::CounterBump { event: HpcEvent::L1dMiss },
+                kind: TraceEventKind::CounterBump {
+                    event: HpcEvent::L1dMiss,
+                },
             });
         }
         if faulted && self.cfg.faulting_miss_policy == FaultingMissPolicy::FakeHitZero {
@@ -1014,8 +1074,10 @@ impl Lsu {
             // fault — respond with a fake hit of zeros, no L2 request.
             self.loads[i].timeline.fake_hit = true;
             self.loads[i].timeline.cache_resp = cycle + self.cfg.l1_hit_latency;
-            self.loads[i].state =
-                LoadLane::Respond { value: 0, at: cycle + self.cfg.l1_hit_latency };
+            self.loads[i].state = LoadLane::Respond {
+                value: 0,
+                at: cycle + self.cfg.l1_hit_latency,
+            };
             return;
         }
         let line_addr = pa & !(self.l1d.line_size() - 1);
@@ -1027,7 +1089,11 @@ impl Lsu {
             return; // all MSHRs pending: structural stall
         };
         let latency = self.cfg.l2_latency
-            + if self.l2.contains(line_addr) { 0 } else { self.cfg.mem_latency };
+            + if self.l2.contains(line_addr) {
+                0
+            } else {
+                self.cfg.mem_latency
+            };
         let id = self.alloc_req_id();
         let zero_fill = faulted && self.cfg.mitigations.clear_illegal_data_returns;
         self.mem_reqs.push(MemReq {
@@ -1062,15 +1128,21 @@ impl Lsu {
         // The hardware prefetcher performs no permission checks unless the
         // (mitigating) configuration says so — this is what enables D1.
         if self.cfg.prefetcher_pmp_check
-            && !csr.pmp.allows(next, self.l1d.line_size(), AccessKind::Read, priv_level)
+            && !csr
+                .pmp
+                .allows(next, self.l1d.line_size(), AccessKind::Read, priv_level)
         {
             return;
         }
         let Some(lfb_idx) = self.lfb.allocate(next, FillPurpose::Prefetch) else {
             return;
         };
-        let latency =
-            self.cfg.l2_latency + if self.l2.contains(next) { 0 } else { self.cfg.mem_latency };
+        let latency = self.cfg.l2_latency
+            + if self.l2.contains(next) {
+                0
+            } else {
+                self.cfg.mem_latency
+            };
         let id = self.alloc_req_id();
         self.mem_reqs.push(MemReq {
             id,
@@ -1114,7 +1186,17 @@ impl Lsu {
                 XlateState::Done => {}
                 XlateState::Translate => {
                     let req = self.xlates[i].req;
-                    match self.translate(req.vaddr, req.priv_level, req.sum, req.satp, AccessKind::Write, cycle, domain, csr, trace) {
+                    match self.translate(
+                        req.vaddr,
+                        req.priv_level,
+                        req.sum,
+                        req.satp,
+                        AccessKind::Write,
+                        cycle,
+                        domain,
+                        csr,
+                        trace,
+                    ) {
                         TranslateOutcome::Done(pa) => {
                             self.finish_xlate(i, Some(pa), None, csr);
                         }
@@ -1159,9 +1241,7 @@ impl Lsu {
                             WalkOutcome::Fault(e) => {
                                 let e = match e {
                                     Exception::LoadPageFault(a) => Exception::StorePageFault(a),
-                                    Exception::LoadAccessFault(a) => {
-                                        Exception::StoreAccessFault(a)
-                                    }
+                                    Exception::LoadAccessFault(a) => Exception::StoreAccessFault(a),
                                     other => other,
                                 };
                                 self.finish_xlate(i, None, Some(e), csr);
@@ -1184,7 +1264,10 @@ impl Lsu {
         if let Some(pa) = pa {
             if pa % req.width != 0 {
                 exception = Some(Exception::StoreMisaligned(req.vaddr));
-            } else if !csr.pmp.allows(pa, req.width, AccessKind::Write, req.priv_level) {
+            } else if !csr
+                .pmp
+                .allows(pa, req.width, AccessKind::Write, req.priv_level)
+            {
                 exception = Some(Exception::StoreAccessFault(req.vaddr));
             }
         }
@@ -1193,7 +1276,11 @@ impl Lsu {
         x.exception = exception;
         x.state = XlateState::Done;
         if !x.squashed {
-            self.xlate_completions.push(XlateCompletion { seq: req.seq, pa, exception });
+            self.xlate_completions.push(XlateCompletion {
+                seq: req.seq,
+                pa,
+                exception,
+            });
         }
     }
 
@@ -1233,7 +1320,9 @@ impl Lsu {
             domain,
             pc: None,
             structure: Structure::Hpc,
-            kind: TraceEventKind::CounterBump { event: HpcEvent::DtlbMiss },
+            kind: TraceEventKind::CounterBump {
+                event: HpcEvent::DtlbMiss,
+            },
         });
         TranslateOutcome::Walking(self.start_walk(va, satp, access))
     }
@@ -1271,7 +1360,11 @@ impl Lsu {
             return;
         };
         let latency = self.cfg.l2_latency
-            + if self.l2.contains(line_addr) { 0 } else { self.cfg.mem_latency };
+            + if self.l2.contains(line_addr) {
+                0
+            } else {
+                self.cfg.mem_latency
+            };
         let id = self.alloc_req_id();
         self.mem_reqs.push(MemReq {
             id,
@@ -1362,7 +1455,14 @@ mod tests {
         let mut cycle = start;
         while out.is_empty() && cycle < start + max {
             cycle += 1;
-            lsu.tick(cycle, PrivLevel::Supervisor, Domain::Untrusted, csr, mem, trace);
+            lsu.tick(
+                cycle,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                csr,
+                mem,
+                trace,
+            );
             out = lsu.take_completions();
         }
         (out, cycle)
@@ -1407,11 +1507,18 @@ mod tests {
             lsu.start_load(load_req(1, 0x8040_0000), 0);
             let (_, c) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 200);
             // Now protect the region.
-            csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+            csr.pmp
+                .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
             lsu.start_load(load_req(2, 0x8040_0000), c);
             let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, c, 200);
-            assert_eq!(done[0].value, 0x5EC2_E7DA_7A11_2EAD, "secret forwarded transiently");
-            assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+            assert_eq!(
+                done[0].value, 0x5EC2_E7DA_7A11_2EAD,
+                "secret forwarded transiently"
+            );
+            assert!(matches!(
+                done[0].exception,
+                Some(Exception::LoadAccessFault(_))
+            ));
         }
     }
 
@@ -1419,10 +1526,14 @@ mod tests {
     fn faulting_miss_boom_fills_lfb_with_secret() {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
         mem.write_u64(0x8040_0000, 0x1234_5678_9ABC_DEF0);
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(1, 0x8040_0000), 0);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
         // BOOM forwards the miss to L2; secret lands in the LFB and is
         // returned.
         assert_eq!(done[0].value, 0x1234_5678_9ABC_DEF0);
@@ -1437,12 +1548,16 @@ mod tests {
     fn faulting_miss_xiangshan_fake_hit_returns_zero() {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::xiangshan());
         mem.write_u64(0x8040_0000, 0x1234_5678_9ABC_DEF0);
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(1, 0x8040_0000), 0);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
         assert_eq!(done[0].value, 0, "fake hit returns zeros");
         assert!(done[0].timeline.fake_hit);
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
         // And no LFB fill happened.
         assert_eq!(
             trace
@@ -1459,12 +1574,16 @@ mod tests {
         cfg.mitigations.serialize_pmp_check = true;
         let (mut lsu, mut csr, mut mem, mut trace) = setup(cfg);
         mem.write_u64(0x8040_0000, 0x1234);
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(1, 0x8040_0000), 0);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
         assert_eq!(done[0].value, 0);
         assert_eq!(done[0].timeline.cache_req, 0, "no cache request issued");
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
     }
 
     #[test]
@@ -1475,7 +1594,8 @@ mod tests {
         mem.write_u64(0x8040_0000, 0x5555);
         lsu.start_load(load_req(1, 0x8040_0000), 0);
         let (_, c) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(2, 0x8040_0000), c);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, c, 300);
         assert_eq!(done[0].value, 0, "illegal return zeroed");
@@ -1489,21 +1609,40 @@ mod tests {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
         mem.write_u64(0x8040_0FC0, 0x1111); // accessible last line of page
         mem.write_u64(0x8040_1000, 0xE9C1_A6E5_EC2E_7777); // start of protected page
-        csr.pmp.program_napot(0, 0x8040_1000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_1000, 0x1000, PmpCfg::napot(false, false, false));
         // Default-allow for everything else (Keystone's final PMP entry).
-        csr.pmp.program_napot(1, 0, 1 << 48, PmpCfg::napot(true, true, true));
+        csr.pmp
+            .program_napot(1, 0, 1 << 48, PmpCfg::napot(true, true, true));
         lsu.start_load(load_req(1, 0x8040_0FC0), 0);
         let (done, mut c) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
         assert!(done[0].exception.is_none());
         // Let the prefetch land.
         for _ in 0..200 {
             c += 1;
-            lsu.tick(c, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                c,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
         }
         let prefetch_fill = trace.for_structure(Structure::Lfb).any(|e| {
-            matches!(&e.kind, TraceEventKind::Fill { addr: 0x8040_1000, purpose: FillPurpose::Prefetch, .. })
+            matches!(
+                &e.kind,
+                TraceEventKind::Fill {
+                    addr: 0x8040_1000,
+                    purpose: FillPurpose::Prefetch,
+                    ..
+                }
+            )
         });
-        assert!(prefetch_fill, "prefetcher must fill the protected line into the LFB");
+        assert!(
+            prefetch_fill,
+            "prefetcher must fill the protected line into the LFB"
+        );
     }
 
     #[test]
@@ -1514,10 +1653,23 @@ mod tests {
         let (_, mut c) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 300);
         for _ in 0..200 {
             c += 1;
-            lsu.tick(c, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                c,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
         }
         assert!(!trace.for_structure(Structure::Lfb).any(|e| {
-            matches!(&e.kind, TraceEventKind::Fill { purpose: FillPurpose::Prefetch, .. })
+            matches!(
+                &e.kind,
+                TraceEventKind::Fill {
+                    purpose: FillPurpose::Prefetch,
+                    ..
+                }
+            )
         }));
     }
 
@@ -1526,14 +1678,26 @@ mod tests {
         // Case D8.
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::xiangshan());
         // A committed enclave store sits in the store buffer.
-        lsu.commit_store(0x8040_0008, 0xFEED_FACE, 8, Domain::Enclave(0), 1, &mut trace, PrivLevel::Supervisor);
+        lsu.commit_store(
+            0x8040_0008,
+            0xFEED_FACE,
+            8,
+            Domain::Enclave(0),
+            1,
+            &mut trace,
+            PrivLevel::Supervisor,
+        );
         // Protect the region, then issue a host load to the same address.
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(7, 0x8040_0008), 1);
         // One tick is enough for a forward (but drain may consume the entry
         // first; forwarding wins because probe happens during the same tick).
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 1, 50);
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
         assert!(done[0].timeline.sb_forward, "store buffer must forward");
         assert_eq!(done[0].value, 0xFEED_FACE);
     }
@@ -1541,14 +1705,26 @@ mod tests {
     #[test]
     fn boom_does_not_forward_from_drain_queue() {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
-        lsu.commit_store(0x8040_0008, 0xFEED_FACE, 8, Domain::Enclave(0), 1, &mut trace, PrivLevel::Supervisor);
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
+        lsu.commit_store(
+            0x8040_0008,
+            0xFEED_FACE,
+            8,
+            Domain::Enclave(0),
+            1,
+            &mut trace,
+            PrivLevel::Supervisor,
+        );
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(false, false, false));
         lsu.start_load(load_req(7, 0x8040_0008), 1);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 1, 500);
         assert!(!done[0].timeline.sb_forward);
         // The load waited for the drain and then took the normal (faulting)
         // path.
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
     }
 
     #[test]
@@ -1556,11 +1732,26 @@ mod tests {
         // The D3 mechanism: scrubbing stores fetch the old secret line.
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
         mem.write_u64(0x8040_0000, 0x01D5_EC2E_7C0F_FEE5);
-        lsu.commit_store(0x8040_0000, 0, 8, Domain::SecurityMonitor, 1, &mut trace, PrivLevel::Machine);
+        lsu.commit_store(
+            0x8040_0000,
+            0,
+            8,
+            Domain::SecurityMonitor,
+            1,
+            &mut trace,
+            PrivLevel::Machine,
+        );
         let mut c = 1;
         while lsu.store_buffer_len() > 0 && c < 500 {
             c += 1;
-            lsu.tick(c, PrivLevel::Machine, Domain::SecurityMonitor, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                c,
+                PrivLevel::Machine,
+                Domain::SecurityMonitor,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
         }
         assert_eq!(lsu.store_buffer_len(), 0);
         assert_eq!(mem.read_u64(0x8040_0000), 0, "store landed");
@@ -1573,7 +1764,11 @@ mod tests {
             .expect("residual LFB entry");
         let mut old = [0u8; 8];
         old.copy_from_slice(&residual.data[0..8]);
-        assert_eq!(u64::from_le_bytes(old), 0x01D5_EC2E_7C0F_FEE5, "old secret persists in LFB");
+        assert_eq!(
+            u64::from_le_bytes(old),
+            0x01D5_EC2E_7C0F_FEE5,
+            "old secret persists in LFB"
+        );
     }
 
     #[test]
@@ -1584,8 +1779,14 @@ mod tests {
         let l1 = 0x8100_1000u64;
         let l0 = 0x8100_2000u64;
         let va = VirtAddr(0x4000_0000);
-        mem.write_u64(root + va.vpn(2) * 8, Pte::table(teesec_isa::vm::PhysAddr(l1)).0);
-        mem.write_u64(l1 + va.vpn(1) * 8, Pte::table(teesec_isa::vm::PhysAddr(l0)).0);
+        mem.write_u64(
+            root + va.vpn(2) * 8,
+            Pte::table(teesec_isa::vm::PhysAddr(l1)).0,
+        );
+        mem.write_u64(
+            l1 + va.vpn(1) * 8,
+            Pte::table(teesec_isa::vm::PhysAddr(l0)).0,
+        );
         mem.write_u64(
             l0 + va.vpn(0) * 8,
             Pte::leaf(teesec_isa::vm::PhysAddr(0x8020_0000), Pte::R | Pte::W).0,
@@ -1614,7 +1815,8 @@ mod tests {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
         let enclave_pa = 0x8040_0000u64;
         mem.write_u64(enclave_pa, 0xE9C1_A6E5);
-        csr.pmp.program_napot(0, enclave_pa, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, enclave_pa, 0x1000, PmpCfg::napot(false, false, false));
         let req = LoadRequest {
             seq: 1,
             vaddr: 0x4000_0000,
@@ -1631,7 +1833,10 @@ mod tests {
         let leaked = trace.for_structure(Structure::Lfb).any(|e| {
             matches!(&e.kind, TraceEventKind::Fill { addr, purpose: FillPurpose::PageWalk, .. } if *addr == enclave_pa)
         });
-        assert!(leaked, "BOOM PTW must fill LFB from poisoned root page table");
+        assert!(
+            leaked,
+            "BOOM PTW must fill LFB from poisoned root page table"
+        );
     }
 
     #[test]
@@ -1639,7 +1844,8 @@ mod tests {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::xiangshan());
         let enclave_pa = 0x8040_0000u64;
         mem.write_u64(enclave_pa, 0xE9C1_A6E5);
-        csr.pmp.program_napot(0, enclave_pa, 0x1000, PmpCfg::napot(false, false, false));
+        csr.pmp
+            .program_napot(0, enclave_pa, 0x1000, PmpCfg::napot(false, false, false));
         let req = LoadRequest {
             seq: 1,
             vaddr: 0x4000_0000,
@@ -1650,7 +1856,10 @@ mod tests {
         };
         lsu.start_load(req, 0);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 1000);
-        assert!(matches!(done[0].exception, Some(Exception::LoadAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadAccessFault(_))
+        ));
         // No LFB or L2 fill of the enclave line.
         assert!(!trace.for_structure(Structure::Lfb).any(|e| {
             matches!(&e.kind, TraceEventKind::Fill { addr, .. } if *addr == enclave_pa)
@@ -1670,11 +1879,21 @@ mod tests {
         let mut done = Vec::new();
         while c < 300 {
             c += 1;
-            lsu.tick(c, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                c,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
             done.extend(lsu.take_completions());
         }
         assert!(done.is_empty(), "squashed load must not complete");
-        assert!(lsu.l1d.contains(0x8000_2000), "fill proceeds regardless of squash");
+        assert!(
+            lsu.l1d.contains(0x8000_2000),
+            "fill proceeds regardless of squash"
+        );
     }
 
     #[test]
@@ -1682,14 +1901,18 @@ mod tests {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
         lsu.start_load(load_req(1, 0x8000_1003), 0);
         let (done, _) = run_until_complete(&mut lsu, &mut csr, &mut mem, &mut trace, 0, 50);
-        assert!(matches!(done[0].exception, Some(Exception::LoadMisaligned(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::LoadMisaligned(_))
+        ));
         assert_eq!(done[0].timeline.cache_req, 0);
     }
 
     #[test]
     fn store_xlate_reports_pmp_fault() {
         let (mut lsu, mut csr, mut mem, mut trace) = setup(CoreConfig::boom());
-        csr.pmp.program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(true, false, false));
+        csr.pmp
+            .program_napot(0, 0x8040_0000, 0x1000, PmpCfg::napot(true, false, false));
         lsu.start_store_xlate(XlateRequest {
             seq: 1,
             vaddr: 0x8040_0000,
@@ -1702,9 +1925,19 @@ mod tests {
         let mut done = Vec::new();
         while done.is_empty() && c < 50 {
             c += 1;
-            lsu.tick(c, PrivLevel::Supervisor, Domain::Untrusted, &mut csr, &mut mem, &mut trace);
+            lsu.tick(
+                c,
+                PrivLevel::Supervisor,
+                Domain::Untrusted,
+                &mut csr,
+                &mut mem,
+                &mut trace,
+            );
             done = lsu.take_xlate_completions();
         }
-        assert!(matches!(done[0].exception, Some(Exception::StoreAccessFault(_))));
+        assert!(matches!(
+            done[0].exception,
+            Some(Exception::StoreAccessFault(_))
+        ));
     }
 }

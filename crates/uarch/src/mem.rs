@@ -18,7 +18,9 @@ impl Memory {
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8] {
         let key = addr / PAGE_SIZE;
-        self.pages.entry(key).or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+        self.pages
+            .entry(key)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
     }
 
     /// Reads one byte.

@@ -39,7 +39,10 @@ impl Tlb {
             last_use: 0,
             fill_domain: Domain::Untrusted,
         };
-        Tlb { entries: vec![e; n], use_counter: 0 }
+        Tlb {
+            entries: vec![e; n],
+            use_counter: 0,
+        }
     }
 
     /// Looks up the translation for `va`, updating LRU state on a hit.
@@ -69,8 +72,13 @@ impl Tlb {
                     .map(|(i, _)| i)
                     .expect("TLB has at least one entry")
             });
-        self.entries[idx] =
-            TlbEntry { valid: true, vpn, pte, last_use: counter, fill_domain: domain };
+        self.entries[idx] = TlbEntry {
+            valid: true,
+            vpn,
+            pte,
+            last_use: counter,
+            fill_domain: domain,
+        };
         idx
     }
 
@@ -127,12 +135,18 @@ impl PtwCache {
             last_use: 0,
             fill_domain: Domain::Untrusted,
         };
-        PtwCache { entries: vec![e; n], use_counter: 0 }
+        PtwCache {
+            entries: vec![e; n],
+            use_counter: 0,
+        }
     }
 
     /// Looks up a cached PTE fetch.
     pub fn lookup(&mut self, pte_addr: u64) -> Option<Pte> {
-        let idx = self.entries.iter().position(|e| e.valid && e.pte_addr == pte_addr)?;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.valid && e.pte_addr == pte_addr)?;
         self.use_counter += 1;
         self.entries[idx].last_use = self.use_counter;
         Some(self.entries[idx].pte)
@@ -154,8 +168,13 @@ impl PtwCache {
                     .map(|(i, _)| i)
                     .expect("PTW cache has at least one entry")
             });
-        self.entries[idx] =
-            PtwCacheEntry { valid: true, pte_addr, pte, last_use: counter, fill_domain: domain };
+        self.entries[idx] = PtwCacheEntry {
+            valid: true,
+            pte_addr,
+            pte,
+            last_use: counter,
+            fill_domain: domain,
+        };
     }
 
     /// Invalidates everything (`sfence.vma`).
@@ -207,8 +226,16 @@ mod tests {
     fn tlb_reinsert_updates_in_place() {
         let mut tlb = Tlb::new(4);
         let va = VirtAddr(0x5000);
-        tlb.insert(va, Pte::leaf(PhysAddr(0x8000_0000), Pte::R), Domain::Untrusted);
-        tlb.insert(va, Pte::leaf(PhysAddr(0x9000_0000), Pte::R | Pte::W), Domain::Enclave(0));
+        tlb.insert(
+            va,
+            Pte::leaf(PhysAddr(0x8000_0000), Pte::R),
+            Domain::Untrusted,
+        );
+        tlb.insert(
+            va,
+            Pte::leaf(PhysAddr(0x9000_0000), Pte::R | Pte::W),
+            Domain::Enclave(0),
+        );
         assert_eq!(tlb.valid_count(), 1);
         assert_eq!(tlb.lookup(va).unwrap().pa(), PhysAddr(0x9000_0000));
     }
@@ -216,7 +243,11 @@ mod tests {
     #[test]
     fn tlb_flush() {
         let mut tlb = Tlb::new(4);
-        tlb.insert(VirtAddr(0x1000), Pte::leaf(PhysAddr(0x8000_0000), Pte::R), Domain::Untrusted);
+        tlb.insert(
+            VirtAddr(0x1000),
+            Pte::leaf(PhysAddr(0x8000_0000), Pte::R),
+            Domain::Untrusted,
+        );
         tlb.flush_all();
         assert_eq!(tlb.valid_count(), 0);
         assert!(tlb.lookup(VirtAddr(0x1000)).is_none());

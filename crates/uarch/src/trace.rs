@@ -253,7 +253,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an enabled, empty trace.
     pub fn new() -> Trace {
-        Trace { events: Vec::new(), enabled: true }
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// Enables/disables recording (for performance sweeps that only need
@@ -357,7 +360,10 @@ mod tests {
     fn hpc_events_map_to_unique_counters() {
         let mut seen = std::collections::HashSet::new();
         for e in HpcEvent::all() {
-            assert!(seen.insert(e.counter_index()), "duplicate counter for {e:?}");
+            assert!(
+                seen.insert(e.counter_index()),
+                "duplicate counter for {e:?}"
+            );
         }
     }
 

@@ -22,8 +22,18 @@ const DATA_SIZE: u64 = 0x1000;
 
 /// Registers the generator plays with (x0 and the address base register
 /// included deliberately).
-const POOL: [Reg; 10] =
-    [Reg::ZERO, Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::T0, Reg::T1, Reg::T2, Reg::S2, Reg::S3];
+const POOL: [Reg; 10] = [
+    Reg::ZERO,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::S2,
+    Reg::S3,
+];
 
 fn reg(rng: &mut StdRng) -> Reg {
     POOL[rng.gen_range(0..POOL.len())]
@@ -45,16 +55,39 @@ fn random_program(seed: u64, len: usize) -> Vec<u32> {
         match rng.gen_range(0..100) {
             0..=39 => {
                 // ALU immediate / register ops.
-                let op = [AluOp::Add, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Sll, AluOp::Srl]
-                    [rng.gen_range(0..6)];
+                let op = [
+                    AluOp::Add,
+                    AluOp::Xor,
+                    AluOp::Or,
+                    AluOp::And,
+                    AluOp::Sll,
+                    AluOp::Srl,
+                ][rng.gen_range(0..6)];
                 if rng.gen_bool(0.5) {
                     let imm = rng.gen_range(-512..512);
-                    let imm = if matches!(op, AluOp::Sll | AluOp::Srl) { imm & 0x3F } else { imm };
-                    a.inst(Inst::AluImm { op, rd: reg(&mut rng), rs1: reg(&mut rng), imm, word: rng.gen_bool(0.2) });
+                    let imm = if matches!(op, AluOp::Sll | AluOp::Srl) {
+                        imm & 0x3F
+                    } else {
+                        imm
+                    };
+                    a.inst(Inst::AluImm {
+                        op,
+                        rd: reg(&mut rng),
+                        rs1: reg(&mut rng),
+                        imm,
+                        word: rng.gen_bool(0.2),
+                    });
                 } else {
                     a.inst(Inst::AluReg {
-                        op: [op, AluOp::Sub, AluOp::Mul, AluOp::Div, AluOp::Divu, AluOp::Rem, AluOp::Remu]
-                            [rng.gen_range(0..7)],
+                        op: [
+                            op,
+                            AluOp::Sub,
+                            AluOp::Mul,
+                            AluOp::Div,
+                            AluOp::Divu,
+                            AluOp::Rem,
+                            AluOp::Remu,
+                        ][rng.gen_range(0..7)],
                         rd: reg(&mut rng),
                         rs1: reg(&mut rng),
                         rs2: reg(&mut rng),
@@ -64,10 +97,9 @@ fn random_program(seed: u64, len: usize) -> Vec<u32> {
             }
             40..=59 => {
                 // Aligned memory op within the data window.
-                let width = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D]
-                    [rng.gen_range(0..4)];
-                let off =
-                    (rng.gen_range(0..DATA_SIZE / 8) * 8) as i32 % 2040;
+                let width =
+                    [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D][rng.gen_range(0..4)];
+                let off = (rng.gen_range(0..DATA_SIZE / 8) * 8) as i32 % 2040;
                 if rng.gen_bool(0.5) {
                     a.store(width, reg(&mut rng), Reg::S10, off);
                 } else {
@@ -154,7 +186,12 @@ fn run_differential(seed: u64, cfg: &CoreConfig) {
     let mut iss = Iss::new(mem_iss, BASE);
     let iss_exit = iss.run(1_000_000);
 
-    assert_eq!(core_exit, RunExit::Halted, "seed {seed}: core must halt on {}", cfg.name);
+    assert_eq!(
+        core_exit,
+        RunExit::Halted,
+        "seed {seed}: core must halt on {}",
+        cfg.name
+    );
     assert_eq!(iss_exit, IssExit::Halted, "seed {seed}: ISS must halt");
     for r in Reg::all() {
         assert_eq!(
@@ -169,10 +206,22 @@ fn run_differential(seed: u64, cfg: &CoreConfig) {
     for off in (0..DATA_SIZE).step_by(8) {
         let a = core.mem.read_u64(DATA + off);
         let b = iss.mem.read_u64(DATA + off);
-        assert_eq!(a, b, "seed {seed}: memory at +{off:#x} diverged on {}", cfg.name);
+        assert_eq!(
+            a, b,
+            "seed {seed}: memory at +{off:#x} diverged on {}",
+            cfg.name
+        );
     }
-    assert_eq!(core.csr.mcause, iss.csr.mcause, "seed {seed}: mcause diverged on {}", cfg.name);
-    assert_eq!(core.csr.mtval, iss.csr.mtval, "seed {seed}: mtval diverged on {}", cfg.name);
+    assert_eq!(
+        core.csr.mcause, iss.csr.mcause,
+        "seed {seed}: mcause diverged on {}",
+        cfg.name
+    );
+    assert_eq!(
+        core.csr.mtval, iss.csr.mtval,
+        "seed {seed}: mtval diverged on {}",
+        cfg.name
+    );
 }
 
 #[test]

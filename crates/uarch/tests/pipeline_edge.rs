@@ -108,7 +108,10 @@ fn without_fence_stores_may_lag_behind_halt() {
     }
     assert!(core.halted);
     // The store sits in the buffer (this lag is what D8/D3 exploit)...
-    assert!(!core.lsu.stores_drained(), "store should still be buffered at halt");
+    assert!(
+        !core.lsu.stores_drained(),
+        "store should still be buffered at halt"
+    );
     // ...and the drain completes it.
     core.drain();
     assert_eq!(core.mem.read_u64(0x8010_0000), 0xAB);
@@ -139,7 +142,7 @@ fn stale_tlb_translations_persist_until_sfence() {
         a.label("smode");
         a.li(Reg::S10, va);
         a.ld(Reg::S2, Reg::S10, 0); // walk -> TLB caches va -> pa1
-        // Rewrite the leaf PTE to pa2 (the page table itself is mapped).
+                                    // Rewrite the leaf PTE to pa2 (the page table itself is mapped).
         a.li(Reg::T0, l0); // identity: S-mode touches PT via physical alias
         a.li(Reg::T1, Pte::leaf(PhysAddr(pa2), Pte::R | Pte::W).0);
         a.sd(Reg::T1, Reg::T0, 0);
@@ -156,14 +159,20 @@ fn stale_tlb_translations_persist_until_sfence() {
     let l0b = 0x8100_4000u64;
     let l0c = 0x8100_5000u64;
     let vaddr = teesec_isa::vm::VirtAddr(va);
-    core.mem.write_u64(pt_root + vaddr.vpn(2) * 8, Pte::table(PhysAddr(l1)).0);
-    core.mem.write_u64(l1 + vaddr.vpn(1) * 8, Pte::table(PhysAddr(l0)).0);
     core.mem
-        .write_u64(l0 + vaddr.vpn(0) * 8, Pte::leaf(PhysAddr(pa1), Pte::R | Pte::W).0);
+        .write_u64(pt_root + vaddr.vpn(2) * 8, Pte::table(PhysAddr(l1)).0);
+    core.mem
+        .write_u64(l1 + vaddr.vpn(1) * 8, Pte::table(PhysAddr(l0)).0);
+    core.mem.write_u64(
+        l0 + vaddr.vpn(0) * 8,
+        Pte::leaf(PhysAddr(pa1), Pte::R | Pte::W).0,
+    );
     // Identity maps under vpn2 = 2 (the 0x8000_0000 gigapage).
     let code = teesec_isa::vm::VirtAddr(BASE);
-    core.mem.write_u64(pt_root + code.vpn(2) * 8, Pte::table(PhysAddr(l1b)).0);
-    core.mem.write_u64(l1b + code.vpn(1) * 8, Pte::table(PhysAddr(l0b)).0);
+    core.mem
+        .write_u64(pt_root + code.vpn(2) * 8, Pte::table(PhysAddr(l1b)).0);
+    core.mem
+        .write_u64(l1b + code.vpn(1) * 8, Pte::table(PhysAddr(l0b)).0);
     for k in 0..4u64 {
         let page = BASE + k * 0x1000;
         core.mem.write_u64(
@@ -172,15 +181,26 @@ fn stale_tlb_translations_persist_until_sfence() {
         );
     }
     let l0va = teesec_isa::vm::VirtAddr(l0);
-    core.mem.write_u64(l1b + l0va.vpn(1) * 8, Pte::table(PhysAddr(l0c)).0);
     core.mem
-        .write_u64(l0c + l0va.vpn(0) * 8, Pte::leaf(PhysAddr(l0), Pte::R | Pte::W).0);
+        .write_u64(l1b + l0va.vpn(1) * 8, Pte::table(PhysAddr(l0c)).0);
+    core.mem.write_u64(
+        l0c + l0va.vpn(0) * 8,
+        Pte::leaf(PhysAddr(l0), Pte::R | Pte::W).0,
+    );
     core.mem.write_u64(pa1, 0x1111);
     core.mem.write_u64(pa2, 0x2222);
     assert_eq!(core.run(1_000_000), RunExit::Halted);
     assert_eq!(core.reg(Reg::S2), 0x1111, "initial translation");
-    assert_eq!(core.reg(Reg::S3), 0x1111, "stale TLB survives the PTE rewrite");
-    assert_eq!(core.reg(Reg::S4), 0x2222, "sfence.vma picks up the new mapping");
+    assert_eq!(
+        core.reg(Reg::S3),
+        0x1111,
+        "stale TLB survives the PTE rewrite"
+    );
+    assert_eq!(
+        core.reg(Reg::S4),
+        0x2222,
+        "sfence.vma picks up the new mapping"
+    );
 }
 
 #[test]
@@ -253,7 +273,10 @@ fn transient_writeback_trace_has_pc_attribution() {
     for e in core.trace.for_structure(Structure::RegFile) {
         if let TraceEventKind::Write { .. } = e.kind {
             let pc = e.pc.expect("RF writes carry a PC");
-            assert!((BASE..BASE + 0x100).contains(&pc), "pc {pc:#x} inside the program");
+            assert!(
+                (BASE..BASE + 0x100).contains(&pc),
+                "pc {pc:#x} inside the program"
+            );
         }
     }
 }

@@ -39,10 +39,17 @@ fn main() {
     platform.run(1_000_000);
     assert!(platform.core.halted, "host program must complete");
 
-    println!("host accessed {boundary:#x} (allowed); enclave line at {enclave_line:#x} is PMP-protected");
+    println!(
+        "host accessed {boundary:#x} (allowed); enclave line at {enclave_line:#x} is PMP-protected"
+    );
     let mut leaked = false;
     for e in platform.core.trace.for_structure(Structure::Lfb) {
-        if let TraceEventKind::Fill { addr, data, purpose } = &e.kind {
+        if let TraceEventKind::Fill {
+            addr,
+            data,
+            purpose,
+        } = &e.kind
+        {
             let hit = data[..8] == secret.to_le_bytes();
             println!(
                 "cycle {:>5}: LFB fill line {addr:#x} purpose {purpose:?} domain {:?}{}",
@@ -55,7 +62,10 @@ fn main() {
             }
         }
     }
-    assert!(leaked, "the unchecked prefetch must have pulled the enclave line");
+    assert!(
+        leaked,
+        "the unchecked prefetch must have pulled the enclave line"
+    );
     println!("\nD1 reproduced: the prefetcher crossed the PMP boundary with no check.");
     println!("(Run with CoreConfig::xiangshan() and the assertion fails: no L1 prefetcher.)");
 }

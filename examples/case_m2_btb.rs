@@ -49,17 +49,30 @@ fn main() {
     assert!(platform.core.halted);
 
     let ubtb = &platform.core.ubtb;
-    println!("host branch   : {host_pc:#x} (index {}, tag {:#x})", ubtb.index(host_pc), ubtb.tag(host_pc));
-    println!("enclave branch: {encl_pc:#x} (index {}, tag {:#x})", ubtb.index(encl_pc), ubtb.tag(encl_pc));
+    println!(
+        "host branch   : {host_pc:#x} (index {}, tag {:#x})",
+        ubtb.index(host_pc),
+        ubtb.tag(host_pc)
+    );
+    println!(
+        "enclave branch: {encl_pc:#x} (index {}, tag {:#x})",
+        ubtb.index(encl_pc),
+        ubtb.tag(encl_pc)
+    );
     assert!(ubtb.collides(host_pc, encl_pc), "partial tags must collide");
 
-    let entry = ubtb.predict(host_pc).expect("entry survives the context switch");
+    let entry = ubtb
+        .predict(host_pc)
+        .expect("entry survives the context switch");
     println!(
         "entry hit by the HOST pc after enclave exit: trained by {:?} at {:#x} -> {:#x}",
         entry.train_domain, entry.train_pc, entry.target
     );
     assert_eq!(entry.train_domain, Domain::Enclave(0));
-    assert_ne!(entry.train_pc, host_pc, "the entry belongs to the enclave's branch");
+    assert_ne!(
+        entry.train_pc, host_pc,
+        "the entry belongs to the enclave's branch"
+    );
     println!("\nM2 reproduced: enclave branch metadata is observable through uBTB");
     println!("collisions — the BPU is not flushed at enclave context switches.");
 }

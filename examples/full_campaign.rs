@@ -38,7 +38,10 @@ fn main() {
         results.push(result);
     }
 
-    println!("\n{}", vulnerability_matrix(&results.iter().collect::<Vec<_>>()));
+    println!(
+        "\n{}",
+        vulnerability_matrix(&results.iter().collect::<Vec<_>>())
+    );
 
     let json = serde_json::to_string_pretty(&results).expect("serialize");
     let path = "campaign_results.json";

@@ -18,13 +18,34 @@ use teesec_uarch::CoreConfig;
 fn variants() -> Vec<(&'static str, MitigationSet)> {
     vec![
         ("baseline", MitigationSet::default()),
-        ("flush_l1d", MitigationSet { flush_l1d_on_domain_switch: true, ..Default::default() }),
+        (
+            "flush_l1d",
+            MitigationSet {
+                flush_l1d_on_domain_switch: true,
+                ..Default::default()
+            },
+        ),
         (
             "flush_sb",
-            MitigationSet { flush_store_buffer_on_domain_switch: true, ..Default::default() },
+            MitigationSet {
+                flush_store_buffer_on_domain_switch: true,
+                ..Default::default()
+            },
         ),
-        ("clear_illegal", MitigationSet { clear_illegal_data_returns: true, ..Default::default() }),
-        ("flush_lfb", MitigationSet { flush_lfb_on_domain_switch: true, ..Default::default() }),
+        (
+            "clear_illegal",
+            MitigationSet {
+                clear_illegal_data_returns: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "flush_lfb",
+            MitigationSet {
+                flush_lfb_on_domain_switch: true,
+                ..Default::default()
+            },
+        ),
         (
             "flush_bpu_hpc",
             MitigationSet {
@@ -33,8 +54,20 @@ fn variants() -> Vec<(&'static str, MitigationSet)> {
                 ..Default::default()
             },
         ),
-        ("serialize_pmp", MitigationSet { serialize_pmp_check: true, ..Default::default() }),
-        ("tag_bpu", MitigationSet { tag_bpu_with_domain: true, ..Default::default() }),
+        (
+            "serialize_pmp",
+            MitigationSet {
+                serialize_pmp_check: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "tag_bpu",
+            MitigationSet {
+                tag_bpu_with_domain: true,
+                ..Default::default()
+            },
+        ),
         ("flush_everything", MitigationSet::flush_everything()),
         ("all", MitigationSet::all()),
     ]
@@ -52,7 +85,10 @@ fn workload_cycles(cfg: &CoreConfig) -> u64 {
 }
 
 fn main() {
-    let cases: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(120);
+    let cases: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
     for base in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         println!("=== design: {} ({cases}-case corpus) ===", base.name);
         let mut baseline_cycles = 0;

@@ -31,11 +31,18 @@ fn main() {
     //    catalog, each case executes on the simulated Keystone platform,
     //    and the checker scans the trace for P1/P2 violations.
     let (result, _) = Campaign::new(design, Fuzzer::with_target(60)).run();
-    println!("\ncampaign: {} cases, avg {} cycles/case", result.case_count, result.avg_cycles());
+    println!(
+        "\ncampaign: {} cases, avg {} cycles/case",
+        result.case_count,
+        result.avg_cycles()
+    );
     println!("vulnerability classes discovered:");
     for class in &result.classes_found {
         println!("  {class}: {}", class.description());
     }
     let leaking = result.leaking_cases().count();
-    println!("\n{leaking}/{} cases surfaced at least one classified leak.", result.case_count);
+    println!(
+        "\n{leaking}/{} cases surfaced at least one classified leak.",
+        result.case_count
+    );
 }

@@ -40,20 +40,34 @@ fn xiangshan_reproduces_table3_row() {
         LeakClass::M1,
         LeakClass::M2,
     ] {
-        assert!(r.found(class), "XiangShan must exhibit {class} (paper Table 3)");
+        assert!(
+            r.found(class),
+            "XiangShan must exhibit {class} (paper Table 3)"
+        );
     }
     assert!(!r.found(LeakClass::D1), "no L1 prefetcher: no D1 (paper)");
     assert!(!r.found(LeakClass::D2), "PTW PMP pre-check: no D2 (paper)");
-    assert!(!r.found(LeakClass::D3), "MSHRs release refill data: no D3 (paper)");
+    assert!(
+        !r.found(LeakClass::D3),
+        "MSHRs release refill data: no D3 (paper)"
+    );
 }
 
 #[test]
 fn all_cases_halt_within_budget() {
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         let (r, _) = Campaign::new(cfg.clone(), Fuzzer::with_target(CASES)).run();
-        let stuck: Vec<&str> =
-            r.cases.iter().filter(|c| !c.halted).map(|c| c.name.as_str()).collect();
-        assert!(stuck.is_empty(), "non-halting cases on {}: {stuck:?}", cfg.name);
+        let stuck: Vec<&str> = r
+            .cases
+            .iter()
+            .filter(|c| !c.halted)
+            .map(|c| c.name.as_str())
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "non-halting cases on {}: {stuck:?}",
+            cfg.name
+        );
     }
 }
 
@@ -67,13 +81,17 @@ fn campaign_timing_shape_matches_table2() {
         r.timing.simulate_us,
         r.timing.construct_us
     );
-    assert!(r.timing.plan_us < r.timing.simulate_us, "plan profiling is cheap");
+    assert!(
+        r.timing.plan_us < r.timing.simulate_us,
+        "plan profiling is cheap"
+    );
 }
 
 #[test]
 fn reports_trace_secrets_back_to_addresses() {
-    let (r, reports) =
-        Campaign::new(CoreConfig::boom(), Fuzzer::with_target(40)).keep_reports().run();
+    let (r, reports) = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(40))
+        .keep_reports()
+        .run();
     assert_eq!(reports.len(), r.case_count);
     let mut traced = 0;
     for rep in &reports {
@@ -95,14 +113,16 @@ fn hardened_reference_design_is_clean() {
     // is guaranteed to mitigate all known attacks under the threat model.
     // Running the same corpus against the hardened preset must classify
     // zero leakage cases.
-    let (r, _) =
-        Campaign::new(CoreConfig::hardened_reference(), Fuzzer::with_target(CASES)).run();
+    let (r, _) = Campaign::new(CoreConfig::hardened_reference(), Fuzzer::with_target(CASES)).run();
     assert!(
         r.classes_found.is_empty(),
         "hardened design must verify clean, found {:?}",
         r.classes_found
     );
-    assert!(r.cases.iter().all(|c| c.halted), "hardening must not break execution");
+    assert!(
+        r.cases.iter().all(|c| c.halted),
+        "hardening must not break execution"
+    );
 }
 
 #[test]

@@ -29,7 +29,11 @@ fn secrets_flow_through_real_memory_hierarchy() {
         .expect("build");
     assert_eq!(p.run(3_000_000), RunExit::Halted);
     assert_eq!(p.core.mem.read_u64(layout::enclave_data(0)), 0, "scrubbed");
-    assert_eq!(p.core.mem.read_u64(layout::HOST_DATA), 0x1111_2222, "host data intact");
+    assert_eq!(
+        p.core.mem.read_u64(layout::HOST_DATA),
+        0x1111_2222,
+        "host data intact"
+    );
 }
 
 #[test]
@@ -57,7 +61,10 @@ fn sv39_and_bare_hosts_compute_identically() {
     let bare = run(HostVm::Bare);
     let sv39 = run(HostVm::Sv39);
     assert_eq!(bare, (100..108).sum::<u64>());
-    assert_eq!(bare, sv39, "translation must not change architectural results");
+    assert_eq!(
+        bare, sv39,
+        "translation must not change architectural results"
+    );
 }
 
 #[test]
@@ -75,7 +82,11 @@ fn attestation_is_content_sensitive() {
         assert_eq!(p.run(3_000_000), RunExit::Halted);
         p.core.reg(Reg::S4)
     };
-    assert_ne!(measure(0xAAAA), measure(0xBBBB), "measurement reflects enclave content");
+    assert_ne!(
+        measure(0xAAAA),
+        measure(0xBBBB),
+        "measurement reflects enclave content"
+    );
 }
 
 #[test]
@@ -93,10 +104,11 @@ fn hardware_walks_appear_in_the_trace() {
     assert_eq!(p.run(3_000_000), RunExit::Halted);
     assert_eq!(p.core.reg(Reg::S2), 7);
     // PTW cache writes and DTLB installs were traced.
-    assert!(p.core.trace.for_structure(Structure::PtwCache).any(|e| matches!(
-        e.kind,
-        TraceEventKind::Write { .. }
-    )));
+    assert!(p
+        .core
+        .trace
+        .for_structure(Structure::PtwCache)
+        .any(|e| matches!(e.kind, TraceEventKind::Write { .. })));
     assert!(p
         .core
         .trace

@@ -1,0 +1,62 @@
+//! Locks the engine to the serial reference: `Campaign::run` and
+//! `Campaign::run_engine` must produce identical `CampaignResult`s (and
+//! identical retained reports) at every worker count — timing and the
+//! engine-metrics attachment are the only permitted differences.
+
+use teesec::campaign::{CampaignResult, PhaseTiming};
+use teesec::engine::EngineOptions;
+use teesec::fuzz::Fuzzer;
+use teesec::Campaign;
+use teesec_uarch::CoreConfig;
+
+const CORPUS: usize = 40;
+
+/// Strips the fields the engine is allowed to change: wall-clock timing
+/// and its own metrics attachment.
+fn normalized(mut result: CampaignResult) -> CampaignResult {
+    result.timing = PhaseTiming::default();
+    result.engine = None;
+    result
+}
+
+#[test]
+fn engine_matches_serial_at_1_2_and_7_threads() {
+    let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(CORPUS)).keep_reports();
+    let (serial, serial_reports) = campaign.run();
+    assert_eq!(serial.case_count, CORPUS);
+    assert!(
+        !serial.classes_found.is_empty(),
+        "reference corpus must uncover leaks for the comparison to be meaningful"
+    );
+
+    for threads in [1usize, 2, 7] {
+        let (engine, engine_reports) = campaign.run_engine(EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        });
+        let metrics = engine.engine.as_ref().expect("engine metrics attached");
+        assert_eq!(metrics.threads, threads);
+        assert_eq!(metrics.cases_total, CORPUS);
+        assert_eq!(metrics.cases_quarantined, 0);
+        assert_eq!(
+            normalized(engine.clone()),
+            normalized(serial.clone()),
+            "engine at {threads} threads diverged from serial run"
+        );
+        assert_eq!(
+            engine_reports, serial_reports,
+            "retained reports diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_serial_on_second_design() {
+    let campaign = Campaign::new(CoreConfig::xiangshan(), Fuzzer::with_target(24));
+    let (serial, _) = campaign.run();
+    let (engine, _) = campaign.run_engine(EngineOptions {
+        threads: 3,
+        ..EngineOptions::default()
+    });
+    assert_eq!(normalized(engine), normalized(serial));
+}

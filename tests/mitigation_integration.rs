@@ -17,32 +17,59 @@ fn classes_with(base: CoreConfig, m: MitigationSet) -> std::collections::BTreeSe
 
 #[test]
 fn clear_illegal_data_returns_covers_d2_and_d4_to_d8() {
-    let m = MitigationSet { clear_illegal_data_returns: true, ..Default::default() };
+    let m = MitigationSet {
+        clear_illegal_data_returns: true,
+        ..Default::default()
+    };
     let boom = classes_with(CoreConfig::boom(), m);
-    for c in [LeakClass::D2, LeakClass::D4, LeakClass::D5, LeakClass::D6, LeakClass::D7] {
+    for c in [
+        LeakClass::D2,
+        LeakClass::D4,
+        LeakClass::D5,
+        LeakClass::D6,
+        LeakClass::D7,
+    ] {
         assert!(!boom.contains(&c), "{c} must be eliminated on BOOM");
     }
     // D1 is unaffected: the prefetcher performs no check whose failure
     // could zero anything (paper: D1 has no mitigation in Table 4).
     assert!(boom.contains(&LeakClass::D1), "D1 survives (paper)");
     let xs = classes_with(CoreConfig::xiangshan(), m);
-    for c in [LeakClass::D4, LeakClass::D5, LeakClass::D6, LeakClass::D7, LeakClass::D8] {
+    for c in [
+        LeakClass::D4,
+        LeakClass::D5,
+        LeakClass::D6,
+        LeakClass::D7,
+        LeakClass::D8,
+    ] {
         assert!(!xs.contains(&c), "{c} must be eliminated on XiangShan");
     }
 }
 
 #[test]
 fn flush_lfb_eliminates_d3_on_boom() {
-    let m = MitigationSet { flush_lfb_on_domain_switch: true, ..Default::default() };
+    let m = MitigationSet {
+        flush_lfb_on_domain_switch: true,
+        ..Default::default()
+    };
     let boom = classes_with(CoreConfig::boom(), m);
-    assert!(!boom.contains(&LeakClass::D3), "D3 eliminated by LFB flush (paper)");
+    assert!(
+        !boom.contains(&LeakClass::D3),
+        "D3 eliminated by LFB flush (paper)"
+    );
     // Flushing the LFB does not stop fresh prefetch fills afterwards.
-    assert!(boom.contains(&LeakClass::D1), "D1 survives LFB flushing (paper)");
+    assert!(
+        boom.contains(&LeakClass::D1),
+        "D1 survives LFB flushing (paper)"
+    );
 }
 
 #[test]
 fn flush_l1d_covers_d4_to_d8_only_on_xiangshan() {
-    let m = MitigationSet { flush_l1d_on_domain_switch: true, ..Default::default() };
+    let m = MitigationSet {
+        flush_l1d_on_domain_switch: true,
+        ..Default::default()
+    };
     let xs = classes_with(CoreConfig::xiangshan(), m);
     for c in [LeakClass::D4, LeakClass::D5, LeakClass::D6, LeakClass::D7] {
         assert!(!xs.contains(&c), "{c} eliminated on XiangShan (paper's X*)");
@@ -50,16 +77,28 @@ fn flush_l1d_covers_d4_to_d8_only_on_xiangshan() {
     // BOOM is NOT helped: the faulting miss forwards to L2 regardless —
     // the paper's footnote "* items are only effective on XiangShan".
     let boom = classes_with(CoreConfig::boom(), m);
-    assert!(boom.contains(&LeakClass::D4), "BOOM still leaks D4 after L1D flush");
+    assert!(
+        boom.contains(&LeakClass::D4),
+        "BOOM still leaks D4 after L1D flush"
+    );
 }
 
 #[test]
 fn flush_store_buffer_eliminates_d8() {
-    let m = MitigationSet { flush_store_buffer_on_domain_switch: true, ..Default::default() };
+    let m = MitigationSet {
+        flush_store_buffer_on_domain_switch: true,
+        ..Default::default()
+    };
     let xs = classes_with(CoreConfig::xiangshan(), m);
-    assert!(!xs.contains(&LeakClass::D8), "D8 eliminated by SB flush (paper)");
+    assert!(
+        !xs.contains(&LeakClass::D8),
+        "D8 eliminated by SB flush (paper)"
+    );
     // The verbatim-hit path is unaffected.
-    assert!(xs.contains(&LeakClass::D4), "D4 survives SB flushing (paper)");
+    assert!(
+        xs.contains(&LeakClass::D4),
+        "D4 survives SB flushing (paper)"
+    );
 }
 
 #[test]
@@ -71,10 +110,22 @@ fn bpu_and_hpc_clearing_eliminates_metadata_leaks() {
     };
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         let classes = classes_with(cfg.clone(), m);
-        assert!(!classes.contains(&LeakClass::M1), "M1 eliminated on {}", cfg.name);
-        assert!(!classes.contains(&LeakClass::M2), "M2 eliminated on {}", cfg.name);
+        assert!(
+            !classes.contains(&LeakClass::M1),
+            "M1 eliminated on {}",
+            cfg.name
+        );
+        assert!(
+            !classes.contains(&LeakClass::M2),
+            "M2 eliminated on {}",
+            cfg.name
+        );
         // Data leaks are untouched by metadata clearing.
-        assert!(classes.contains(&LeakClass::D4), "D4 survives on {}", cfg.name);
+        assert!(
+            classes.contains(&LeakClass::D4),
+            "D4 survives on {}",
+            cfg.name
+        );
     }
 }
 
@@ -83,11 +134,21 @@ fn bpu_domain_tagging_eliminates_m2_without_flushing() {
     // The paper's §8 alternative: tag entries with the training domain
     // instead of flushing. M2 disappears while same-domain prediction
     // state (and every data behaviour) is preserved.
-    let m = MitigationSet { tag_bpu_with_domain: true, ..Default::default() };
+    let m = MitigationSet {
+        tag_bpu_with_domain: true,
+        ..Default::default()
+    };
     for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
         let classes = classes_with(cfg.clone(), m);
-        assert!(!classes.contains(&LeakClass::M2), "M2 eliminated by tagging on {}", cfg.name);
-        assert!(classes.contains(&LeakClass::M1), "tagging the BPU does not touch HPCs");
+        assert!(
+            !classes.contains(&LeakClass::M2),
+            "M2 eliminated by tagging on {}",
+            cfg.name
+        );
+        assert!(
+            classes.contains(&LeakClass::M1),
+            "tagging the BPU does not touch HPCs"
+        );
         assert!(classes.contains(&LeakClass::D4), "data leaks unaffected");
     }
 }
@@ -104,7 +165,10 @@ fn sm_software_hpc_clearing_also_eliminates_m1() {
     let outcome = teesec::run_case(&tc, &cfg).expect("run");
     let report = teesec::check_case(&tc, &outcome, &cfg);
     assert!(
-        report.findings.iter().all(|f| f.class != Some(LeakClass::M1)),
+        report
+            .findings
+            .iter()
+            .all(|f| f.class != Some(LeakClass::M1)),
         "SM-level counter clearing closes M1: {:?}",
         report.findings
     );
@@ -136,11 +200,21 @@ fn every_mitigation_preserves_architectural_results() {
     };
     let expected = run(MitigationSet::default());
     for m in [
-        MitigationSet { serialize_pmp_check: true, ..Default::default() },
-        MitigationSet { clear_illegal_data_returns: true, ..Default::default() },
+        MitigationSet {
+            serialize_pmp_check: true,
+            ..Default::default()
+        },
+        MitigationSet {
+            clear_illegal_data_returns: true,
+            ..Default::default()
+        },
         MitigationSet::flush_everything(),
         MitigationSet::all(),
     ] {
-        assert_eq!(run(m), expected, "mitigation {m:?} altered architectural state");
+        assert_eq!(
+            run(m),
+            expected,
+            "mitigation {m:?} altered architectural state"
+        );
     }
 }
