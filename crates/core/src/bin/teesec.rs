@@ -5,7 +5,10 @@
 //! teesec list-gadgets                      # access_gadgets.txt analog
 //! teesec plan    [--design D] [--json]     # the verification plan
 //! teesec run <gadget> [--design D] [--simlog FILE] [--checker-log FILE]
+//!                     [--events FILE] [--metrics-out FILE]
+//! teesec explain <gadget> [--design D]     # leak provenance chains
 //! teesec campaign [--design D] [--cases N] [--output FILE]
+//!                 [--events FILE] [--metrics-out FILE]
 //! teesec matrix  [--cases N]               # the Table 3 matrix
 //! ```
 
@@ -29,8 +32,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
          teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
+         \x20          [--events FILE] [--metrics-out FILE]\n  \
+         teesec explain <access-gadget> [--design boom|xiangshan]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
-         \x20               [--events FILE] [--case-cycle-budget N] [--quiet]\n  \
+         \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet]\n  \
          teesec matrix [--cases N]"
     );
     ExitCode::from(2)
@@ -45,6 +50,7 @@ struct Opts {
     checker_log: Option<String>,
     output: Option<String>,
     events: Option<String>,
+    metrics_out: Option<String>,
     case_cycle_budget: Option<u64>,
     quiet: bool,
     positional: Vec<String>,
@@ -62,6 +68,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         checker_log: None,
         output: None,
         events: None,
+        metrics_out: None,
         case_cycle_budget: None,
         quiet: false,
         positional: Vec::new(),
@@ -105,6 +112,10 @@ fn parse(args: &[String]) -> Option<Opts> {
                 i += 1;
                 o.events = Some(args.get(i)?.clone());
             }
+            "--metrics-out" => {
+                i += 1;
+                o.metrics_out = Some(args.get(i)?.clone());
+            }
             "--case-cycle-budget" => {
                 i += 1;
                 o.case_cycle_budget = Some(args.get(i)?.parse().ok()?);
@@ -133,6 +144,7 @@ fn main() -> ExitCode {
         "list-gadgets" => cmd_list_gadgets(),
         "plan" => cmd_plan(&opts),
         "run" => cmd_run(&opts),
+        "explain" => cmd_explain(&opts),
         "campaign" => cmd_campaign(&opts),
         "matrix" => cmd_matrix(&opts),
         _ => usage(),
@@ -265,11 +277,101 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             None => print!("\n{rendered}"),
         }
     }
+    // Observability artifacts: route the same single case through the
+    // engine (simulation is deterministic, so results are identical) to
+    // produce the JSONL event stream and/or the metrics snapshot.
+    if opts.events.is_some() || opts.metrics_out.is_some() {
+        let events = match &opts.events {
+            Some(p) => match EventSink::file(p) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    eprintln!("cannot open event stream `{p}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let engine = teesec::Engine::new(
+            opts.design.clone(),
+            EngineOptions {
+                threads: 1,
+                counters: true,
+                events,
+                ..EngineOptions::default()
+            },
+        );
+        let (result, _) = engine.run_corpus(
+            std::slice::from_ref(&tc),
+            teesec::campaign::PhaseTiming::default(),
+        );
+        if let Some(p) = &opts.events {
+            println!("event stream written to {p}");
+        }
+        if let Some(p) = &opts.metrics_out {
+            let snap = teesec::metrics::campaign_snapshot(&result);
+            if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
+                eprintln!("cannot write metrics snapshot `{p}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics snapshot written to {p} (+ {p}.json)");
+        }
+    }
     if report.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE // nonzero = leakage detected (CI-friendly)
     }
+}
+
+fn cmd_explain(opts: &Opts) -> ExitCode {
+    let Some(gadget) = opts.positional.first() else {
+        eprintln!("`teesec explain` requires an access gadget id (see list-gadgets)");
+        return ExitCode::from(2);
+    };
+    let Some(path) = AccessPath::all().iter().copied().find(|p| p.id() == gadget) else {
+        eprintln!("unknown access gadget `{gadget}`");
+        return ExitCode::from(2);
+    };
+    let tc = match assemble_case(path, CaseParams::default(), &opts.design) {
+        Ok(tc) => tc,
+        Err(e) => {
+            eprintln!("cannot assemble `{gadget}` on {}: {e:?}", opts.design.name);
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = run_case(&tc, &opts.design).expect("build");
+    let report = check_case(&tc, &outcome, &opts.design);
+    if report.clean() {
+        println!(
+            "{} on {}: no violations — nothing to explain",
+            tc.name, opts.design.name
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "{} on {}: {} finding(s), {} provenance chain(s)\n",
+        tc.name,
+        opts.design.name,
+        report.findings.len(),
+        report.provenance.len()
+    );
+    for (i, f) in report.findings.iter().enumerate() {
+        let class = f
+            .class
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "unclassified".into());
+        println!(
+            "finding #{i}: {class} ({:?}) in {}",
+            f.principle,
+            f.structure.display_name()
+        );
+        match report.chain_for(i) {
+            Some(chain) => print!("{}", chain.render()),
+            None => println!("  (no provenance chain reconstructed)"),
+        }
+        println!();
+    }
+    ExitCode::FAILURE // nonzero = leakage detected, as `teesec run`
 }
 
 fn cmd_campaign(opts: &Opts) -> ExitCode {
@@ -291,6 +393,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         keep_reports: true,
         progress: !opts.quiet,
         events,
+        counters: true,
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
@@ -302,8 +405,26 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         metrics.cases_budget_exceeded,
         result.classes_found
     );
+    if let Some(obs) = metrics.obs.as_ref() {
+        if !opts.quiet {
+            for (phase, s) in obs.phase_summaries() {
+                println!(
+                    "  {phase:<12} p50 {:>8}  p90 {:>8}  p99 {:>8}  (n={})",
+                    s.p50, s.p90, s.p99, s.count
+                );
+            }
+        }
+    }
     if let Some(p) = &opts.events {
         println!("event stream written to {p}");
+    }
+    if let Some(p) = &opts.metrics_out {
+        let snap = teesec::metrics::campaign_snapshot(&result);
+        if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
+            eprintln!("cannot write metrics snapshot `{p}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics snapshot written to {p} (+ {p}.json)");
     }
     if let Some(p) = &opts.output {
         let blob = serde_json::json!({ "summary": result, "reports": reports });

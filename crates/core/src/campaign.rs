@@ -188,8 +188,8 @@ impl Campaign {
         let mut classes_found = BTreeSet::new();
         let mut reports = Vec::new();
         for tc in &corpus {
-            let exec = execute_case(tc, &self.cfg, self.keep_reports, None);
-            timing.simulate_us += exec.simulate_us;
+            let exec = execute_case(tc, &self.cfg, self.keep_reports, None, false);
+            timing.simulate_us += exec.build_us + exec.simulate_us;
             timing.check_us += exec.check_us;
             classes_found.extend(exec.result.classes.iter().copied());
             cases.push(exec.result);

@@ -77,12 +77,15 @@ pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> Chec
     scan_trace(tc, outcome, &secrets, &mut findings, &mut push);
     scan_snapshot(tc, outcome, &secrets, &mut findings, &mut push);
 
-    CheckReport {
+    let mut report = CheckReport {
         case: tc.name.clone(),
         path: tc.path,
         design: cfg.name.clone(),
         findings,
-    }
+        provenance: Vec::new(),
+    };
+    crate::provenance::annotate(&mut report, outcome, &secrets);
+    report
 }
 
 fn scan_trace(

@@ -30,8 +30,10 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+use teesec_obs::{Histogram, Summary};
 use teesec_uarch::config::CoreConfig;
-use teesec_uarch::RunExit;
+use teesec_uarch::introspect::StorageInventory;
+use teesec_uarch::{RunExit, StructureCounters, UarchCounters};
 
 use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
 use crate::checker::check_case;
@@ -53,6 +55,11 @@ pub struct EngineOptions {
     pub progress: bool,
     /// Structured JSONL event stream.
     pub events: Option<EventSink>,
+    /// Harvest per-case microarchitectural counters
+    /// ([`UarchCounters`]) into [`EngineEvent::CaseCounters`] events and
+    /// the aggregate [`ObsMetrics`]. Off by default: harvesting walks
+    /// every storage structure at case exit.
+    pub counters: bool,
 }
 
 /// A thread-safe JSONL sink for [`EngineEvent`]s.
@@ -60,9 +67,38 @@ pub struct EngineOptions {
 /// Cloning shares the underlying writer; each event is serialized to a
 /// single line. Event *emission* order is the order workers finish, not
 /// corpus order — consumers should key on `seq`.
+///
+/// The sink flushes when its last clone drops, so buffered tail events
+/// survive even when the caller forgets an explicit [`EventSink::flush`].
 #[derive(Clone)]
 pub struct EventSink {
-    writer: Arc<Mutex<Box<dyn Write + Send>>>,
+    inner: Arc<Mutex<SinkInner>>,
+}
+
+struct SinkInner {
+    writer: Box<dyn Write + Send>,
+    /// One-shot latch: after the first I/O failure the sink goes quiet
+    /// instead of spamming stderr once per event.
+    failed: bool,
+}
+
+impl SinkInner {
+    fn fail(&mut self, op: &str, e: &std::io::Error) {
+        if !self.failed {
+            eprintln!("teesec: event sink {op} failed: {e} (further events dropped)");
+            self.failed = true;
+        }
+    }
+}
+
+impl Drop for SinkInner {
+    fn drop(&mut self) {
+        if !self.failed {
+            if let Err(e) = self.writer.flush() {
+                self.fail("flush", &e);
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for EventSink {
@@ -75,7 +111,10 @@ impl EventSink {
     /// A sink writing JSON lines to `writer`.
     pub fn new(writer: impl Write + Send + 'static) -> EventSink {
         EventSink {
-            writer: Arc::new(Mutex::new(Box::new(writer))),
+            inner: Arc::new(Mutex::new(SinkInner {
+                writer: Box::new(writer),
+                failed: false,
+            })),
         }
     }
 
@@ -86,19 +125,29 @@ impl EventSink {
         )))
     }
 
-    /// Serializes `event` as one line. I/O errors are reported to stderr
-    /// once and otherwise ignored — observability must never kill a run.
+    /// Serializes `event` as one line. The first I/O error is reported to
+    /// stderr and latches the sink into a drop-everything state —
+    /// observability must never kill (or flood) a run.
     pub fn emit(&self, event: &EngineEvent) {
         let line = serde_json::to_string(event).expect("serialize event");
-        let mut w = self.writer.lock().expect("event sink poisoned");
-        if let Err(e) = writeln!(w, "{line}") {
-            eprintln!("teesec: event sink write failed: {e}");
+        let mut inner = self.inner.lock().expect("event sink poisoned");
+        if inner.failed {
+            return;
+        }
+        if let Err(e) = writeln!(inner.writer, "{line}") {
+            inner.fail("write", &e);
         }
     }
 
     /// Flushes the underlying writer.
     pub fn flush(&self) {
-        let _ = self.writer.lock().expect("event sink poisoned").flush();
+        let mut inner = self.inner.lock().expect("event sink poisoned");
+        if inner.failed {
+            return;
+        }
+        if let Err(e) = inner.writer.flush() {
+            inner.fail("flush", &e);
+        }
     }
 }
 
@@ -107,6 +156,10 @@ impl EventSink {
 /// Serialized externally tagged, e.g.
 /// `{"CaseFinished":{"seq":3,"case":"...","cycles":41210,...}}`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// `CampaignFinished` carries the full `EngineMetrics` (histograms included);
+// boxing it is not worth it for a once-per-run event, and the derive shim
+// does not serialize through `Box`.
+#[allow(clippy::large_enum_variant)]
 pub enum EngineEvent {
     /// The engine accepted a corpus and is starting workers.
     CampaignStarted {
@@ -140,10 +193,23 @@ pub enum EngineEvent {
         finding_count: usize,
         /// Findings per microarchitectural structure.
         findings_by_structure: BTreeMap<String, usize>,
-        /// Simulation phase cost.
+        /// Platform build phase cost.
+        build_us: u128,
+        /// Simulation phase cost (platform build excluded).
         simulate_us: u128,
         /// Check phase cost.
         check_us: u128,
+    },
+    /// The microarchitectural counter digest of one finished case.
+    /// Emitted right after [`EngineEvent::CaseFinished`] when
+    /// [`EngineOptions::counters`] is on.
+    CaseCounters {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// The case's harvested counters.
+        counters: UarchCounters,
     },
     /// A case failed to build or panicked and was quarantined.
     CaseQuarantined {
@@ -181,6 +247,84 @@ pub struct EngineMetrics {
     pub cases_per_worker: Vec<usize>,
     /// Wall-clock time of the execute+check stage.
     pub wall_us: u128,
+    /// Deep observability — phase histograms and aggregated
+    /// microarchitectural counters. `Some` iff
+    /// [`EngineOptions::counters`] was on.
+    pub obs: Option<ObsMetrics>,
+}
+
+/// Deep-observability aggregates for one engine run: log₂-bucketed
+/// per-phase wall-time histograms, a per-case simulated-cycle histogram,
+/// and campaign-wide [`UarchCounters`] seeded from the design's
+/// [`StorageInventory`] (so every inventoried structure appears even when
+/// no case touched it).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObsMetrics {
+    /// Per-case platform build wall time, µs (quarantined cases excluded).
+    pub build_us: Histogram,
+    /// Per-case simulation wall time, µs (quarantined cases excluded).
+    pub simulate_us: Histogram,
+    /// Per-case check wall time, µs (quarantined cases excluded).
+    pub check_us: Histogram,
+    /// Per-case simulated cycles (quarantined cases excluded).
+    pub case_cycles: Histogram,
+    /// Campaign-wide microarchitectural counters (sums of flows, maxima
+    /// of occupancies across cases).
+    pub uarch: UarchCounters,
+}
+
+impl ObsMetrics {
+    /// An empty aggregate whose structure list is pre-seeded from the
+    /// design's storage inventory with zeroed flow counters.
+    pub fn for_design(cfg: &CoreConfig) -> ObsMetrics {
+        let inventory = StorageInventory::profile(cfg);
+        ObsMetrics {
+            build_us: Histogram::new(),
+            simulate_us: Histogram::new(),
+            check_us: Histogram::new(),
+            case_cycles: Histogram::new(),
+            uarch: UarchCounters {
+                cycles: 0,
+                instructions_retired: 0,
+                trace_events: 0,
+                counter_bumps: 0,
+                domain_switches: 0,
+                structures: inventory
+                    .elements
+                    .iter()
+                    .map(|e| StructureCounters {
+                        structure: e.structure,
+                        fills: 0,
+                        writes: 0,
+                        reads: 0,
+                        flushes: 0,
+                        occupancy_at_exit: 0,
+                        capacity: e.entries as u64,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Folds one finished (non-quarantined) case into the aggregate.
+    pub fn record_case(&mut self, exec_cycles: u64, build: u128, simulate: u128, check: u128) {
+        self.case_cycles.record(exec_cycles);
+        self.build_us.record(build.min(u64::MAX as u128) as u64);
+        self.simulate_us
+            .record(simulate.min(u64::MAX as u128) as u64);
+        self.check_us.record(check.min(u64::MAX as u128) as u64);
+    }
+
+    /// `(phase name, p50/p90/p99 summary)` for each histogram — the
+    /// digest the CLI and the metrics snapshot print.
+    pub fn phase_summaries(&self) -> [(&'static str, Summary); 4] {
+        [
+            ("build_us", self.build_us.summary()),
+            ("simulate_us", self.simulate_us.summary()),
+            ("check_us", self.check_us.summary()),
+            ("case_cycles", self.case_cycles.summary()),
+        ]
+    }
 }
 
 /// The outcome of executing one case (shared by serial and engine paths).
@@ -189,17 +333,22 @@ pub(crate) struct CaseExecution {
     pub report: Option<CheckReport>,
     pub findings_by_structure: BTreeMap<String, usize>,
     pub budget_exceeded: bool,
+    pub build_us: u128,
     pub simulate_us: u128,
     pub check_us: u128,
+    pub counters: Option<UarchCounters>,
 }
 
 /// Builds, simulates, and checks `tc`, quarantining build errors and
-/// panics into `CaseResult::error` instead of propagating them.
+/// panics into `CaseResult::error` instead of propagating them. When
+/// `counters` is set, the finished core's microarchitectural counter
+/// digest is harvested into [`CaseExecution::counters`].
 pub(crate) fn execute_case(
     tc: &TestCase,
     cfg: &CoreConfig,
     keep_report: bool,
     budget: Option<u64>,
+    counters: bool,
 ) -> CaseExecution {
     let quarantined = |error: String| CaseExecution {
         result: CaseResult {
@@ -214,8 +363,10 @@ pub(crate) fn execute_case(
         report: None,
         findings_by_structure: BTreeMap::new(),
         budget_exceeded: false,
+        build_us: 0,
         simulate_us: 0,
         check_us: 0,
+        counters: None,
     };
 
     let t_sim = Instant::now();
@@ -224,7 +375,8 @@ pub(crate) fn execute_case(
         Ok(Err(build)) => return quarantined(format!("build error: {build}")),
         Err(panic) => return quarantined(format!("panic: {}", panic_message(&panic))),
     };
-    let simulate_us = t_sim.elapsed().as_micros();
+    let build_us = outcome.build_us;
+    let simulate_us = t_sim.elapsed().as_micros().saturating_sub(build_us);
 
     let t_chk = Instant::now();
     let report = match catch_unwind(AssertUnwindSafe(|| check_case(tc, &outcome, cfg))) {
@@ -232,6 +384,7 @@ pub(crate) fn execute_case(
         Err(panic) => return quarantined(format!("checker panic: {}", panic_message(&panic))),
     };
     let check_us = t_chk.elapsed().as_micros();
+    let counters = counters.then(|| outcome.platform.core.counters());
 
     let mut findings_by_structure = BTreeMap::new();
     for f in &report.findings {
@@ -254,8 +407,10 @@ pub(crate) fn execute_case(
         report: keep_report.then_some(report),
         findings_by_structure,
         budget_exceeded,
+        build_us,
         simulate_us,
         check_us,
+        counters,
     }
 }
 
@@ -332,9 +487,22 @@ impl Engine {
                                 worker,
                             });
                         }
-                        let exec = execute_case(tc, cfg, opts.keep_reports, opts.case_cycle_budget);
+                        let exec = execute_case(
+                            tc,
+                            cfg,
+                            opts.keep_reports,
+                            opts.case_cycle_budget,
+                            opts.counters,
+                        );
                         if let Some(sink) = &opts.events {
                             sink.emit(&case_event(seq, &exec));
+                            if let Some(counters) = &exec.counters {
+                                sink.emit(&EngineEvent::CaseCounters {
+                                    seq,
+                                    case: exec.result.name.clone(),
+                                    counters: counters.clone(),
+                                });
+                            }
                         }
                         if exec.result.error.is_some() {
                             quarantined_ctr.fetch_add(1, Ordering::Relaxed);
@@ -369,6 +537,10 @@ impl Engine {
             findings_by_structure: BTreeMap::new(),
             cases_per_worker: per_worker.iter().map(Vec::len).collect(),
             wall_us: t0.elapsed().as_micros(),
+            obs: self
+                .opts
+                .counters
+                .then(|| ObsMetrics::for_design(&self.cfg)),
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
@@ -383,7 +555,19 @@ impl Engine {
             for (s, n) in exec.findings_by_structure {
                 *metrics.findings_by_structure.entry(s).or_insert(0) += n;
             }
-            timing.simulate_us += exec.simulate_us;
+            if let (Some(obs), None) = (metrics.obs.as_mut(), &exec.result.error) {
+                obs.record_case(
+                    exec.result.cycles,
+                    exec.build_us,
+                    exec.simulate_us,
+                    exec.check_us,
+                );
+                if let Some(counters) = &exec.counters {
+                    obs.uarch.absorb(counters);
+                }
+            }
+            // Table 2 semantics: "simulate" covers platform build + run.
+            timing.simulate_us += exec.build_us + exec.simulate_us;
             timing.check_us += exec.check_us;
             classes_found.extend(exec.result.classes.iter().copied());
             cases.push(exec.result);
@@ -426,6 +610,7 @@ fn case_event(seq: usize, exec: &CaseExecution) -> EngineEvent {
             halted: exec.result.halted,
             finding_count: exec.result.finding_count,
             findings_by_structure: exec.findings_by_structure.clone(),
+            build_us: exec.build_us,
             simulate_us: exec.simulate_us,
             check_us: exec.check_us,
         },
@@ -476,6 +661,107 @@ mod tests {
         }
         assert!(lines[0].contains("CampaignStarted"));
         assert!(lines[13].contains("CampaignFinished"));
+    }
+
+    #[test]
+    fn counters_flag_adds_case_counters_events_and_obs_metrics() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 4);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let opts = EngineOptions {
+            threads: 2,
+            counters: true,
+            events: Some(EventSink::new(SharedBuf(buf.clone()))),
+            ..EngineOptions::default()
+        };
+        let (result, _) =
+            Engine::new(cfg.clone(), opts).run_corpus(&corpus, PhaseTiming::default());
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        // started + 4x(started + finished + counters) + campaign finished
+        assert_eq!(text.lines().count(), 14, "events:\n{text}");
+        let counter_lines = text.lines().filter(|l| l.contains("CaseCounters")).count();
+        assert_eq!(counter_lines, 4);
+
+        let obs = result.engine.as_ref().unwrap().obs.as_ref().expect("obs");
+        assert_eq!(obs.case_cycles.count(), 4);
+        assert_eq!(obs.simulate_us.count(), 4);
+        assert!(obs.uarch.cycles > 0, "aggregated cycles");
+        assert!(obs.uarch.instructions_retired > 0);
+        // Every inventoried structure is present even if untouched.
+        let inventory = StorageInventory::profile(&cfg);
+        for e in &inventory.elements {
+            assert!(
+                obs.uarch.structure(e.structure).is_some(),
+                "missing {:?}",
+                e.structure
+            );
+        }
+    }
+
+    #[test]
+    fn event_sink_flushes_on_drop_and_latches_errors() {
+        struct FailAfter {
+            shared: Arc<Mutex<(usize, usize)>>, // (writes seen, flushes seen)
+            fail_from: usize,
+        }
+        impl Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let mut s = self.shared.lock().unwrap();
+                s.0 += 1;
+                if s.0 > self.fail_from {
+                    return Err(std::io::Error::other("disk full"));
+                }
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.shared.lock().unwrap().1 += 1;
+                Ok(())
+            }
+        }
+
+        // Drop flushes a healthy sink.
+        let shared = Arc::new(Mutex::new((0, 0)));
+        let sink = EventSink::new(FailAfter {
+            shared: shared.clone(),
+            fail_from: usize::MAX,
+        });
+        sink.emit(&EngineEvent::CampaignStarted {
+            design: "boom".into(),
+            case_count: 0,
+            threads: 1,
+        });
+        drop(sink);
+        assert_eq!(shared.lock().unwrap().1, 1, "drop must flush");
+
+        // A failing sink latches: writes stop reaching the writer.
+        let shared = Arc::new(Mutex::new((0, 0)));
+        let sink = EventSink::new(FailAfter {
+            shared: shared.clone(),
+            fail_from: 1,
+        });
+        for _ in 0..5 {
+            sink.emit(&EngineEvent::CampaignStarted {
+                design: "boom".into(),
+                case_count: 0,
+                threads: 1,
+            });
+        }
+        drop(sink);
+        let s = *shared.lock().unwrap();
+        assert_eq!(s.0, 2, "one success + one failure, then latched silent");
+        assert_eq!(s.1, 0, "failed sink must not flush on drop");
     }
 
     #[test]

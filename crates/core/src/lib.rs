@@ -30,7 +30,10 @@
 //! [`campaign`] drives the full generate → simulate → check pipeline and
 //! produces the paper's Table 3 vulnerability matrix; [`engine`] executes
 //! corpora on a fault-isolated, work-stealing worker pool with a JSONL
-//! event stream and aggregate metrics.
+//! event stream and aggregate metrics. Deep observability rides on top:
+//! [`provenance`] reconstructs each finding's *secret write → retention →
+//! observation* chain from the trace, and [`metrics`] exposes campaign
+//! aggregates as Prometheus-text and JSON snapshots.
 //!
 //! # Example
 //!
@@ -53,8 +56,10 @@ pub mod checker;
 pub mod engine;
 pub mod fuzz;
 pub mod gadgets;
+pub mod metrics;
 pub mod paths;
 pub mod plan;
+pub mod provenance;
 pub mod report;
 pub mod runner;
 pub mod secret;
@@ -63,10 +68,12 @@ pub mod testcase;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use checker::check_case;
-pub use engine::{Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink};
+pub use engine::{Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink, ObsMetrics};
 pub use fuzz::Fuzzer;
+pub use metrics::campaign_snapshot;
 pub use paths::AccessPath;
 pub use plan::VerificationPlan;
+pub use provenance::{ProvenanceChain, ProvenanceHop};
 pub use report::{CheckReport, Finding, LeakClass, Principle};
 pub use runner::run_case;
 pub use testcase::TestCase;

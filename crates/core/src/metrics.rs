@@ -1,0 +1,238 @@
+//! Metrics exposition: folds a campaign's results into a
+//! [`MetricsSnapshot`] renderable as Prometheus text format and JSON
+//! (the `--metrics-out` flag of `teesec run` / `teesec campaign`).
+//!
+//! Per-structure counter families are emitted for **every** structure in
+//! the design's storage inventory — untouched structures appear with
+//! value 0 rather than being absent, so dashboards and diffs never have
+//! to special-case missing series.
+
+use teesec_obs::MetricsSnapshot;
+
+use crate::campaign::CampaignResult;
+
+/// Builds the full metrics snapshot for one finished campaign (or a
+/// single-case run routed through the engine).
+///
+/// Engine-only series (worker balance, wall time) appear only when the
+/// result carries [`EngineMetrics`](crate::engine::EngineMetrics); deep
+/// microarchitectural series only when counters harvesting was on.
+pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    let design = result.design.as_str();
+
+    snap.counter(
+        "teesec_cases_total",
+        &[("design", design)],
+        result.case_count as u64,
+        "Test cases executed",
+    );
+    snap.counter(
+        "teesec_cases_leaking_total",
+        &[("design", design)],
+        result.leaking_cases().count() as u64,
+        "Cases that uncovered at least one classified leak",
+    );
+    let findings_total: usize = result.cases.iter().map(|c| c.finding_count).sum();
+    snap.counter(
+        "teesec_findings_total",
+        &[("design", design)],
+        findings_total as u64,
+        "Checker findings across the corpus",
+    );
+    for class in crate::report::LeakClass::all() {
+        snap.counter(
+            "teesec_leak_class_detected",
+            &[("design", design), ("class", &class.to_string())],
+            u64::from(result.found(*class)),
+            "1 when the leakage class was detected anywhere in the corpus",
+        );
+    }
+
+    let Some(engine) = &result.engine else {
+        return snap;
+    };
+    snap.counter(
+        "teesec_cases_quarantined_total",
+        &[("design", design)],
+        engine.cases_quarantined as u64,
+        "Cases quarantined by fault isolation",
+    );
+    snap.counter(
+        "teesec_cases_budget_exceeded_total",
+        &[("design", design)],
+        engine.cases_budget_exceeded as u64,
+        "Cases stopped by the simulated-cycle watchdog",
+    );
+    for (structure, n) in &engine.findings_by_structure {
+        snap.counter(
+            "teesec_findings_by_structure_total",
+            &[("design", design), ("structure", structure)],
+            *n as u64,
+            "Checker findings per microarchitectural structure",
+        );
+    }
+    snap.gauge(
+        "teesec_engine_threads",
+        &[("design", design)],
+        engine.threads as u64,
+        "Engine worker threads",
+    );
+    snap.gauge(
+        "teesec_engine_wall_us",
+        &[("design", design)],
+        engine.wall_us.min(u64::MAX as u128) as u64,
+        "Wall-clock time of the execute+check stage, microseconds",
+    );
+
+    let Some(obs) = &engine.obs else {
+        return snap;
+    };
+    snap.counter(
+        "teesec_uarch_cycles_total",
+        &[("design", design)],
+        obs.uarch.cycles,
+        "Simulated cycles across the corpus",
+    );
+    snap.counter(
+        "teesec_uarch_instructions_total",
+        &[("design", design)],
+        obs.uarch.instructions_retired,
+        "Instructions retired across the corpus",
+    );
+    snap.counter(
+        "teesec_uarch_trace_events_total",
+        &[("design", design)],
+        obs.uarch.trace_events,
+        "Microarchitectural trace events across the corpus",
+    );
+    snap.counter(
+        "teesec_uarch_domain_switches_total",
+        &[("design", design)],
+        obs.uarch.domain_switches,
+        "Security-domain switches across the corpus",
+    );
+    // One series per inventoried structure — ObsMetrics seeds its counter
+    // set from the StorageInventory, so absent means "not in this design"
+    // (e.g. the store buffer on a zero-entry configuration), never
+    // "happened to be untouched".
+    for s in &obs.uarch.structures {
+        let labels = &[
+            ("design", design),
+            ("structure", s.structure.display_name()),
+        ];
+        snap.counter(
+            "teesec_structure_fills_total",
+            labels,
+            s.fills,
+            "Line/entry fills per structure",
+        );
+        snap.counter(
+            "teesec_structure_writes_total",
+            labels,
+            s.writes,
+            "Scalar writes per structure",
+        );
+        snap.counter(
+            "teesec_structure_reads_total",
+            labels,
+            s.reads,
+            "Reads per structure",
+        );
+        snap.counter(
+            "teesec_structure_flushes_total",
+            labels,
+            s.flushes,
+            "Flush/invalidate events per structure",
+        );
+        snap.gauge(
+            "teesec_structure_occupancy_at_exit",
+            labels,
+            s.occupancy_at_exit,
+            "Maximum valid entries at case exit (residue surface)",
+        );
+        snap.gauge(
+            "teesec_structure_capacity_entries",
+            labels,
+            s.capacity,
+            "Structure capacity in entries",
+        );
+    }
+    snap.histogram(
+        "teesec_case_build_us",
+        obs.build_us.clone(),
+        "Per-case platform build wall time, microseconds",
+    );
+    snap.histogram(
+        "teesec_case_simulate_us",
+        obs.simulate_us.clone(),
+        "Per-case simulation wall time, microseconds",
+    );
+    snap.histogram(
+        "teesec_case_check_us",
+        obs.check_us.clone(),
+        "Per-case check wall time, microseconds",
+    );
+    snap.histogram(
+        "teesec_case_cycles",
+        obs.case_cycles.clone(),
+        "Per-case simulated cycles",
+    );
+    snap
+}
+
+/// Writes `snap` as Prometheus text to `path` and pretty JSON to
+/// `<path>.json`.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system errors.
+pub fn write_snapshot_files(snap: &MetricsSnapshot, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, snap.render_prometheus())?;
+    std::fs::write(format!("{path}.json"), snap.render_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Campaign;
+    use crate::engine::EngineOptions;
+    use crate::fuzz::Fuzzer;
+    use teesec_uarch::introspect::StorageInventory;
+    use teesec_uarch::CoreConfig;
+
+    #[test]
+    fn snapshot_covers_every_inventoried_structure() {
+        let cfg = CoreConfig::boom();
+        let campaign = Campaign::new(cfg.clone(), Fuzzer::with_target(4));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            threads: 2,
+            counters: true,
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        for e in &StorageInventory::profile(&cfg).elements {
+            let needle = format!("structure=\"{}\"", e.structure.display_name());
+            assert!(
+                prom.contains(&needle),
+                "missing series for {:?}:\n{prom}",
+                e.structure
+            );
+        }
+        assert!(prom.contains("teesec_cases_total"));
+        assert!(prom.contains("teesec_case_cycles_bucket"));
+        let json = snap.render_json();
+        assert!(json.contains("teesec_structure_fills_total"));
+    }
+
+    #[test]
+    fn serial_result_yields_a_reduced_but_valid_snapshot() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(2));
+        let (result, _) = campaign.run();
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_cases_total"));
+        assert!(!prom.contains("teesec_structure_fills_total"));
+    }
+}

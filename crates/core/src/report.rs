@@ -165,9 +165,19 @@ pub struct CheckReport {
     pub design: String,
     /// All findings, in trace order.
     pub findings: Vec<Finding>,
+    /// Reconstructed causal chains, keyed by
+    /// [`finding_index`](crate::provenance::ProvenanceChain::finding_index).
+    /// May be shorter than `findings` when a mechanism is untraceable.
+    pub provenance: Vec<crate::provenance::ProvenanceChain>,
 }
 
 impl CheckReport {
+    /// The provenance chain explaining `findings[index]`, if one was
+    /// reconstructed.
+    pub fn chain_for(&self, index: usize) -> Option<&crate::provenance::ProvenanceChain> {
+        self.provenance.iter().find(|c| c.finding_index == index)
+    }
+
     /// The distinct Table 3 classes among the findings.
     pub fn classes(&self) -> BTreeSet<LeakClass> {
         self.findings.iter().filter_map(|f| f.class).collect()
@@ -249,6 +259,7 @@ mod tests {
             path: AccessPath::LoadL1Hit,
             design: "boom".into(),
             findings: vec![f(Some(LeakClass::D1)), f(Some(LeakClass::D1)), f(None)],
+            provenance: Vec::new(),
         };
         assert_eq!(r.classes().len(), 1);
         assert!(!r.clean());

@@ -18,6 +18,9 @@ pub struct RunOutcome {
     pub exit: RunExit,
     /// Cycles consumed.
     pub cycles: u64,
+    /// Wall-clock cost of assembling and building the platform, separated
+    /// from simulation proper for the engine's per-phase histograms.
+    pub build_us: u128,
 }
 
 /// Builds and runs `tc` on a core configured by `cfg`.
@@ -42,6 +45,7 @@ pub fn run_case_budgeted(
     cfg: &CoreConfig,
     budget: Option<u64>,
 ) -> Result<RunOutcome, BuildError> {
+    let build_start = std::time::Instant::now();
     let mut builder = Platform::builder(cfg.clone())
         .host_vm(if tc.host_sv39 {
             HostVm::Sv39
@@ -83,6 +87,7 @@ pub fn run_case_budgeted(
         builder = builder.external_interrupt_at(at);
     }
     let mut platform = builder.build()?;
+    let build_us = build_start.elapsed().as_micros();
     let limit = budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
     let exit = platform.run(limit);
     let cycles = platform.core.cycle;
@@ -90,6 +95,7 @@ pub fn run_case_budgeted(
         platform,
         exit,
         cycles,
+        build_us,
     })
 }
 

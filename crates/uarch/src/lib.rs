@@ -40,6 +40,7 @@ pub mod btb;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod counters;
 pub mod csr_file;
 pub mod introspect;
 pub mod iss;
@@ -51,4 +52,5 @@ pub mod trap;
 
 pub use config::CoreConfig;
 pub use core::{Core, RunExit};
+pub use counters::{StructureCounters, UarchCounters};
 pub use trace::{Domain, Structure, Trace};

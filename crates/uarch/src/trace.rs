@@ -97,6 +97,27 @@ impl Structure {
         ]
     }
 
+    /// This structure's position in [`Structure::all`] (dense index for
+    /// per-structure counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            Structure::RegFile => 0,
+            Structure::L1d => 1,
+            Structure::L1i => 2,
+            Structure::L2 => 3,
+            Structure::Lfb => 4,
+            Structure::StoreQueue => 5,
+            Structure::StoreBuffer => 6,
+            Structure::Dtlb => 7,
+            Structure::Itlb => 8,
+            Structure::PtwCache => 9,
+            Structure::Ubtb => 10,
+            Structure::Ftb => 11,
+            Structure::Bht => 12,
+            Structure::Hpc => 13,
+        }
+    }
+
     /// Stable display name used in reports (matches the paper's terminology).
     pub fn display_name(self) -> &'static str {
         match self {
@@ -243,10 +264,101 @@ pub struct TraceEvent {
     pub kind: TraceEventKind,
 }
 
+/// Per-structure event counts for one event kind class.
+///
+/// The indices of every array are [`Structure::index`] positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceStats {
+    fills: Vec<u64>,
+    writes: Vec<u64>,
+    reads: Vec<u64>,
+    flushes: Vec<u64>,
+    counter_bumps: u64,
+    domain_switches: u64,
+    total: u64,
+}
+
+impl Default for TraceStats {
+    fn default() -> TraceStats {
+        let n = Structure::all().len();
+        TraceStats {
+            fills: vec![0; n],
+            writes: vec![0; n],
+            reads: vec![0; n],
+            flushes: vec![0; n],
+            counter_bumps: 0,
+            domain_switches: 0,
+            total: 0,
+        }
+    }
+}
+
+impl TraceStats {
+    /// Accounts one event.
+    fn bump(&mut self, event: &TraceEvent) {
+        let i = event.structure.index();
+        match &event.kind {
+            TraceEventKind::Fill { .. } => self.fills[i] += 1,
+            TraceEventKind::Write { .. } => self.writes[i] += 1,
+            TraceEventKind::Read { .. } => self.reads[i] += 1,
+            TraceEventKind::Flush => self.flushes[i] += 1,
+            TraceEventKind::CounterBump { .. } => self.counter_bumps += 1,
+            TraceEventKind::DomainSwitch { .. } => self.domain_switches += 1,
+        }
+        self.total += 1;
+    }
+
+    /// Fill events recorded against `s`.
+    pub fn fills(&self, s: Structure) -> u64 {
+        self.fills[s.index()]
+    }
+
+    /// Write events recorded against `s`.
+    pub fn writes(&self, s: Structure) -> u64 {
+        self.writes[s.index()]
+    }
+
+    /// Read events recorded against `s`.
+    pub fn reads(&self, s: Structure) -> u64 {
+        self.reads[s.index()]
+    }
+
+    /// Flush/invalidate events recorded against `s`.
+    pub fn flushes(&self, s: Structure) -> u64 {
+        self.flushes[s.index()]
+    }
+
+    /// All events recorded against `s`, across kinds (counter bumps count
+    /// toward [`Structure::Hpc`]).
+    pub fn events_for(&self, s: Structure) -> u64 {
+        let mut n = self.fills(s) + self.writes(s) + self.reads(s) + self.flushes(s);
+        if s == Structure::Hpc {
+            n += self.counter_bumps;
+        }
+        n
+    }
+
+    /// HPM counter-bump events.
+    pub fn counter_bumps(&self) -> u64 {
+        self.counter_bumps
+    }
+
+    /// Domain-switch markers.
+    pub fn domain_switches(&self) -> u64 {
+        self.domain_switches
+    }
+
+    /// Total recorded events of every kind.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
 /// The growing execution trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    stats: TraceStats,
     enabled: bool,
 }
 
@@ -255,6 +367,7 @@ impl Trace {
     pub fn new() -> Trace {
         Trace {
             events: Vec::new(),
+            stats: TraceStats::default(),
             enabled: true,
         }
     }
@@ -273,6 +386,7 @@ impl Trace {
     /// Appends an event (no-op when disabled).
     pub fn record(&mut self, event: TraceEvent) {
         if self.enabled {
+            self.stats.bump(&event);
             self.events.push(event);
         }
     }
@@ -280,6 +394,12 @@ impl Trace {
     /// All recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Running per-structure event counts (maintained by [`Trace::record`],
+    /// so reading them is O(1) at any trace length).
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
     }
 
     /// Iterates events touching one structure.
@@ -297,9 +417,10 @@ impl Trace {
         self.events.is_empty()
     }
 
-    /// Discards all recorded events.
+    /// Discards all recorded events and resets the running stats.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.stats = TraceStats::default();
     }
 }
 
@@ -373,5 +494,56 @@ mod tests {
         for s in Structure::all() {
             assert!(seen.insert(s.display_name()));
         }
+    }
+
+    #[test]
+    fn structure_index_matches_all_order() {
+        for (i, s) in Structure::all().iter().enumerate() {
+            assert_eq!(s.index(), i, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn stats_track_recorded_events() {
+        let mut t = Trace::new();
+        t.record(ev(1, Structure::L1d));
+        t.record(TraceEvent {
+            kind: TraceEventKind::Fill {
+                addr: 0x8000_0000,
+                data: vec![0; 64],
+                purpose: FillPurpose::Demand,
+            },
+            ..ev(2, Structure::L1d)
+        });
+        t.record(TraceEvent {
+            kind: TraceEventKind::CounterBump {
+                event: HpcEvent::L1dMiss,
+            },
+            ..ev(3, Structure::Hpc)
+        });
+        t.record(TraceEvent {
+            kind: TraceEventKind::DomainSwitch {
+                to: Domain::Enclave(0),
+            },
+            ..ev(4, Structure::Hpc)
+        });
+        let s = t.stats();
+        assert_eq!(s.flushes(Structure::L1d), 1);
+        assert_eq!(s.fills(Structure::L1d), 1);
+        assert_eq!(s.events_for(Structure::L1d), 2);
+        assert_eq!(s.counter_bumps(), 1);
+        assert_eq!(s.events_for(Structure::Hpc), 1);
+        assert_eq!(s.domain_switches(), 1);
+        assert_eq!(s.total(), 4);
+        t.clear();
+        assert_eq!(t.stats().total(), 0);
+    }
+
+    #[test]
+    fn disabled_trace_does_not_count_stats() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.record(ev(1, Structure::L1d));
+        assert_eq!(t.stats().total(), 0);
     }
 }
