@@ -8,8 +8,11 @@
 //!                     [--events FILE] [--metrics-out FILE]
 //! teesec explain <gadget> [--design D]     # leak provenance chains
 //! teesec campaign [--design D] [--cases N] [--output FILE]
-//!                 [--events FILE] [--metrics-out FILE]
+//!                 [--events FILE] [--metrics-out FILE] [--diff]
 //! teesec matrix  [--cases N]               # the Table 3 matrix
+//! teesec diff    [gadget ...] [--design D] [--cases N] [--stride N]
+//!                [--output FILE]           # core-vs-ISS lockstep oracle
+//! teesec coverage [--design D] [--seeds N] [--cases N] [--metrics-out FILE]
 //! ```
 
 use std::collections::BTreeMap;
@@ -19,8 +22,9 @@ use std::process::ExitCode;
 use teesec::assemble::{assemble_case, CaseParams};
 use teesec::campaign::{vulnerability_matrix, Campaign};
 use teesec::checker::check_case;
+use teesec::diff::{diff_corpus, DiffOptions, DiffVerdict};
 use teesec::engine::{EngineOptions, EventSink};
-use teesec::fuzz::Fuzzer;
+use teesec::fuzz::{CoverageFuzzer, Fuzzer};
 use teesec::gadgets::{catalog, GadgetKind};
 use teesec::paths::AccessPath;
 use teesec::runner::run_case;
@@ -35,8 +39,10 @@ fn usage() -> ExitCode {
          \x20          [--events FILE] [--metrics-out FILE]\n  \
          teesec explain <access-gadget> [--design boom|xiangshan]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
-         \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet]\n  \
-         teesec matrix [--cases N]"
+         \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet] [--diff]\n  \
+         teesec matrix [--cases N]\n  \
+         teesec diff [gadget ...] [--design boom|xiangshan] [--cases N] [--stride N] [--output FILE]\n  \
+         teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]"
     );
     ExitCode::from(2)
 }
@@ -53,6 +59,9 @@ struct Opts {
     metrics_out: Option<String>,
     case_cycle_budget: Option<u64>,
     quiet: bool,
+    diff: bool,
+    stride: u64,
+    seeds: usize,
     positional: Vec<String>,
 }
 
@@ -71,6 +80,9 @@ fn parse(args: &[String]) -> Option<Opts> {
         metrics_out: None,
         case_cycle_budget: None,
         quiet: false,
+        diff: false,
+        stride: 1,
+        seeds: 6,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -121,6 +133,15 @@ fn parse(args: &[String]) -> Option<Opts> {
                 o.case_cycle_budget = Some(args.get(i)?.parse().ok()?);
             }
             "--quiet" => o.quiet = true,
+            "--diff" => o.diff = true,
+            "--stride" => {
+                i += 1;
+                o.stride = args.get(i)?.parse().ok()?;
+            }
+            "--seeds" => {
+                i += 1;
+                o.seeds = args.get(i)?.parse().ok()?;
+            }
             p if !p.starts_with('-') => o.positional.push(p.to_string()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -147,6 +168,8 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&opts),
         "campaign" => cmd_campaign(&opts),
         "matrix" => cmd_matrix(&opts),
+        "diff" => cmd_diff(&opts),
+        "coverage" => cmd_coverage(&opts),
         _ => usage(),
     }
 }
@@ -394,6 +417,10 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         progress: !opts.quiet,
         events,
         counters: true,
+        diff: opts.diff.then(|| DiffOptions {
+            stride: opts.stride,
+            ..DiffOptions::default()
+        }),
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
@@ -405,6 +432,12 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         metrics.cases_budget_exceeded,
         result.classes_found
     );
+    if let Some(diff) = metrics.diff.as_ref() {
+        println!(
+            "  diff oracle: {} matched, {} diverged, {} skipped ({} retires compared)",
+            diff.matches, diff.divergences, diff.skipped, diff.retires_compared
+        );
+    }
     if let Some(obs) = metrics.obs.as_ref() {
         if !opts.quiet {
             for (phase, s) in obs.phase_summaries() {
@@ -431,6 +464,11 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         fs::write(p, serde_json::to_string_pretty(&blob).expect("serialize")).expect("write");
         println!("full results written to {p}");
     }
+    // With --diff, a divergence means the core disagrees with its own
+    // reference model — fail the run so CI notices.
+    if metrics.diff.as_ref().is_some_and(|d| d.divergences > 0) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -440,5 +478,103 @@ fn cmd_matrix(opts: &Opts) -> ExitCode {
     let (xs, _) = Campaign::new(CoreConfig::xiangshan(), Fuzzer::with_target(opts.cases))
         .run_parallel(opts.threads);
     print!("{}", vulnerability_matrix(&[&boom, &xs]));
+    ExitCode::SUCCESS
+}
+
+/// `teesec diff`: lockstep core-vs-ISS co-simulation. With positional
+/// gadget ids, diffs those cases (default parameters); otherwise diffs the
+/// first `--cases` of the systematic corpus. Nonzero exit on divergence.
+fn cmd_diff(opts: &Opts) -> ExitCode {
+    let corpus: Vec<_> = if opts.positional.is_empty() {
+        Fuzzer::with_target(opts.cases).generate(&opts.design)
+    } else {
+        let mut corpus = Vec::new();
+        for gadget in &opts.positional {
+            let Some(path) = AccessPath::all().iter().copied().find(|p| p.id() == gadget) else {
+                eprintln!("unknown access gadget `{gadget}`");
+                return ExitCode::from(2);
+            };
+            match assemble_case(path, CaseParams::default(), &opts.design) {
+                Ok(tc) => corpus.push(tc),
+                Err(e) => {
+                    eprintln!("cannot assemble `{gadget}` on {}: {e:?}", opts.design.name);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        corpus
+    };
+    let diff_opts = DiffOptions {
+        stride: opts.stride,
+        ..DiffOptions::default()
+    };
+    let summary = diff_corpus(&corpus, &opts.design, &diff_opts);
+    for case in &summary.cases {
+        match &case.verdict {
+            DiffVerdict::Diverged(d) => {
+                println!("DIVERGED {}\n{d}", case.case);
+            }
+            DiffVerdict::Skipped { reason } if !opts.quiet => {
+                println!("skipped  {} ({reason})", case.case);
+            }
+            _ => {}
+        }
+    }
+    println!(
+        "{}: {} matched, {} diverged, {} skipped ({} retires compared in lockstep)",
+        opts.design.name,
+        summary.matches,
+        summary.divergences,
+        summary.skipped,
+        summary.retires_compared
+    );
+    if let Some(p) = &opts.output {
+        fs::write(
+            p,
+            serde_json::to_string_pretty(&summary).expect("serialize"),
+        )
+        .expect("write");
+        println!("full verdicts written to {p}");
+    }
+    if summary.divergences > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `teesec coverage`: one coverage-guided fuzzing session. `--seeds` sets
+/// the systematic seed count, `--cases` the guided-phase budget.
+fn cmd_coverage(opts: &Opts) -> ExitCode {
+    let outcome = CoverageFuzzer::new(opts.seeds, opts.cases).run(&opts.design);
+    println!(
+        "{}: {} cases executed, coverage {} buckets (seeds alone: {}), corpus {} entries",
+        opts.design.name,
+        outcome.executed,
+        outcome.map.len(),
+        outcome.seed_buckets,
+        outcome.corpus.len()
+    );
+    if !opts.quiet {
+        for entry in &outcome.corpus {
+            println!("  +{:<3} {}", entry.novel_buckets, entry.name);
+        }
+    }
+    if let Some(p) = &opts.metrics_out {
+        let snap = teesec::metrics::coverage_snapshot(&outcome, &opts.design.name);
+        if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
+            eprintln!("cannot write metrics snapshot `{p}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics snapshot written to {p} (+ {p}.json)");
+    }
+    if let Some(p) = &opts.output {
+        fs::write(
+            p,
+            serde_json::to_string_pretty(&outcome).expect("serialize"),
+        )
+        .expect("write");
+        println!("full session written to {p}");
+    }
     ExitCode::SUCCESS
 }

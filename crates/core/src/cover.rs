@@ -1,0 +1,211 @@
+//! Microarchitectural coverage maps for coverage-guided fuzzing.
+//!
+//! The core already reports what every run touched — per-structure fill,
+//! write, read and flush counts plus exit occupancy ([`UarchCounters`]).
+//! A coverage *bucket* coarsens one of those counts into its log2 band:
+//! `(structure, event kind, ⌊log2(count)⌋)`. Reaching a structure at all,
+//! and then reaching it an order of magnitude harder, are distinct buckets —
+//! the standard AFL-style bucketing, but over microarchitectural state
+//! rather than branch edges. The fuzzer keeps any input that lights up a
+//! bucket no earlier input lit ([`crate::fuzz::CoverageFuzzer`]).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use teesec_uarch::counters::UarchCounters;
+use teesec_uarch::Structure;
+
+/// Which counter of a structure a bucket tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CoverKind {
+    /// Line/entry fills.
+    Fill,
+    /// Scalar writes.
+    Write,
+    /// Reads.
+    Read,
+    /// Flush/invalidate events.
+    Flush,
+    /// Valid entries at exit (residue surface).
+    Occupancy,
+}
+
+impl CoverKind {
+    /// All kinds, in bucket order.
+    pub fn all() -> &'static [CoverKind] {
+        &[
+            CoverKind::Fill,
+            CoverKind::Write,
+            CoverKind::Read,
+            CoverKind::Flush,
+            CoverKind::Occupancy,
+        ]
+    }
+}
+
+/// One coverage bucket: a structure × event-kind pair at a log2 intensity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoverageKey {
+    /// The microarchitectural structure.
+    pub structure: Structure,
+    /// The event kind.
+    pub kind: CoverKind,
+    /// `⌊log2(count)⌋` of the observed count (0 for a count of 1).
+    pub bucket: u8,
+}
+
+/// `⌊log2(n)⌋` bucketing; returns `None` for zero counts (no coverage).
+fn bucket_of(n: u64) -> Option<u8> {
+    if n == 0 {
+        None
+    } else {
+        Some(63 - n.leading_zeros() as u8)
+    }
+}
+
+/// A set of reached coverage buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    keys: BTreeSet<CoverageKey>,
+}
+
+impl CoverageMap {
+    /// An empty map.
+    pub fn new() -> CoverageMap {
+        CoverageMap::default()
+    }
+
+    /// Buckets lit by one run's harvested counters. Every reached count `n`
+    /// lights all buckets `0..=⌊log2(n)⌋` — a harder-hit structure strictly
+    /// covers a lighter-hit one, so "more buckets" always means "reached
+    /// new intensity or new structure", never just different counts.
+    pub fn from_counters(c: &UarchCounters) -> CoverageMap {
+        let mut map = CoverageMap::new();
+        for sc in &c.structures {
+            let counts = [
+                (CoverKind::Fill, sc.fills),
+                (CoverKind::Write, sc.writes),
+                (CoverKind::Read, sc.reads),
+                (CoverKind::Flush, sc.flushes),
+                (CoverKind::Occupancy, sc.occupancy_at_exit),
+            ];
+            for (kind, n) in counts {
+                if let Some(top) = bucket_of(n) {
+                    for b in 0..=top {
+                        map.keys.insert(CoverageKey {
+                            structure: sc.structure,
+                            kind,
+                            bucket: b,
+                        });
+                    }
+                }
+            }
+        }
+        map
+    }
+
+    /// Merges `other` into `self`, returning how many buckets were new.
+    pub fn merge(&mut self, other: &CoverageMap) -> usize {
+        let before = self.keys.len();
+        self.keys.extend(other.keys.iter().copied());
+        self.keys.len() - before
+    }
+
+    /// Number of distinct buckets reached.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no bucket has been reached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Whether a bucket is present.
+    pub fn contains(&self, key: &CoverageKey) -> bool {
+        self.keys.contains(key)
+    }
+
+    /// Iterates the reached buckets in order.
+    pub fn keys(&self) -> impl Iterator<Item = &CoverageKey> {
+        self.keys.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teesec_uarch::counters::StructureCounters;
+
+    fn counters_with(structure: Structure, fills: u64, reads: u64) -> UarchCounters {
+        UarchCounters {
+            cycles: 100,
+            instructions_retired: 50,
+            trace_events: fills + reads,
+            counter_bumps: 0,
+            domain_switches: 0,
+            structures: vec![StructureCounters {
+                structure,
+                fills,
+                writes: 0,
+                reads,
+                flushes: 0,
+                occupancy_at_exit: 0,
+                capacity: 64,
+            }],
+        }
+    }
+
+    #[test]
+    fn zero_counts_light_nothing() {
+        let map = CoverageMap::from_counters(&counters_with(Structure::L1d, 0, 0));
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn buckets_are_log2_and_cumulative() {
+        // 5 fills → buckets 0..=2 (log2(5)=2); 1 read → bucket 0.
+        let map = CoverageMap::from_counters(&counters_with(Structure::L1d, 5, 1));
+        assert_eq!(map.len(), 4);
+        assert!(map.contains(&CoverageKey {
+            structure: Structure::L1d,
+            kind: CoverKind::Fill,
+            bucket: 2
+        }));
+        assert!(!map.contains(&CoverageKey {
+            structure: Structure::L1d,
+            kind: CoverKind::Fill,
+            bucket: 3
+        }));
+    }
+
+    #[test]
+    fn harder_hit_strictly_covers_lighter_hit() {
+        let light = CoverageMap::from_counters(&counters_with(Structure::Dtlb, 3, 0));
+        let hard = CoverageMap::from_counters(&counters_with(Structure::Dtlb, 300, 0));
+        let mut merged = hard.clone();
+        assert_eq!(merged.merge(&light), 0, "light ⊆ hard");
+        let mut merged2 = light.clone();
+        assert!(merged2.merge(&hard) > 0, "hard ⊄ light");
+    }
+
+    #[test]
+    fn merge_counts_novel_buckets_only() {
+        let a = CoverageMap::from_counters(&counters_with(Structure::L1d, 2, 0));
+        let b = CoverageMap::from_counters(&counters_with(Structure::L2, 2, 0));
+        let mut m = CoverageMap::new();
+        assert_eq!(m.merge(&a), a.len());
+        assert_eq!(m.merge(&a), 0);
+        assert_eq!(m.merge(&b), b.len());
+        assert_eq!(m.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn map_roundtrips_through_serde() {
+        let map = CoverageMap::from_counters(&counters_with(Structure::Ftb, 9, 2));
+        let json = serde_json::to_string(&map).unwrap();
+        let back: CoverageMap = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, map);
+    }
+}

@@ -37,6 +37,7 @@ use teesec_uarch::{RunExit, StructureCounters, UarchCounters};
 
 use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
 use crate::checker::check_case;
+use crate::diff::{diff_case, DiffOptions, DiffVerdict};
 use crate::report::CheckReport;
 use crate::runner::run_case_budgeted;
 use crate::testcase::TestCase;
@@ -60,6 +61,11 @@ pub struct EngineOptions {
     /// the aggregate [`ObsMetrics`]. Off by default: harvesting walks
     /// every storage structure at case exit.
     pub counters: bool,
+    /// Run the differential co-simulation oracle on every case, emitting
+    /// one [`EngineEvent::CaseDiff`] per case and aggregating a
+    /// [`DiffMetrics`] into [`EngineMetrics::diff`]. Off by default:
+    /// diffing re-simulates each case on both machines.
+    pub diff: Option<DiffOptions>,
 }
 
 /// A thread-safe JSONL sink for [`EngineEvent`]s.
@@ -211,6 +217,17 @@ pub enum EngineEvent {
         /// The case's harvested counters.
         counters: UarchCounters,
     },
+    /// The differential-oracle verdict of one finished case. Emitted
+    /// right after [`EngineEvent::CaseFinished`] (and any
+    /// [`EngineEvent::CaseCounters`]) when [`EngineOptions::diff`] is set.
+    CaseDiff {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// The oracle's verdict for this case.
+        verdict: DiffVerdict,
+    },
     /// A case failed to build or panicked and was quarantined.
     CaseQuarantined {
         /// Corpus index.
@@ -251,6 +268,25 @@ pub struct EngineMetrics {
     /// microarchitectural counters. `Some` iff
     /// [`EngineOptions::counters`] was on.
     pub obs: Option<ObsMetrics>,
+    /// Differential-oracle aggregates. `Some` iff
+    /// [`EngineOptions::diff`] was set.
+    pub diff: Option<DiffMetrics>,
+}
+
+/// Aggregate differential-oracle outcomes for one engine run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiffMetrics {
+    /// Cases the oracle looked at (equals the non-quarantined count).
+    pub cases_compared: usize,
+    /// Cases where core and ISS agreed at every compared point.
+    pub matches: usize,
+    /// Cases where the machines diverged.
+    pub divergences: usize,
+    /// Cases outside the oracle's model (irq-driven, implementation-
+    /// defined translation staleness, budget-blown, rebuild failure).
+    pub skipped: usize,
+    /// Total retirements compared in lockstep across all matching cases.
+    pub retires_compared: u64,
 }
 
 /// Deep-observability aggregates for one engine run: log₂-bucketed
@@ -337,6 +373,7 @@ pub(crate) struct CaseExecution {
     pub simulate_us: u128,
     pub check_us: u128,
     pub counters: Option<UarchCounters>,
+    pub diff: Option<DiffVerdict>,
 }
 
 /// Builds, simulates, and checks `tc`, quarantining build errors and
@@ -367,6 +404,7 @@ pub(crate) fn execute_case(
         simulate_us: 0,
         check_us: 0,
         counters: None,
+        diff: None,
     };
 
     let t_sim = Instant::now();
@@ -411,6 +449,22 @@ pub(crate) fn execute_case(
         simulate_us,
         check_us,
         counters,
+        diff: None,
+    }
+}
+
+/// Runs the differential oracle on one case under the same fault isolation
+/// as the case itself: a panicking or unbuildable diff becomes a
+/// [`DiffVerdict::Skipped`], never a dead worker.
+fn execute_diff(tc: &TestCase, cfg: &CoreConfig, opts: &DiffOptions) -> DiffVerdict {
+    match catch_unwind(AssertUnwindSafe(|| diff_case(tc, cfg, opts))) {
+        Ok(Ok(verdict)) => verdict,
+        Ok(Err(build)) => DiffVerdict::Skipped {
+            reason: format!("rebuild for diff failed: {build}"),
+        },
+        Err(panic) => DiffVerdict::Skipped {
+            reason: format!("diff panic: {}", panic_message(&panic)),
+        },
     }
 }
 
@@ -487,13 +541,18 @@ impl Engine {
                                 worker,
                             });
                         }
-                        let exec = execute_case(
+                        let mut exec = execute_case(
                             tc,
                             cfg,
                             opts.keep_reports,
                             opts.case_cycle_budget,
                             opts.counters,
                         );
+                        if let Some(diff_opts) = &opts.diff {
+                            if exec.result.error.is_none() {
+                                exec.diff = Some(execute_diff(tc, cfg, diff_opts));
+                            }
+                        }
                         if let Some(sink) = &opts.events {
                             sink.emit(&case_event(seq, &exec));
                             if let Some(counters) = &exec.counters {
@@ -501,6 +560,13 @@ impl Engine {
                                     seq,
                                     case: exec.result.name.clone(),
                                     counters: counters.clone(),
+                                });
+                            }
+                            if let Some(verdict) = &exec.diff {
+                                sink.emit(&EngineEvent::CaseDiff {
+                                    seq,
+                                    case: exec.result.name.clone(),
+                                    verdict: verdict.clone(),
                                 });
                             }
                         }
@@ -541,6 +607,7 @@ impl Engine {
                 .opts
                 .counters
                 .then(|| ObsMetrics::for_design(&self.cfg)),
+            diff: self.opts.diff.is_some().then(DiffMetrics::default),
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
@@ -554,6 +621,17 @@ impl Engine {
             metrics.findings_total += exec.result.finding_count;
             for (s, n) in exec.findings_by_structure {
                 *metrics.findings_by_structure.entry(s).or_insert(0) += n;
+            }
+            if let (Some(dm), Some(verdict)) = (metrics.diff.as_mut(), &exec.diff) {
+                dm.cases_compared += 1;
+                match verdict {
+                    DiffVerdict::Match { retires, .. } => {
+                        dm.matches += 1;
+                        dm.retires_compared += retires;
+                    }
+                    DiffVerdict::Diverged(_) => dm.divergences += 1,
+                    DiffVerdict::Skipped { .. } => dm.skipped += 1,
+                }
             }
             if let (Some(obs), None) = (metrics.obs.as_mut(), &exec.result.error) {
                 obs.record_case(
@@ -708,6 +786,63 @@ mod tests {
                 e.structure
             );
         }
+    }
+
+    #[test]
+    fn diff_flag_adds_case_diff_events_and_diff_metrics() {
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 4);
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let opts = EngineOptions {
+            threads: 2,
+            diff: Some(DiffOptions::default()),
+            events: Some(EventSink::new(SharedBuf(buf.clone()))),
+            ..EngineOptions::default()
+        };
+        let (result, _) = Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let diff_lines = text.lines().filter(|l| l.contains("CaseDiff")).count();
+        assert_eq!(diff_lines, 4, "one CaseDiff per case:\n{text}");
+
+        let dm = result
+            .engine
+            .as_ref()
+            .unwrap()
+            .diff
+            .as_ref()
+            .expect("diff metrics");
+        assert_eq!(dm.cases_compared, 4);
+        assert_eq!(
+            dm.divergences, 0,
+            "default corpus must match the reference model"
+        );
+        assert_eq!(dm.matches + dm.skipped, 4);
+        assert!(dm.matches >= 1, "at least one case compared clean");
+        assert!(dm.retires_compared > 0);
+    }
+
+    #[test]
+    fn diff_off_leaves_the_event_stream_and_metrics_unchanged() {
+        let cfg = CoreConfig::boom();
+        let corpus = small_corpus(&cfg, 4);
+        let opts = EngineOptions {
+            threads: 2,
+            ..EngineOptions::default()
+        };
+        let (result, _) = Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+        assert_eq!(result.engine.as_ref().unwrap().diff, None);
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! for gadget assembly and to generate varied test cases" — 585 cases in
 //! the paper's evaluation).
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use teesec_isa::inst::MemWidth;
 use teesec_uarch::config::CoreConfig;
 
 use crate::assemble::{assemble_case, Attacker, CaseParams, Lifecycle, Victim};
+use crate::cover::CoverageMap;
 use crate::paths::AccessPath;
+use crate::runner::run_case;
 use crate::testcase::TestCase;
 
 /// The paper's corpus size (Table 2).
@@ -137,6 +142,192 @@ impl Fuzzer {
             }
         }
         cases
+    }
+}
+
+/// An input the coverage-guided fuzzer kept because it lit coverage
+/// buckets no earlier input had lit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Generated case name.
+    pub name: String,
+    /// The access path.
+    pub path: AccessPath,
+    /// The parameters that reached the new coverage.
+    pub params: CaseParams,
+    /// How many buckets this input was first to reach.
+    pub novel_buckets: usize,
+}
+
+/// The result of one coverage-guided fuzzing session.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoverageOutcome {
+    /// Total cases actually simulated (seeds + mutants).
+    pub executed: usize,
+    /// Buckets reached by the seed phase alone — the baseline a guided
+    /// session must beat.
+    pub seed_buckets: usize,
+    /// Final cumulative coverage.
+    pub map: CoverageMap,
+    /// Coverage-increasing inputs, in discovery order.
+    pub corpus: Vec<CorpusEntry>,
+}
+
+/// Coverage-guided parameter fuzzer: seeds from the systematic sweep, then
+/// mutates corpus entries (inputs that reached new microarchitectural
+/// coverage) instead of sampling blindly. Deterministic for a fixed seed —
+/// the guidance loop uses no wall-clock or global state.
+#[derive(Debug, Clone)]
+pub struct CoverageFuzzer {
+    seed: u64,
+    seed_inputs: usize,
+    budget: usize,
+}
+
+impl CoverageFuzzer {
+    /// A fuzzer with `seed_inputs` systematic seeds and a total execution
+    /// `budget` (seeds included).
+    pub fn new(seed_inputs: usize, budget: usize) -> CoverageFuzzer {
+        CoverageFuzzer {
+            seed: 0xC0FE_FACE,
+            seed_inputs,
+            budget,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> CoverageFuzzer {
+        self.seed = seed;
+        self
+    }
+
+    /// The systematic seed inputs: the head of the same (lifecycle × warm ×
+    /// victim × attacker × path) enumeration [`Fuzzer::generate`] starts
+    /// from, truncated to `seed_inputs`.
+    fn seeds(&self, cfg: &CoreConfig) -> Vec<(AccessPath, CaseParams)> {
+        let mut out = Vec::new();
+        for lifecycle in [Lifecycle::Stop, Lifecycle::StopResumeStop, Lifecycle::Exit] {
+            for warm_via_stores in [false, true] {
+                for victim in [Victim::Enclave, Victim::SecurityMonitor, Victim::Host] {
+                    for attacker in [Attacker::Host, Attacker::Enclave1] {
+                        for &path in AccessPath::all() {
+                            if out.len() >= self.seed_inputs {
+                                return out;
+                            }
+                            let params = CaseParams {
+                                victim,
+                                attacker,
+                                lifecycle,
+                                warm_via_stores,
+                                ..CaseParams::default()
+                            };
+                            if assemble_case(path, params, cfg).is_ok() {
+                                out.push((path, params));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// One mutation of a corpus entry: perturb exactly one dimension, so
+    /// coverage gains are attributable and the walk stays local.
+    fn mutate(rng: &mut StdRng, path: AccessPath, params: CaseParams) -> (AccessPath, CaseParams) {
+        let widths = [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D];
+        let mut p = params;
+        let mut pa = path;
+        match rng.gen_range(0..8) {
+            0 => pa = AccessPath::all()[rng.gen_range(0..AccessPath::all().len())],
+            1 => p.offset = rng.gen_range(0..0x100u64) * 8,
+            2 => p.width = widths[rng.gen_range(0..widths.len())],
+            3 => p.warm_via_stores = !p.warm_via_stores,
+            4 => {
+                p.lifecycle = match rng.gen_range(0..3) {
+                    0 => Lifecycle::Stop,
+                    1 => Lifecycle::StopResumeStop,
+                    _ => Lifecycle::Exit,
+                }
+            }
+            5 => {
+                p.victim = match rng.gen_range(0..3) {
+                    0 => Victim::Enclave,
+                    1 => Victim::SecurityMonitor,
+                    _ => Victim::Host,
+                }
+            }
+            6 => {
+                p.attacker = match p.attacker {
+                    Attacker::Host => Attacker::Enclave1,
+                    Attacker::Enclave1 => Attacker::Host,
+                }
+            }
+            _ => p.restricted_counters = !p.restricted_counters,
+        }
+        (pa, p)
+    }
+
+    /// Runs the session on `cfg`: execute seeds, then spend the remaining
+    /// budget mutating coverage-increasing inputs.
+    pub fn run(&self, cfg: &CoreConfig) -> CoverageOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut outcome = CoverageOutcome::default();
+        let mut tried: HashSet<(AccessPath, CaseParams)> = HashSet::new();
+
+        let execute =
+            |outcome: &mut CoverageOutcome, path: AccessPath, params: CaseParams| -> bool {
+                let Ok(tc) = assemble_case(path, params, cfg) else {
+                    return false;
+                };
+                let Ok(run) = run_case(&tc, cfg) else {
+                    return false;
+                };
+                outcome.executed += 1;
+                let cov = CoverageMap::from_counters(&run.platform.core.counters());
+                let novel = outcome.map.merge(&cov);
+                if novel > 0 {
+                    outcome.corpus.push(CorpusEntry {
+                        name: tc.name.clone(),
+                        path,
+                        params,
+                        novel_buckets: novel,
+                    });
+                }
+                true
+            };
+
+        for (path, params) in self.seeds(cfg) {
+            if outcome.executed >= self.budget {
+                break;
+            }
+            tried.insert((path, params));
+            execute(&mut outcome, path, params);
+        }
+        outcome.seed_buckets = outcome.map.len();
+
+        // Guided phase: mutate corpus entries round-robin, newest first —
+        // recent coverage gains are the most promising neighbourhoods.
+        let mut attempts = 0usize;
+        let max_attempts = self.budget.saturating_mul(16).max(64);
+        while outcome.executed < self.budget && attempts < max_attempts {
+            attempts += 1;
+            let (base_path, base_params) = match outcome.corpus.last() {
+                Some(_) => {
+                    let idx =
+                        outcome.corpus.len() - 1 - rng.gen_range(0..outcome.corpus.len().min(4));
+                    let e = &outcome.corpus[idx];
+                    (e.path, e.params)
+                }
+                None => (AccessPath::LoadL1Hit, CaseParams::default()),
+            };
+            let (path, params) = Self::mutate(&mut rng, base_path, base_params);
+            if !tried.insert((path, params)) {
+                continue;
+            }
+            execute(&mut outcome, path, params);
+        }
+        outcome
     }
 }
 

@@ -53,10 +53,13 @@
 pub mod assemble;
 pub mod campaign;
 pub mod checker;
+pub mod cover;
+pub mod diff;
 pub mod engine;
 pub mod fuzz;
 pub mod gadgets;
 pub mod metrics;
+pub mod minimize;
 pub mod paths;
 pub mod plan;
 pub mod provenance;
@@ -68,9 +71,14 @@ pub mod testcase;
 
 pub use campaign::{Campaign, CampaignResult};
 pub use checker::check_case;
-pub use engine::{Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink, ObsMetrics};
+pub use cover::{CoverKind, CoverageKey, CoverageMap};
+pub use diff::{diff_case, diff_corpus, DiffOptions, DiffSummary, DiffVerdict, Divergence};
+pub use engine::{
+    DiffMetrics, Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink, ObsMetrics,
+};
 pub use fuzz::Fuzzer;
 pub use metrics::campaign_snapshot;
+pub use minimize::{minimize_case, Minimized};
 pub use paths::AccessPath;
 pub use plan::VerificationPlan;
 pub use provenance::{ProvenanceChain, ProvenanceHop};

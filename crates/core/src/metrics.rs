@@ -85,6 +85,39 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         "Wall-clock time of the execute+check stage, microseconds",
     );
 
+    if let Some(diff) = &engine.diff {
+        snap.counter(
+            "teesec_diff_cases_compared_total",
+            &[("design", design)],
+            diff.cases_compared as u64,
+            "Cases the differential oracle looked at",
+        );
+        snap.counter(
+            "teesec_diff_matches_total",
+            &[("design", design)],
+            diff.matches as u64,
+            "Cases where core and ISS agreed at every compared point",
+        );
+        snap.counter(
+            "teesec_diff_divergences_total",
+            &[("design", design)],
+            diff.divergences as u64,
+            "Cases where the machines diverged",
+        );
+        snap.counter(
+            "teesec_diff_skipped_total",
+            &[("design", design)],
+            diff.skipped as u64,
+            "Cases outside the oracle's model",
+        );
+        snap.counter(
+            "teesec_diff_retires_compared_total",
+            &[("design", design)],
+            diff.retires_compared,
+            "Retirements compared in lockstep across matching cases",
+        );
+    }
+
     let Some(obs) = &engine.obs else {
         return snap;
     };
@@ -181,6 +214,52 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
     snap
 }
 
+/// Folds one coverage-guided fuzzing session into a metrics snapshot:
+/// session totals plus one covered-bucket gauge per structure, so a
+/// dashboard shows *where* the guided walk is reaching, not just how far.
+pub fn coverage_snapshot(outcome: &crate::fuzz::CoverageOutcome, design: &str) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::new();
+    snap.counter(
+        "teesec_fuzz_cases_executed_total",
+        &[("design", design)],
+        outcome.executed as u64,
+        "Cases simulated by the coverage-guided session (seeds + mutants)",
+    );
+    snap.gauge(
+        "teesec_fuzz_seed_coverage_buckets",
+        &[("design", design)],
+        outcome.seed_buckets as u64,
+        "Coverage buckets reached by the seed phase alone",
+    );
+    snap.gauge(
+        "teesec_fuzz_coverage_buckets",
+        &[("design", design)],
+        outcome.map.len() as u64,
+        "Cumulative coverage buckets after the guided phase",
+    );
+    snap.gauge(
+        "teesec_fuzz_corpus_entries",
+        &[("design", design)],
+        outcome.corpus.len() as u64,
+        "Coverage-increasing inputs retained in the corpus",
+    );
+    let mut per_structure = std::collections::BTreeMap::new();
+    for key in outcome.map.keys() {
+        *per_structure
+            .entry(key.structure.display_name())
+            .or_insert(0u64) += 1;
+    }
+    for (structure, n) in per_structure {
+        snap.gauge(
+            "teesec_fuzz_structure_coverage_buckets",
+            &[("design", design), ("structure", structure)],
+            n,
+            "Coverage buckets reached per microarchitectural structure",
+        );
+    }
+    snap
+}
+
 /// Writes `snap` as Prometheus text to `path` and pretty JSON to
 /// `<path>.json`.
 ///
@@ -224,6 +303,33 @@ mod tests {
         assert!(prom.contains("teesec_case_cycles_bucket"));
         let json = snap.render_json();
         assert!(json.contains("teesec_structure_fills_total"));
+    }
+
+    #[test]
+    fn diff_metrics_land_in_the_snapshot() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(3));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            threads: 2,
+            diff: Some(crate::diff::DiffOptions::default()),
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_diff_cases_compared_total"));
+        assert!(prom.contains("teesec_diff_divergences_total{design=\"boom\"} 0"));
+        assert!(prom.contains("teesec_diff_retires_compared_total"));
+    }
+
+    #[test]
+    fn coverage_snapshot_exposes_session_and_structure_series() {
+        let cfg = CoreConfig::boom();
+        let outcome = crate::fuzz::CoverageFuzzer::new(3, 8).run(&cfg);
+        let snap = coverage_snapshot(&outcome, &cfg.name);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_fuzz_cases_executed_total"));
+        assert!(prom.contains("teesec_fuzz_coverage_buckets{design=\"boom\"}"));
+        assert!(prom.contains("teesec_fuzz_corpus_entries"));
+        assert!(prom.contains("teesec_fuzz_structure_coverage_buckets"));
     }
 
     #[test]

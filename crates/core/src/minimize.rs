@@ -1,0 +1,270 @@
+//! Automatic test-case minimization: shrink a diverging or leaking case to
+//! a minimal gadget sequence while preserving its verdict.
+//!
+//! A fuzzer-found case carries lifecycle scaffolding, warm-up accesses and
+//! probe sequences that may have nothing to do with the actual finding.
+//! [`minimize_case`] runs delta-debugging (ddmin-style chunk removal) over
+//! the case's host and enclave step lists: repeatedly delete chunks of
+//! steps, keep any deletion under which a caller-supplied predicate still
+//! holds, and halve the chunk size until single-step granularity. The
+//! predicate is arbitrary — "still reports leak class D1"
+//! ([`preserves_classes`]) and "still diverges under the oracle"
+//! ([`preserves_divergence`]) are provided. Predicate panics (a shrunken
+//! case that crashes the simulator) count as *not preserved*, so
+//! minimization is safe to run unattended.
+
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use serde::{Deserialize, Serialize};
+
+use teesec_uarch::config::CoreConfig;
+
+use crate::checker::check_case;
+use crate::diff::{diff_case, DiffOptions};
+use crate::report::LeakClass;
+use crate::runner::run_case;
+use crate::testcase::TestCase;
+
+/// The result of minimizing one case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Minimized {
+    /// The minimized case (same name, fewer steps, same verdict).
+    pub case: TestCase,
+    /// Step count before minimization.
+    pub original_steps: usize,
+    /// Step count after minimization.
+    pub final_steps: usize,
+    /// Predicate evaluations spent.
+    pub trials: usize,
+}
+
+impl Minimized {
+    /// Fraction of steps removed, in [0, 1].
+    pub fn shrink_ratio(&self) -> f64 {
+        if self.original_steps == 0 {
+            return 0.0;
+        }
+        1.0 - self.final_steps as f64 / self.original_steps as f64
+    }
+}
+
+/// Which step list a ddmin pass is operating on.
+#[derive(Debug, Clone, Copy)]
+enum StepList {
+    Host,
+    Enclave(usize),
+}
+
+fn list_len(tc: &TestCase, which: StepList) -> usize {
+    match which {
+        StepList::Host => tc.host_steps.len(),
+        StepList::Enclave(i) => tc.enclave_steps[i].len(),
+    }
+}
+
+fn remove_range(tc: &mut TestCase, which: StepList, start: usize, end: usize) {
+    match which {
+        StepList::Host => drop(tc.host_steps.drain(start..end)),
+        StepList::Enclave(i) => drop(tc.enclave_steps[i].drain(start..end)),
+    }
+}
+
+/// Evaluates the predicate, treating a panic inside it (e.g. a shrunken
+/// case that trips a simulator assertion) as "verdict not preserved".
+fn try_keep<F: FnMut(&TestCase) -> bool>(keep: &mut F, candidate: &TestCase) -> bool {
+    catch_unwind(AssertUnwindSafe(|| keep(candidate))).unwrap_or(false)
+}
+
+/// One ddmin sweep over a single step list. Returns whether anything was
+/// removed.
+fn ddmin_list<F: FnMut(&TestCase) -> bool>(
+    current: &mut TestCase,
+    which: StepList,
+    keep: &mut F,
+    trials: &mut usize,
+) -> bool {
+    let mut changed = false;
+    let mut chunk = (list_len(current, which) / 2).max(1);
+    loop {
+        if list_len(current, which) == 0 {
+            break;
+        }
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < list_len(current, which) {
+            let end = (start + chunk).min(list_len(current, which));
+            let mut candidate = current.clone();
+            remove_range(&mut candidate, which, start, end);
+            *trials += 1;
+            if try_keep(keep, &candidate) {
+                *current = candidate;
+                removed_any = true;
+                changed = true;
+                // The next chunk now starts at the same index.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed_any {
+                break;
+            }
+        } else if !removed_any {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    changed
+}
+
+/// Minimizes `tc` under `keep`: the largest step deletions that still
+/// satisfy the predicate are applied, down to single-step granularity,
+/// iterated to a fixpoint across the host and every enclave program.
+///
+/// `keep` must hold on `tc` itself; if it does not (the "finding" is not
+/// reproducible), the case is returned unshrunk with `trials == 1`.
+pub fn minimize_case<F: FnMut(&TestCase) -> bool>(tc: &TestCase, mut keep: F) -> Minimized {
+    let original_steps = tc.step_count();
+    let mut trials = 1usize;
+    if !try_keep(&mut keep, tc) {
+        return Minimized {
+            case: tc.clone(),
+            original_steps,
+            final_steps: original_steps,
+            trials,
+        };
+    }
+    let mut current = tc.clone();
+    loop {
+        let mut changed = false;
+        changed |= ddmin_list(&mut current, StepList::Host, &mut keep, &mut trials);
+        for i in 0..current.enclave_steps.len() {
+            changed |= ddmin_list(&mut current, StepList::Enclave(i), &mut keep, &mut trials);
+        }
+        if !changed {
+            break;
+        }
+    }
+    let final_steps = current.step_count();
+    Minimized {
+        case: current,
+        original_steps,
+        final_steps,
+        trials,
+    }
+}
+
+/// Predicate: the case still reports every leak class in `classes` when run
+/// and checked on `cfg`. Build failures and non-reproducing runs fail the
+/// predicate.
+pub fn preserves_classes<'a>(
+    cfg: &'a CoreConfig,
+    classes: &'a BTreeSet<LeakClass>,
+) -> impl FnMut(&TestCase) -> bool + 'a {
+    move |tc: &TestCase| {
+        let Ok(outcome) = run_case(tc, cfg) else {
+            return false;
+        };
+        let report = check_case(tc, &outcome, cfg);
+        let found = report.classes();
+        classes.iter().all(|c| found.contains(c))
+    }
+}
+
+/// Predicate: the case still diverges under the differential oracle with
+/// `opts` (fault injections included — this is how oracle self-tests shrink
+/// their repro cases).
+pub fn preserves_divergence<'a>(
+    cfg: &'a CoreConfig,
+    opts: &'a DiffOptions,
+) -> impl FnMut(&TestCase) -> bool + 'a {
+    move |tc: &TestCase| matches!(diff_case(tc, cfg, opts), Ok(v) if v.diverged())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testcase::{Actor, Step};
+    use teesec_isa::inst::MemWidth;
+
+    fn case_with_noise(payload_at: usize, noise: usize) -> TestCase {
+        let mut tc = TestCase::new("min_test", crate::paths::AccessPath::LoadL1Hit);
+        for i in 0..noise {
+            if i == payload_at {
+                tc.push(
+                    Actor::Host,
+                    Step::Load {
+                        addr: 0x8030_0000,
+                        width: MemWidth::D,
+                    },
+                );
+            }
+            tc.push(Actor::Host, Step::Nops(1));
+        }
+        tc
+    }
+
+    #[test]
+    fn shrinks_to_the_single_load_the_predicate_needs() {
+        let tc = case_with_noise(10, 40);
+        let min = minimize_case(&tc, |c| {
+            c.host_steps
+                .iter()
+                .any(|s| matches!(s, Step::Load { addr, .. } if *addr == 0x8030_0000))
+        });
+        assert_eq!(min.final_steps, 1, "only the load survives");
+        assert!(min.shrink_ratio() > 0.9);
+        assert!(min.trials > 1);
+    }
+
+    #[test]
+    fn non_reproducing_case_is_returned_unshrunk() {
+        let tc = case_with_noise(0, 10);
+        let min = minimize_case(&tc, |_| false);
+        assert_eq!(min.final_steps, min.original_steps);
+        assert_eq!(min.trials, 1);
+    }
+
+    #[test]
+    fn panicking_predicate_counts_as_not_preserved() {
+        let tc = case_with_noise(5, 20);
+        // Panics whenever the load is missing; holds when it is present.
+        let min = minimize_case(&tc, |c| {
+            if c.host_steps.iter().any(|s| matches!(s, Step::Load { .. })) {
+                true
+            } else {
+                panic!("simulated simulator crash");
+            }
+        });
+        assert!(
+            min.case
+                .host_steps
+                .iter()
+                .any(|s| matches!(s, Step::Load { .. })),
+            "the load survives even though its removal panics the predicate"
+        );
+        assert_eq!(min.final_steps, 1);
+    }
+
+    #[test]
+    fn minimizes_enclave_programs_too() {
+        let mut tc = TestCase::new("min_enclave", crate::paths::AccessPath::LoadL1Hit);
+        for _ in 0..12 {
+            tc.push(Actor::Enclave(0), Step::Nops(2));
+        }
+        tc.push(
+            Actor::Enclave(0),
+            Step::Store {
+                addr: 0x8030_0008,
+                value: 7,
+                width: MemWidth::D,
+            },
+        );
+        let min = minimize_case(&tc, |c| {
+            c.enclave_steps[0]
+                .iter()
+                .any(|s| matches!(s, Step::Store { .. }))
+        });
+        assert_eq!(min.final_steps, 1);
+    }
+}

@@ -46,6 +46,28 @@ pub fn run_case_budgeted(
     budget: Option<u64>,
 ) -> Result<RunOutcome, BuildError> {
     let build_start = std::time::Instant::now();
+    let mut platform = build_platform(tc, cfg)?;
+    let build_us = build_start.elapsed().as_micros();
+    let limit = budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
+    let exit = platform.run(limit);
+    let cycles = platform.core.cycle;
+    Ok(RunOutcome {
+        platform,
+        exit,
+        cycles,
+        build_us,
+    })
+}
+
+/// Lowers `tc` onto a fresh platform without running it. Building is
+/// deterministic: two calls with the same inputs produce identical memory
+/// images and reset state — the property the differential oracle relies on
+/// to seed its reference ISS with the core's exact initial memory.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] exactly as [`run_case`] does.
+pub fn build_platform(tc: &TestCase, cfg: &CoreConfig) -> Result<Platform, BuildError> {
     let mut builder = Platform::builder(cfg.clone())
         .host_vm(if tc.host_sv39 {
             HostVm::Sv39
@@ -86,17 +108,7 @@ pub fn run_case_budgeted(
     if let Some(at) = tc.irq_at {
         builder = builder.external_interrupt_at(at);
     }
-    let mut platform = builder.build()?;
-    let build_us = build_start.elapsed().as_micros();
-    let limit = budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
-    let exit = platform.run(limit);
-    let cycles = platform.core.cycle;
-    Ok(RunOutcome {
-        platform,
-        exit,
-        cycles,
-        build_us,
-    })
+    builder.build()
 }
 
 #[cfg(test)]

@@ -87,6 +87,22 @@ pub enum RunExit {
     CycleLimit,
 }
 
+/// One architecturally retired instruction, recorded when the retire probe
+/// is on ([`Core::set_retire_probe`]) — the commit-boundary event stream a
+/// lockstep differential oracle aligns against a reference model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetiredInst {
+    /// ROB sequence number (monotonic across the run, gaps where squashed).
+    pub seq: u64,
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// The instruction (poisoned fetches never retire, so always decoded).
+    pub inst: Inst,
+    /// The value committed to the architectural register file, when the
+    /// instruction has a destination register.
+    pub result: Option<u64>,
+}
+
 /// A configured core instance bound to a physical memory.
 #[derive(Debug)]
 pub struct Core {
@@ -131,6 +147,10 @@ pub struct Core {
     /// Domain of the interrupted world while a trap is being serviced;
     /// restored at `mret` unless firmware wrote MDOMAIN meanwhile.
     domain_before_trap: Option<Domain>,
+    /// Retire probe: when on, every architectural commit is appended to
+    /// `retire_log` for [`Core::take_retired_log`].
+    retire_probe: bool,
+    retire_log: Vec<RetiredInst>,
 }
 
 impl Core {
@@ -160,9 +180,27 @@ impl Core {
             ext_irq_at: None,
             retired: 0,
             domain_before_trap: None,
+            retire_probe: false,
+            retire_log: Vec::new(),
             mem,
             config,
         }
+    }
+
+    /// Turns the retire probe on or off. While on, every architectural
+    /// commit is recorded; drain the log with [`Core::take_retired_log`]
+    /// (ideally every cycle — the log grows unboundedly otherwise).
+    pub fn set_retire_probe(&mut self, on: bool) {
+        self.retire_probe = on;
+        if !on {
+            self.retire_log.clear();
+        }
+    }
+
+    /// Drains the retire log recorded since the last call (empty unless
+    /// [`Core::set_retire_probe`] enabled the probe).
+    pub fn take_retired_log(&mut self) -> Vec<RetiredInst> {
+        std::mem::take(&mut self.retire_log)
     }
 
     /// The architectural value of register `r`.
@@ -826,6 +864,16 @@ impl Core {
                 self.arch_rf[d.index() as usize] = v;
             }
         }
+        if self.retire_probe {
+            if let Ok(inst) = head.inst {
+                self.retire_log.push(RetiredInst {
+                    seq: head.seq,
+                    pc: head.pc,
+                    inst,
+                    result: inst.dest().and(head.result),
+                });
+            }
+        }
         if let Some(s) = head.store {
             let pa = s.pa.expect("store without exception has a PA");
             self.lsu.commit_store(
@@ -983,11 +1031,7 @@ impl Core {
             }
             // A read during trap handling reports the interrupted world
             // (the SBI caller), not the monitor itself.
-            let old = match self.domain_before_trap.unwrap_or(self.domain) {
-                Domain::Untrusted => 0,
-                Domain::SecurityMonitor => 1,
-                Domain::Enclave(id) => 2 + id as u64,
-            };
+            let old = self.domain_before_trap.unwrap_or(self.domain).encode();
             if let CsrSrc::Reg(r) = src {
                 if op == CsrOp::Rw || !r.is_zero() {
                     let v = self.source_value(0, r).expect("head operands ready");
@@ -1465,11 +1509,7 @@ fn apply_csr_op(op: CsrOp, old: u64, src: u64) -> u64 {
 }
 
 fn decode_domain(v: u64) -> Domain {
-    match v {
-        0 => Domain::Untrusted,
-        1 => Domain::SecurityMonitor,
-        n => Domain::Enclave((n - 2) as u32),
-    }
+    Domain::decode(v)
 }
 
 fn is_hpc_read(addr: CsrAddr) -> bool {

@@ -15,8 +15,10 @@ use teesec_isa::priv_level::PrivLevel;
 use teesec_isa::reg::Reg;
 use teesec_isa::vm::{pte_addr, PhysAddr, Pte, VirtAddr, SV39_LEVELS};
 
+use crate::core::MDOMAIN;
 use crate::csr_file::{CsrError, CsrFile};
 use crate::mem::Memory;
+use crate::trace::Domain;
 use crate::trap::Exception;
 
 /// Why [`Iss::run`] stopped.
@@ -26,6 +28,18 @@ pub enum IssExit {
     Halted,
     /// The instruction budget was exhausted.
     StepLimit,
+}
+
+/// What one [`Iss::step`] did — the per-instruction record a lockstep
+/// differential oracle aligns against the core's retire stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssStep {
+    /// PC of the instruction the step operated on.
+    pub pc: u64,
+    /// `Some(inst)` when the instruction retired (architectural commit);
+    /// `None` when the step entered a trap instead (trap entry retires
+    /// nothing, matching the core's commit-stage convention).
+    pub retired: Option<Inst>,
 }
 
 /// The reference interpreter.
@@ -43,6 +57,13 @@ pub struct Iss {
     pub halted: bool,
     regs: [u64; 32],
     retired: u64,
+    /// Current security domain, mirroring the core's MDOMAIN register so
+    /// platform firmware (which reads/writes MDOMAIN) stays architecturally
+    /// comparable under co-simulation.
+    domain: Domain,
+    /// Domain of the interrupted world while a trap is serviced; restored
+    /// at `mret` unless MDOMAIN was written meanwhile (core semantics).
+    domain_before_trap: Option<Domain>,
 }
 
 impl Iss {
@@ -56,7 +77,22 @@ impl Iss {
             halted: false,
             regs: [0; 32],
             retired: 0,
+            domain: Domain::SecurityMonitor,
+            domain_before_trap: None,
         }
+    }
+
+    /// Resizes the HPM counter file (reset state only). Co-simulation must
+    /// match the core's configuration here, or CSR-existence checks on
+    /// `mhpmcounterN` diverge architecturally.
+    pub fn with_hpm_counters(mut self, hpm_counters: usize) -> Iss {
+        self.csr = CsrFile::new(hpm_counters);
+        self
+    }
+
+    /// The current security domain (MDOMAIN mirror).
+    pub fn domain(&self) -> Domain {
+        self.domain
     }
 
     /// Architectural register read.
@@ -76,13 +112,21 @@ impl Iss {
         self.retired
     }
 
-    /// Runs until `ebreak` or `max_steps` instructions.
+    /// Runs until `ebreak` or until `max_steps` instructions have *retired*.
+    ///
+    /// The budget counts retired instructions — the same convention the
+    /// core's commit stage uses — so a trap taken exactly at the budget
+    /// boundary still reaches its handler instead of being cut off one
+    /// instruction early (trap entry retires nothing). A raw-step fuse of
+    /// `4 * max_steps + 64` bounds pathological trap storms (e.g. a fault
+    /// whose handler faults) that would otherwise never consume budget.
     pub fn run(&mut self, max_steps: u64) -> IssExit {
-        for _ in 0..max_steps {
-            if self.halted {
-                return IssExit::Halted;
-            }
+        let target = self.retired.saturating_add(max_steps);
+        let fuse = max_steps.saturating_mul(4).saturating_add(64);
+        let mut raw = 0u64;
+        while !self.halted && self.retired < target && raw < fuse {
             self.step();
+            raw += 1;
         }
         if self.halted {
             IssExit::Halted
@@ -91,33 +135,58 @@ impl Iss {
         }
     }
 
-    /// Executes one instruction (including trap entry on faults).
-    pub fn step(&mut self) {
-        if self.halted {
-            return;
-        }
+    /// Executes one instruction (including trap entry on faults), reporting
+    /// what happened so a lockstep driver can align retires.
+    pub fn step(&mut self) -> IssStep {
         let pc = self.pc;
+        if self.halted {
+            return IssStep { pc, retired: None };
+        }
         let word = match self.fetch(pc) {
             Ok(w) => w,
             Err(e) => {
                 self.trap(e, pc);
-                return;
+                return IssStep { pc, retired: None };
             }
         };
         let inst = match Inst::decode(word) {
             Ok(i) => i,
             Err(_) => {
                 self.trap(Exception::IllegalInstruction(word), pc);
-                return;
+                return IssStep { pc, retired: None };
             }
         };
         match self.execute(inst, pc) {
             Ok(next) => {
                 self.pc = next;
                 self.retired += 1;
+                IssStep {
+                    pc,
+                    retired: Some(inst),
+                }
             }
-            Err(e) => self.trap(e, pc),
+            Err(e) => {
+                self.trap(e, pc);
+                IssStep { pc, retired: None }
+            }
         }
+    }
+
+    /// Steps until exactly one instruction retires, stepping through up to
+    /// `trap_fuse` intervening trap entries. Returns `None` if the machine
+    /// is halted or the fuse blows (a trap storm) — the lockstep driver
+    /// reports either as a divergence.
+    pub fn step_retire(&mut self, trap_fuse: u64) -> Option<IssStep> {
+        for _ in 0..=trap_fuse {
+            if self.halted {
+                return None;
+            }
+            let s = self.step();
+            if s.retired.is_some() {
+                return Some(s);
+            }
+        }
+        None
     }
 
     fn fetch(&mut self, pc: u64) -> Result<u32, Exception> {
@@ -304,6 +373,9 @@ impl Iss {
                 self.csr.mstatus.0 |= Mstatus::MPIE_BIT;
                 self.csr.mstatus.set_mpp(PrivLevel::User);
                 self.priv_level = mpp;
+                if let Some(d) = self.domain_before_trap.take() {
+                    self.domain = d;
+                }
                 Ok(self.csr.mepc)
             }
             Inst::Sret => {
@@ -338,6 +410,26 @@ impl Iss {
             (_, CsrSrc::Reg(r)) => !r.is_zero(),
             (_, CsrSrc::Imm(i)) => i != 0,
         };
+        // The platform domain register is intercepted before the CSR file,
+        // exactly as in the core. A read during trap handling reports the
+        // interrupted world (the SBI caller), not the monitor itself.
+        if addr == MDOMAIN {
+            if self.priv_level != PrivLevel::Machine {
+                return Err(Exception::IllegalInstruction(0));
+            }
+            let old = self.domain_before_trap.unwrap_or(self.domain).encode();
+            if wants_write {
+                let new = match op {
+                    CsrOp::Rw => src_val,
+                    CsrOp::Rs => old | src_val,
+                    CsrOp::Rc => old & !src_val,
+                };
+                self.domain_before_trap = None;
+                self.domain = Domain::decode(new);
+            }
+            self.set_reg(rd, old);
+            return Ok(());
+        }
         let old = match self.csr.read(addr, self.priv_level) {
             Ok(v) => v,
             Err(_) => return Err(Exception::IllegalInstruction(0)),
@@ -374,6 +466,10 @@ impl Iss {
         self.csr.mstatus.set_mie(false);
         self.csr.mstatus.set_mpp(self.priv_level);
         self.priv_level = PrivLevel::Machine;
+        // The M-mode trap handler is the security monitor by construction
+        // (core convention); remember whose world was interrupted.
+        self.domain_before_trap = Some(self.domain);
+        self.domain = Domain::SecurityMonitor;
         self.pc = self.csr.mtvec;
     }
 }
@@ -479,5 +575,98 @@ mod tests {
         mem.load_words(base, &asm.assemble().unwrap());
         let mut iss = Iss::new(mem, base);
         assert_eq!(iss.run(100), IssExit::StepLimit);
+    }
+
+    /// Regression for the `max_steps`-boundary off-by-one: the budget counts
+    /// *retired* instructions, and trap entry retires nothing — so a trap
+    /// taken exactly as the budget runs out must still reach its handler.
+    /// (Previously every raw step consumed budget and this returned
+    /// `StepLimit` without ever executing the handler.)
+    #[test]
+    fn trap_at_budget_boundary_reaches_handler() {
+        let base = 0x8000_0000;
+        let mut asm = Assembler::new(base);
+        asm.la(Reg::T0, "h"); // 2 insts (auipc+addi)
+        asm.csrw(csr::MTVEC, Reg::T0); // 1 inst
+        asm.addi(Reg::T1, Reg::T1, 1); // 1 inst — 4 retires so far
+        asm.ecall(); // traps: retires nothing
+        asm.label("h");
+        asm.inst(Inst::Ebreak); // 5th retire
+        let mut mem = Memory::new();
+        mem.load_words(base, &asm.assemble().unwrap());
+        let mut iss = Iss::new(mem, base);
+        // Budget of exactly 5 retired instructions: 4 setup + the handler's
+        // ebreak. The intervening trap entry must not consume budget.
+        assert_eq!(iss.run(5), IssExit::Halted);
+        assert_eq!(iss.csr.mcause, 11, "ecall from M reached the handler");
+        assert_eq!(iss.retired(), 5);
+    }
+
+    /// The raw-step fuse bounds trap storms (a handler that itself faults)
+    /// which retire nothing and would otherwise spin forever.
+    #[test]
+    fn trap_storm_trips_the_fuse() {
+        let base = 0x8000_0000;
+        let mut asm = Assembler::new(base);
+        // mtvec left at 0: the handler address holds no code, so every trap
+        // entry immediately faults again (illegal instruction at pc 0).
+        asm.ecall();
+        let mut mem = Memory::new();
+        mem.load_words(base, &asm.assemble().unwrap());
+        let mut iss = Iss::new(mem, base);
+        assert_eq!(iss.run(10), IssExit::StepLimit);
+        assert_eq!(iss.retired(), 0, "nothing ever retires in a trap storm");
+    }
+
+    #[test]
+    fn mdomain_mirrors_core_semantics() {
+        let iss = run_program(|a| {
+            a.li(Reg::T0, 2); // enclave 0
+            a.csrw(MDOMAIN, Reg::T0);
+            a.csrr(Reg::A0, MDOMAIN);
+            a.inst(Inst::Ebreak);
+        });
+        assert_eq!(iss.reg(Reg::A0), 2);
+        assert_eq!(iss.domain(), Domain::Enclave(0));
+    }
+
+    #[test]
+    fn mdomain_read_during_trap_reports_caller_and_mret_restores() {
+        let iss = run_program(|a| {
+            a.la(Reg::T0, "h");
+            a.csrw(csr::MTVEC, Reg::T0);
+            a.li(Reg::T0, 2); // enter enclave 0
+            a.csrw(MDOMAIN, Reg::T0);
+            a.ecall(); // trap into the "monitor"
+            a.inst(Inst::Ebreak);
+            a.label("h");
+            a.csrr(Reg::A0, MDOMAIN); // reports the interrupted world
+            a.csrr(Reg::T1, csr::MEPC);
+            a.addi(Reg::T1, Reg::T1, 4);
+            a.csrw(csr::MEPC, Reg::T1);
+            a.mret();
+        });
+        assert_eq!(iss.reg(Reg::A0), 2, "read during trap reports the caller");
+        assert_eq!(iss.domain(), Domain::Enclave(0), "mret restored the domain");
+    }
+
+    #[test]
+    fn mdomain_faults_below_machine_mode() {
+        let iss = run_program(|a| {
+            a.la(Reg::T0, "h");
+            a.csrw(csr::MTVEC, Reg::T0);
+            // Drop to S-mode and touch MDOMAIN: must trap.
+            a.la(Reg::T1, "s");
+            a.csrw(csr::MEPC, Reg::T1);
+            a.li(Reg::T2, 0x800); // MPP = S
+            a.csrw(csr::MSTATUS, Reg::T2);
+            a.mret();
+            a.label("s");
+            a.csrr(Reg::A0, MDOMAIN);
+            a.label("h");
+            a.inst(Inst::Ebreak);
+        });
+        assert_eq!(iss.csr.mcause, 2, "illegal instruction");
+        assert_eq!(iss.reg(Reg::A0), 0, "no value leaked");
     }
 }

@@ -51,6 +51,7 @@ pub mod trace;
 pub mod trap;
 
 pub use config::CoreConfig;
-pub use core::{Core, RunExit};
+pub use core::{Core, RetiredInst, RunExit};
 pub use counters::{StructureCounters, UarchCounters};
+pub use iss::{Iss, IssExit, IssStep};
 pub use trace::{Domain, Structure, Trace};

@@ -100,6 +100,37 @@ impl Memory {
     pub fn backed_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Base addresses of all backed pages, sorted ascending. Unbacked pages
+    /// read as zero, so two memories are equal iff every page backed in
+    /// *either* compares equal — the contract differential memory
+    /// comparison relies on.
+    pub fn page_base_addrs(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pages.keys().map(|k| k * PAGE_SIZE).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The first byte address at which `self` and `other` differ, scanning
+    /// the union of both memories' backed pages.
+    pub fn first_difference(&self, other: &Memory) -> Option<u64> {
+        let mut pages: Vec<u64> = self
+            .page_base_addrs()
+            .into_iter()
+            .chain(other.page_base_addrs())
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for base in pages {
+            for off in 0..PAGE_SIZE {
+                let a = base + off;
+                if self.read_u8(a) != other.read_u8(a) {
+                    return Some(a);
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]

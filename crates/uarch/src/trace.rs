@@ -38,6 +38,25 @@ impl Domain {
     pub fn is_trusted(self) -> bool {
         self != Domain::Untrusted
     }
+
+    /// The MDOMAIN CSR encoding of this domain (0 = untrusted, 1 = security
+    /// monitor, 2+id = enclave).
+    pub fn encode(self) -> u64 {
+        match self {
+            Domain::Untrusted => 0,
+            Domain::SecurityMonitor => 1,
+            Domain::Enclave(id) => 2 + id as u64,
+        }
+    }
+
+    /// Decodes an MDOMAIN CSR value (inverse of [`Domain::encode`]).
+    pub fn decode(v: u64) -> Domain {
+        match v {
+            0 => Domain::Untrusted,
+            1 => Domain::SecurityMonitor,
+            n => Domain::Enclave((n - 2) as u32),
+        }
+    }
 }
 
 /// A microarchitectural storage element class.

@@ -1,0 +1,232 @@
+//! Property-based differential testing: on randomly generated straight-line
+//! and branchy gadget programs, the out-of-order core and the reference ISS
+//! must agree at *every retire* (PC and destination value, via the same
+//! lockstep machinery `teesec::diff` uses), not just at the end of the run —
+//! and the minimizer must preserve whatever verdict it was asked to keep.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use teesec::minimize::minimize_case;
+use teesec::testcase::{Actor, Step, TestCase};
+use teesec_isa::asm::Assembler;
+use teesec_isa::csr;
+use teesec_isa::inst::{AluOp, BranchCond, Inst, MemWidth};
+use teesec_isa::reg::Reg;
+use teesec_uarch::core::Core;
+use teesec_uarch::iss::Iss;
+use teesec_uarch::mem::Memory;
+use teesec_uarch::CoreConfig;
+
+const BASE: u64 = 0x8000_0000;
+const DATA: u64 = 0x8020_0000;
+
+const POOL: [Reg; 8] = [
+    Reg::ZERO,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::S2,
+];
+
+fn reg(rng: &mut StdRng) -> Reg {
+    POOL[rng.gen_range(0..POOL.len())]
+}
+
+/// A random, always-terminating gadget program. `branchy` adds forward
+/// branches and bounded countdown loops; otherwise the program is pure
+/// straight-line ALU/memory work.
+fn gadget_program(seed: u64, len: usize, branchy: bool) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut a = Assembler::new(BASE);
+    a.la(Reg::T5, "handler");
+    a.csrw(csr::MTVEC, Reg::T5);
+    a.li(Reg::S10, DATA);
+    let mut label = 0usize;
+    for _ in 0..len {
+        let roll = if branchy {
+            rng.gen_range(0..100)
+        } else {
+            rng.gen_range(0..60)
+        };
+        match roll {
+            0..=29 => {
+                let op = [AluOp::Add, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Sub]
+                    [rng.gen_range(0..5)];
+                a.inst(Inst::AluReg {
+                    op,
+                    rd: reg(&mut rng),
+                    rs1: reg(&mut rng),
+                    rs2: reg(&mut rng),
+                    word: rng.gen_bool(0.25),
+                });
+            }
+            30..=44 => {
+                let width =
+                    [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D][rng.gen_range(0..4)];
+                let off: i32 = rng.gen_range(0..64) * 8;
+                if rng.gen_bool(0.5) {
+                    a.store(width, reg(&mut rng), Reg::S10, off);
+                } else {
+                    a.load(width, reg(&mut rng), Reg::S10, off);
+                }
+            }
+            45..=59 => {
+                a.li(reg(&mut rng), rng.gen::<u64>());
+            }
+            60..=79 => {
+                let l = format!("fwd_{label}");
+                label += 1;
+                a.branch(
+                    [BranchCond::Eq, BranchCond::Ne, BranchCond::Ltu][rng.gen_range(0..3)],
+                    reg(&mut rng),
+                    reg(&mut rng),
+                    &l,
+                );
+                for _ in 0..rng.gen_range(1..3) {
+                    a.addi(reg(&mut rng), reg(&mut rng), rng.gen_range(-32..32));
+                }
+                a.label(l);
+            }
+            _ => {
+                let l = format!("loop_{label}");
+                label += 1;
+                a.li(Reg::T4, rng.gen_range(1..5));
+                a.label(&l);
+                a.add(reg(&mut rng), reg(&mut rng), reg(&mut rng));
+                a.addi(Reg::T4, Reg::T4, -1);
+                a.bnez(Reg::T4, &l);
+            }
+        }
+    }
+    a.j("handler");
+    a.label("handler");
+    a.inst(Inst::Ebreak);
+    a.assemble().expect("gadget program must assemble")
+}
+
+/// Lockstep-compares one program on one design: every retired PC and every
+/// committed destination value must match the ISS, and so must the final
+/// register file.
+fn assert_lockstep_equivalence(seed: u64, branchy: bool, cfg: &CoreConfig) -> Result<(), String> {
+    let words = gadget_program(seed, 60, branchy);
+    let mut mem_core = Memory::new();
+    mem_core.load_words(BASE, &words);
+    let mut mem_iss = Memory::new();
+    mem_iss.load_words(BASE, &words);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
+    for off in (0..0x400u64).step_by(8) {
+        let v: u64 = rng.gen();
+        mem_core.write_u64(DATA + off, v);
+        mem_iss.write_u64(DATA + off, v);
+    }
+
+    let mut core = Core::new(cfg.clone(), mem_core, BASE);
+    core.trace.set_enabled(false);
+    core.set_retire_probe(true);
+    let mut iss = Iss::new(mem_iss, BASE);
+
+    let mut retires = 0u64;
+    while !core.halted && core.cycle < 500_000 {
+        core.step();
+        for ev in core.take_retired_log() {
+            retires += 1;
+            let step = iss
+                .step_retire(64)
+                .ok_or_else(|| format!("seed {seed}: ISS stalled at retire #{retires}"))?;
+            if step.pc != ev.pc {
+                return Err(format!(
+                    "seed {seed}: retire #{retires} pc mismatch (core {:#x}, iss {:#x})",
+                    ev.pc, step.pc
+                ));
+            }
+            if let (Some(rd), Some(v)) = (ev.inst.dest(), ev.result) {
+                if iss.reg(rd) != v {
+                    return Err(format!(
+                        "seed {seed}: retire #{retires} pc {:#x} {rd} core={:#x} iss={:#x}",
+                        ev.pc,
+                        v,
+                        iss.reg(rd)
+                    ));
+                }
+            }
+        }
+    }
+    if !core.halted {
+        return Err(format!("seed {seed}: core did not halt"));
+    }
+    core.drain();
+    if !iss.halted {
+        return Err(format!("seed {seed}: ISS did not halt with the core"));
+    }
+    for r in Reg::all() {
+        if core.reg(r) != iss.reg(r) {
+            return Err(format!(
+                "seed {seed}: final {r} core={:#x} iss={:#x}",
+                core.reg(r),
+                iss.reg(r)
+            ));
+        }
+    }
+    if let Some(addr) = core.mem.first_difference(&iss.mem) {
+        return Err(format!("seed {seed}: memory differs at {addr:#x}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Straight-line random gadgets: per-retire equivalence on BOOM.
+    #[test]
+    fn straight_line_gadgets_match_at_every_retire(seed in any::<u64>()) {
+        if let Err(e) = assert_lockstep_equivalence(seed, false, &CoreConfig::boom()) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Branchy random gadgets (forward branches + bounded loops): per-retire
+    /// equivalence on XiangShan, whose speculation quirks are the nastier.
+    #[test]
+    fn branchy_gadgets_match_at_every_retire(seed in any::<u64>()) {
+        if let Err(e) = assert_lockstep_equivalence(seed, true, &CoreConfig::xiangshan()) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// The minimizer never breaks the verdict it is asked to preserve, and
+    /// it removes every step the predicate does not require.
+    #[test]
+    fn minimizer_preserves_arbitrary_verdicts(
+        payload_slots in prop::collection::vec(0usize..30, 1..4),
+        noise in 30usize..60,
+    ) {
+        let mut tc = TestCase::new("prop_min", teesec::paths::AccessPath::LoadL1Hit);
+        for i in 0..noise {
+            if payload_slots.contains(&i) {
+                tc.push(Actor::Host, Step::Load { addr: 0x8030_0000 + i as u64 * 8, width: MemWidth::D });
+            }
+            tc.push(Actor::Host, Step::Nops(1));
+        }
+        let wanted: usize = tc
+            .host_steps
+            .iter()
+            .filter(|s| matches!(s, Step::Load { .. }))
+            .count();
+        let min = minimize_case(&tc, |c| {
+            c.host_steps.iter().filter(|s| matches!(s, Step::Load { .. })).count() == wanted
+        });
+        // Verdict preserved...
+        let kept: usize = min
+            .case
+            .host_steps
+            .iter()
+            .filter(|s| matches!(s, Step::Load { .. }))
+            .count();
+        prop_assert_eq!(kept, wanted);
+        // ...and nothing superfluous survives.
+        prop_assert_eq!(min.final_steps, wanted);
+    }
+}

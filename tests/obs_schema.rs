@@ -12,7 +12,8 @@
 
 use std::collections::BTreeMap;
 
-use teesec::engine::{EngineEvent, EngineMetrics, ObsMetrics};
+use teesec::diff::DiffVerdict;
+use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, ObsMetrics};
 use teesec_obs::Histogram;
 use teesec_uarch::{CoreConfig, Structure, StructureCounters, UarchCounters};
 
@@ -56,6 +57,13 @@ fn sample_metrics() -> EngineMetrics {
         cases_per_worker: vec![2, 1],
         wall_us: 9876,
         obs: Some(obs),
+        diff: Some(DiffMetrics {
+            cases_compared: 2,
+            matches: 1,
+            divergences: 0,
+            skipped: 1,
+            retires_compared: 400,
+        }),
     }
 }
 
@@ -87,6 +95,14 @@ fn sample_events() -> Vec<EngineEvent> {
             seq: 0,
             case: "exp_load_l1_hit__case".into(),
             counters: sample_counters(),
+        },
+        EngineEvent::CaseDiff {
+            seq: 0,
+            case: "exp_load_l1_hit__case".into(),
+            verdict: DiffVerdict::Match {
+                retires: 400,
+                cycles: 1234,
+            },
         },
         EngineEvent::CaseQuarantined {
             seq: 1,
@@ -141,6 +157,7 @@ fn every_variant_is_covered_by_the_fixture() {
             | EngineEvent::CaseStarted { .. }
             | EngineEvent::CaseFinished { .. }
             | EngineEvent::CaseCounters { .. }
+            | EngineEvent::CaseDiff { .. }
             | EngineEvent::CaseQuarantined { .. }
             | EngineEvent::CampaignFinished { .. } => {}
         }
@@ -150,6 +167,7 @@ fn every_variant_is_covered_by_the_fixture() {
         "CaseStarted",
         "CaseFinished",
         "CaseCounters",
+        "CaseDiff",
         "CaseQuarantined",
         "CampaignFinished",
     ];
@@ -188,6 +206,10 @@ fn engine_metrics_without_obs_still_parse() {
         "cases_per_worker":[2,1],"wall_us":9876}"#;
     let back: EngineMetrics = serde_json::from_str(legacy).expect("legacy metrics parse");
     assert_eq!(back.obs, None);
+    assert_eq!(
+        back.diff, None,
+        "pre-diff-era metrics parse with diff: None"
+    );
     assert_eq!(back.cases_total, 3);
 
     // And an explicit null round-trips to None too.
