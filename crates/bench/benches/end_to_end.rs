@@ -1,0 +1,87 @@
+//! End-to-end pipeline comparison for the PR 4 streaming/snapshot work:
+//! the same corpus executed through (a) the batch pipeline (buffer the
+//! whole trace, then scan it), (b) the streaming checker (online scan,
+//! no trace buffering), and (c) streaming plus the copy-on-write
+//! platform-snapshot cache (setup prefix forked instead of rebuilt).
+//!
+//! Two campaign shapes:
+//!
+//! - `end_to_end`: the fuzzer's mixed corpus, where cases mostly carry
+//!   distinct programs (the cache can only share boot work);
+//! - `irq_sweep`: a Figure 6-style interrupt-timing sweep, where every
+//!   case shares the setup-gadget prefix and only the interrupt cycle
+//!   varies — the scenario the setup-prefix checkpoint exists for.
+//!
+//! The numbers behind `BENCH_pr4.json` come from this bench.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use teesec::assemble::{assemble_case, CaseParams};
+use teesec::campaign::PhaseTiming;
+use teesec::engine::{Engine, EngineOptions};
+use teesec::fuzz::Fuzzer;
+use teesec::{AccessPath, TestCase};
+use teesec_uarch::CoreConfig;
+
+const CORPUS: usize = 32;
+
+fn variants() -> [(&'static str, EngineOptions); 3] {
+    [
+        ("batch", EngineOptions::default()),
+        (
+            "streaming",
+            EngineOptions {
+                streaming: true,
+                ..EngineOptions::default()
+            },
+        ),
+        (
+            "streaming_snapshot",
+            EngineOptions {
+                streaming: true,
+                snapshot_cache: true,
+                ..EngineOptions::default()
+            },
+        ),
+    ]
+}
+
+fn run_group(c: &mut Criterion, name: &str, cfg: &CoreConfig, corpus: &[TestCase]) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(corpus.len() as u64));
+    for (variant, opts) in variants() {
+        g.bench_function(variant, |b| {
+            b.iter(|| {
+                Engine::new(cfg.clone(), opts.clone()).run_corpus(corpus, PhaseTiming::default())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = CoreConfig::boom();
+    let corpus = Fuzzer::with_target(CORPUS).generate(&cfg);
+    run_group(c, "end_to_end", &cfg, &corpus);
+}
+
+fn bench_irq_sweep(c: &mut Criterion) {
+    let cfg = CoreConfig::boom();
+    let corpus: Vec<TestCase> = (0..CORPUS as u64)
+        .map(|k| {
+            let params = CaseParams {
+                restricted_counters: true,
+                irq_at: Some(2_000 + 37 * k),
+                ..CaseParams::default()
+            };
+            let mut tc = assemble_case(AccessPath::HpcRead, params, &cfg).expect("sweep case");
+            tc.name = format!("{}_irq{k}", tc.name);
+            tc
+        })
+        .collect();
+    run_group(c, "irq_sweep", &cfg, &corpus);
+}
+
+criterion_group!(benches, bench_end_to_end, bench_irq_sweep);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! teesec explain <gadget> [--design D]     # leak provenance chains
 //! teesec campaign [--design D] [--cases N] [--output FILE]
 //!                 [--events FILE] [--metrics-out FILE] [--diff]
+//!                 [--streaming on|off] [--snapshot-cache on|off]
 //! teesec matrix  [--cases N]               # the Table 3 matrix
 //! teesec diff    [gadget ...] [--design D] [--cases N] [--stride N]
 //!                [--output FILE]           # core-vs-ISS lockstep oracle
@@ -40,6 +41,7 @@ fn usage() -> ExitCode {
          teesec explain <access-gadget> [--design boom|xiangshan]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
          \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet] [--diff]\n  \
+         \x20               [--streaming on|off] [--snapshot-cache on|off]  (both default on)\n  \
          teesec matrix [--cases N]\n  \
          teesec diff [gadget ...] [--design boom|xiangshan] [--cases N] [--stride N] [--output FILE]\n  \
          teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]"
@@ -60,9 +62,22 @@ struct Opts {
     case_cycle_budget: Option<u64>,
     quiet: bool,
     diff: bool,
+    streaming: bool,
+    snapshot_cache: bool,
     stride: u64,
     seeds: usize,
     positional: Vec<String>,
+}
+
+fn parse_onoff(v: &str) -> Option<bool> {
+    match v {
+        "on" => Some(true),
+        "off" => Some(false),
+        other => {
+            eprintln!("expected `on` or `off`, got `{other}`");
+            None
+        }
+    }
 }
 
 fn parse(args: &[String]) -> Option<Opts> {
@@ -81,6 +96,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         case_cycle_budget: None,
         quiet: false,
         diff: false,
+        streaming: true,
+        snapshot_cache: true,
         stride: 1,
         seeds: 6,
         positional: Vec::new(),
@@ -134,6 +151,14 @@ fn parse(args: &[String]) -> Option<Opts> {
             }
             "--quiet" => o.quiet = true,
             "--diff" => o.diff = true,
+            "--streaming" => {
+                i += 1;
+                o.streaming = parse_onoff(args.get(i)?)?;
+            }
+            "--snapshot-cache" => {
+                i += 1;
+                o.snapshot_cache = parse_onoff(args.get(i)?)?;
+            }
             "--stride" => {
                 i += 1;
                 o.stride = args.get(i)?.parse().ok()?;
@@ -421,6 +446,8 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
             stride: opts.stride,
             ..DiffOptions::default()
         }),
+        streaming: opts.streaming,
+        snapshot_cache: opts.snapshot_cache,
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
@@ -436,6 +463,12 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         println!(
             "  diff oracle: {} matched, {} diverged, {} skipped ({} retires compared)",
             diff.matches, diff.divergences, diff.skipped, diff.retires_compared
+        );
+    }
+    if let Some(snap) = metrics.snapshot.as_ref() {
+        println!(
+            "  snapshot cache: {} hits, {} misses, {} bypasses",
+            snap.hits, snap.misses, snap.bypasses
         );
     }
     if let Some(obs) = metrics.obs.as_ref() {

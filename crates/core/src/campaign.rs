@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use teesec_uarch::config::CoreConfig;
 
-use crate::engine::{execute_case, Engine, EngineMetrics, EngineOptions};
+use crate::engine::{execute_case, Engine, EngineMetrics, EngineOptions, ExecOptions};
 use crate::fuzz::Fuzzer;
 use crate::paths::AccessPath;
 use crate::plan::VerificationPlan;
@@ -188,7 +188,14 @@ impl Campaign {
         let mut classes_found = BTreeSet::new();
         let mut reports = Vec::new();
         for tc in &corpus {
-            let exec = execute_case(tc, &self.cfg, self.keep_reports, None, false);
+            let exec = execute_case(
+                tc,
+                &self.cfg,
+                ExecOptions {
+                    keep_report: self.keep_reports,
+                    ..ExecOptions::default()
+                },
+            );
             timing.simulate_us += exec.build_us + exec.simulate_us;
             timing.check_us += exec.check_us;
             classes_found.extend(exec.result.classes.iter().copied());

@@ -3,10 +3,8 @@
 //! principles, classifying each finding into the paper's D1–D8 / M1–M2
 //! cases (paper §4.3).
 
-use std::collections::BTreeSet;
-
 use teesec_uarch::config::CoreConfig;
-use teesec_uarch::trace::{Domain, FillPurpose, Structure, TraceEventKind};
+use teesec_uarch::trace::{Domain, FillPurpose, Structure};
 
 use crate::report::{CheckReport, Finding, LeakClass, Principle};
 use crate::runner::RunOutcome;
@@ -14,7 +12,7 @@ use crate::secret::SecretCatalog;
 use crate::testcase::TestCase;
 
 /// `true` when `observer` is allowed to see data owned by `owner`.
-fn authorized(owner: Domain, observer: Domain) -> bool {
+pub(crate) fn authorized(owner: Domain, observer: Domain) -> bool {
     if observer == Domain::SecurityMonitor {
         return true; // the monitor is in every domain's TCB
     }
@@ -28,7 +26,11 @@ fn authorized(owner: Domain, observer: Domain) -> bool {
 /// Classifies a register-file leak by direction (paper Table 3).
 /// `sb_forwarded` marks a value the store buffer supplied (case D8's
 /// mechanism) rather than the cache hierarchy.
-fn classify_rf(owner: Domain, observer: Domain, sb_forwarded: bool) -> Option<LeakClass> {
+pub(crate) fn classify_rf(
+    owner: Domain,
+    observer: Domain,
+    sb_forwarded: bool,
+) -> Option<LeakClass> {
     match (owner, observer) {
         (Domain::SecurityMonitor, _) => Some(LeakClass::D5),
         (Domain::Enclave(_), Domain::Untrusted) => {
@@ -54,27 +56,41 @@ fn classify_lfb(purpose: FillPurpose) -> Option<LeakClass> {
     }
 }
 
+/// The deduplication key for a finding: one finding per
+/// (class, structure, secret, observer, principle) combination.
+pub(crate) fn finding_key(f: &Finding) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}",
+        f.class,
+        f.structure,
+        f.secret.map(|s| s.addr),
+        f.observer,
+        f.principle
+    )
+}
+
 /// Runs the full analysis for one executed test case.
+///
+/// The trace scan is the same state machine the streaming checker runs
+/// online ([`crate::stream::StreamingChecker`]) — batch drives it over the
+/// buffered trace here, so both pipelines yield identical findings by
+/// construction.
 pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> CheckReport {
     let mut secrets = tc.secrets.clone();
     secrets.reindex();
-    let mut findings = Vec::new();
-    let mut dedup: BTreeSet<String> = BTreeSet::new();
+
+    let counters = outcome.platform.core.config.hpm_counters;
+    let mut scan = crate::stream::ScanState::new(tc.mcounteren, counters, secrets.clone());
+    for e in outcome.platform.core.trace.events() {
+        scan.on_event(e);
+    }
+    let (mut findings, mut dedup) = scan.into_findings();
+
     let mut push = |findings: &mut Vec<Finding>, f: Finding| {
-        let key = format!(
-            "{:?}|{:?}|{:?}|{:?}|{:?}",
-            f.class,
-            f.structure,
-            f.secret.map(|s| s.addr),
-            f.observer,
-            f.principle
-        );
-        if dedup.insert(key) {
+        if dedup.insert(finding_key(&f)) {
             findings.push(f);
         }
     };
-
-    scan_trace(tc, outcome, &secrets, &mut findings, &mut push);
     scan_snapshot(tc, outcome, &secrets, &mut findings, &mut push);
 
     let mut report = CheckReport {
@@ -88,203 +104,9 @@ pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> Chec
     report
 }
 
-fn scan_trace(
-    tc: &TestCase,
-    outcome: &RunOutcome,
-    secrets: &SecretCatalog,
-    findings: &mut Vec<Finding>,
-    push: &mut impl FnMut(&mut Vec<Finding>, Finding),
-) {
-    let trace = &outcome.platform.core.trace;
-    let counters = outcome.platform.core.config.hpm_counters;
-    let mut tainted = vec![false; counters];
-    // (cycle, value) of transient privileged counter reads (Figure 6).
-    let mut transient_reads: Vec<(u64, u64)> = Vec::new();
-    // Values the store buffer forwarded to loads (D8's mechanism); secrets
-    // are high-entropy hashes, so value identity is conclusive.
-    let sb_forwarded: std::collections::HashSet<u64> = trace
-        .events()
-        .iter()
-        .filter_map(|e| match (&e.structure, &e.kind) {
-            (Structure::StoreBuffer, TraceEventKind::Read { value, .. }) => Some(*value),
-            _ => None,
-        })
-        .collect();
-
-    for e in trace.events() {
-        match (&e.structure, &e.kind) {
-            // ---- P1: verbatim secrets in the register file -----------------
-            (Structure::RegFile, TraceEventKind::Write { value, .. }) => {
-                if let Some(rec) = secrets.identify(*value) {
-                    if !authorized(rec.owner, e.domain) {
-                        let class = classify_rf(rec.owner, e.domain, sb_forwarded.contains(value));
-                        push(
-                            findings,
-                            Finding {
-                                class,
-                                principle: Principle::P1,
-                                structure: Structure::RegFile,
-                                cycle: e.cycle,
-                                pc: e.pc,
-                                secret: Some(rec),
-                                observer: e.domain,
-                                detail: format!(
-                                    "secret written back to the register file in {:?} domain \
-                                 (owner {:?})",
-                                    e.domain, rec.owner
-                                ),
-                            },
-                        );
-                    }
-                }
-            }
-            // ---- P1: secrets arriving in fill buffers / caches -------------
-            (
-                s @ (Structure::Lfb | Structure::L1d | Structure::L2),
-                TraceEventKind::Fill {
-                    addr,
-                    data,
-                    purpose,
-                },
-            ) => {
-                for (off, rec) in secrets.scan_bytes(data) {
-                    if authorized(rec.owner, e.domain) {
-                        continue;
-                    }
-                    // In-trace fills classify D1/D2 (the data should never
-                    // have been fetched). StoreRefill classifies as D3 only
-                    // when it *persists* into the snapshot — the transient
-                    // arrival during the scrub itself is not the violation.
-                    let class = if *s == Structure::Lfb {
-                        match purpose {
-                            FillPurpose::Prefetch => Some(LeakClass::D1),
-                            FillPurpose::PageWalk => Some(LeakClass::D2),
-                            _ => None,
-                        }
-                    } else {
-                        None
-                    };
-                    push(
-                        findings,
-                        Finding {
-                            class,
-                            principle: Principle::P1,
-                            structure: *s,
-                            cycle: e.cycle,
-                            pc: e.pc,
-                            secret: Some(rec),
-                            observer: e.domain,
-                            detail: format!(
-                                "{:?}-initiated fill of line {:#x} carried the secret at byte \
-                             offset {off} while executing in {:?} domain",
-                                purpose, addr, e.domain
-                            ),
-                        },
-                    );
-                }
-            }
-            // ---- P2: performance counters ---------------------------------
-            (Structure::Hpc, TraceEventKind::CounterBump { event }) => {
-                let i = event.counter_index();
-                if i < tainted.len() && e.domain.is_trusted() {
-                    tainted[i] = true;
-                }
-            }
-            (Structure::Hpc, TraceEventKind::Flush) => {
-                tainted.iter_mut().for_each(|t| *t = false);
-            }
-            (Structure::Hpc, TraceEventKind::Write { index, value, .. }) if *value == 0 => {
-                if let Some(t) = tainted.get_mut(*index as usize) {
-                    *t = false;
-                }
-            }
-            (Structure::Hpc, TraceEventKind::Read { index, value }) => {
-                let i = *index as usize;
-                if e.domain == Domain::Untrusted && i < tainted.len() && tainted[i] && *value > 0 {
-                    push(
-                        findings,
-                        Finding {
-                            class: Some(LeakClass::M1),
-                            principle: Principle::P2,
-                            structure: Structure::Hpc,
-                            cycle: e.cycle,
-                            pc: e.pc,
-                            secret: None,
-                            observer: e.domain,
-                            detail: format!(
-                                "hpmcounter{} read {} events accumulated during trusted \
-                             execution; counters are not reset at enclave boundaries",
-                                i + 3,
-                                value
-                            ),
-                        },
-                    );
-                }
-                // Privileged-counter transient read (the mcounteren=0
-                // configuration of Figure 6): the read should have been
-                // rejected, yet a value reached the register file.
-                if tc.mcounteren == 0
-                    && e.priv_level != teesec_isa::priv_level::PrivLevel::Machine
-                    && *value > 0
-                {
-                    transient_reads.push((e.cycle, *value));
-                }
-            }
-            // ---- P2 (Figure 6 tail): counter value spilled via the store
-            // buffer by an interrupt context save ---------------------------
-            (Structure::StoreBuffer, TraceEventKind::Write { value, .. }) => {
-                if transient_reads
-                    .iter()
-                    .any(|&(c, v)| v == *value && e.cycle >= c)
-                {
-                    push(
-                        findings,
-                        Finding {
-                            class: Some(LeakClass::M1),
-                            principle: Principle::P2,
-                            structure: Structure::StoreBuffer,
-                            cycle: e.cycle,
-                            pc: e.pc,
-                            secret: None,
-                            observer: Domain::Untrusted,
-                            detail: format!(
-                                "transiently-read privileged counter value {value:#x} entered \
-                             the store buffer through an interrupt context save and is \
-                             exposed to store-buffer forwarding"
-                            ),
-                        },
-                    );
-                }
-                // Also: verbatim secrets entering the store buffer outside
-                // their owner's domain (enclave stores drain under host
-                // execution are authorized — owner wrote them).
-                if let Some(rec) = secrets.identify(*value) {
-                    if !authorized(rec.owner, e.domain) {
-                        push(
-                            findings,
-                            Finding {
-                                class: None,
-                                principle: Principle::P1,
-                                structure: Structure::StoreBuffer,
-                                cycle: e.cycle,
-                                pc: e.pc,
-                                secret: Some(rec),
-                                observer: e.domain,
-                                detail: "secret value written into the store buffer outside \
-                                     its owner's domain"
-                                    .into(),
-                            },
-                        );
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    let _ = tc;
-}
-
-fn scan_snapshot(
+/// Scans the end-of-run microarchitectural snapshot for residues
+/// (shared by the batch pipeline and the streaming checker's finalize).
+pub(crate) fn scan_snapshot(
     tc: &TestCase,
     outcome: &RunOutcome,
     secrets: &SecretCatalog,

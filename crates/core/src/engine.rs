@@ -39,7 +39,8 @@ use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
 use crate::checker::check_case;
 use crate::diff::{diff_case, DiffOptions, DiffVerdict};
 use crate::report::CheckReport;
-use crate::runner::run_case_budgeted;
+use crate::runner::{run_case_opts, RunOptions, SnapshotCache, SnapshotCacheMetrics};
+use crate::stream::StreamingChecker;
 use crate::testcase::TestCase;
 
 /// Tuning knobs for one engine run.
@@ -66,6 +67,16 @@ pub struct EngineOptions {
     /// [`DiffMetrics`] into [`EngineMetrics::diff`]. Off by default:
     /// diffing re-simulates each case on both machines.
     pub diff: Option<DiffOptions>,
+    /// Check each case *online* with a [`StreamingChecker`] fed from a
+    /// trace sink, with trace buffering disabled — same report as the
+    /// batch pipeline (proven by the `stream_equivalence` suite), but peak
+    /// retained trace events stay O(boot prefix) instead of O(cycles).
+    pub streaming: bool,
+    /// Share one [`SnapshotCache`] across workers so cases with the same
+    /// setup configuration fork a copy-on-write boot snapshot instead of
+    /// re-assembling and re-simulating the SM boot. Hit/miss/bypass
+    /// counters land in [`EngineMetrics::snapshot`].
+    pub snapshot_cache: bool,
 }
 
 /// A thread-safe JSONL sink for [`EngineEvent`]s.
@@ -271,6 +282,10 @@ pub struct EngineMetrics {
     /// Differential-oracle aggregates. `Some` iff
     /// [`EngineOptions::diff`] was set.
     pub diff: Option<DiffMetrics>,
+    /// Snapshot-cache hit/miss/bypass counters. `Some` iff
+    /// [`EngineOptions::snapshot_cache`] was on. Absent in event streams
+    /// recorded before the field existed (deserializes to `None`).
+    pub snapshot: Option<SnapshotCacheMetrics>,
 }
 
 /// Aggregate differential-oracle outcomes for one engine run.
@@ -376,16 +391,27 @@ pub(crate) struct CaseExecution {
     pub diff: Option<DiffVerdict>,
 }
 
+/// Per-case execution knobs for [`execute_case`] (the engine-independent
+/// subset of [`EngineOptions`], plus the shared snapshot cache).
+#[derive(Default, Clone, Copy)]
+pub(crate) struct ExecOptions<'c> {
+    pub keep_report: bool,
+    pub budget: Option<u64>,
+    pub counters: bool,
+    pub streaming: bool,
+    pub snapshot_cache: Option<&'c SnapshotCache>,
+}
+
 /// Builds, simulates, and checks `tc`, quarantining build errors and
 /// panics into `CaseResult::error` instead of propagating them. When
-/// `counters` is set, the finished core's microarchitectural counter
-/// digest is harvested into [`CaseExecution::counters`].
+/// `opts.counters` is set, the finished core's microarchitectural counter
+/// digest is harvested into [`CaseExecution::counters`]. With
+/// `opts.streaming`, checking happens online in a trace sink and the
+/// check phase shrinks to the finalize step.
 pub(crate) fn execute_case(
     tc: &TestCase,
     cfg: &CoreConfig,
-    keep_report: bool,
-    budget: Option<u64>,
-    counters: bool,
+    opts: ExecOptions<'_>,
 ) -> CaseExecution {
     let quarantined = |error: String| CaseExecution {
         result: CaseResult {
@@ -408,7 +434,20 @@ pub(crate) fn execute_case(
     };
 
     let t_sim = Instant::now();
-    let outcome = match catch_unwind(AssertUnwindSafe(|| run_case_budgeted(tc, cfg, budget))) {
+    let mut outcome = match catch_unwind(AssertUnwindSafe(|| {
+        run_case_opts(
+            tc,
+            cfg,
+            RunOptions {
+                budget: opts.budget,
+                snapshot_cache: opts.snapshot_cache,
+                sink: opts
+                    .streaming
+                    .then(|| Box::new(StreamingChecker::new(tc, cfg)) as _),
+                buffer_trace: !opts.streaming,
+            },
+        )
+    })) {
         Ok(Ok(outcome)) => outcome,
         Ok(Err(build)) => return quarantined(format!("build error: {build}")),
         Err(panic) => return quarantined(format!("panic: {}", panic_message(&panic))),
@@ -417,12 +456,21 @@ pub(crate) fn execute_case(
     let simulate_us = t_sim.elapsed().as_micros().saturating_sub(build_us);
 
     let t_chk = Instant::now();
-    let report = match catch_unwind(AssertUnwindSafe(|| check_case(tc, &outcome, cfg))) {
+    let streamed: Option<Box<StreamingChecker>> = outcome
+        .platform
+        .core
+        .trace
+        .take_sink()
+        .and_then(|s| s.into_any().downcast::<StreamingChecker>().ok());
+    let report = match catch_unwind(AssertUnwindSafe(|| match streamed {
+        Some(checker) => checker.finish(tc, &outcome),
+        None => check_case(tc, &outcome, cfg),
+    })) {
         Ok(report) => report,
         Err(panic) => return quarantined(format!("checker panic: {}", panic_message(&panic))),
     };
     let check_us = t_chk.elapsed().as_micros();
-    let counters = counters.then(|| outcome.platform.core.counters());
+    let counters = opts.counters.then(|| outcome.platform.core.counters());
 
     let mut findings_by_structure = BTreeMap::new();
     for f in &report.findings {
@@ -431,7 +479,7 @@ pub(crate) fn execute_case(
             .or_insert(0) += 1;
     }
     let budget_exceeded =
-        outcome.exit == RunExit::CycleLimit && budget.is_some_and(|b| b < tc.max_cycles);
+        outcome.exit == RunExit::CycleLimit && opts.budget.is_some_and(|b| b < tc.max_cycles);
     CaseExecution {
         result: CaseResult {
             name: tc.name.clone(),
@@ -442,7 +490,7 @@ pub(crate) fn execute_case(
             finding_count: report.findings.len(),
             error: None,
         },
-        report: keep_report.then_some(report),
+        report: opts.keep_report.then_some(report),
         findings_by_structure,
         budget_exceeded,
         build_us,
@@ -520,6 +568,7 @@ impl Engine {
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let quarantined_ctr = AtomicUsize::new(0);
+        let snapshot_cache = self.opts.snapshot_cache.then(SnapshotCache::new);
         let mut per_worker: Vec<Vec<(usize, CaseExecution)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -529,6 +578,7 @@ impl Engine {
                 let quarantined_ctr = &quarantined_ctr;
                 let opts = &self.opts;
                 let cfg = &self.cfg;
+                let snapshot_cache = snapshot_cache.as_ref();
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -544,9 +594,13 @@ impl Engine {
                         let mut exec = execute_case(
                             tc,
                             cfg,
-                            opts.keep_reports,
-                            opts.case_cycle_budget,
-                            opts.counters,
+                            ExecOptions {
+                                keep_report: opts.keep_reports,
+                                budget: opts.case_cycle_budget,
+                                counters: opts.counters,
+                                streaming: opts.streaming,
+                                snapshot_cache,
+                            },
                         );
                         if let Some(diff_opts) = &opts.diff {
                             if exec.result.error.is_none() {
@@ -608,6 +662,7 @@ impl Engine {
                 .counters
                 .then(|| ObsMetrics::for_design(&self.cfg)),
             diff: self.opts.diff.is_some().then(DiffMetrics::default),
+            snapshot: snapshot_cache.as_ref().map(SnapshotCache::metrics),
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);

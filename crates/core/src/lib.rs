@@ -67,6 +67,7 @@ pub mod report;
 pub mod runner;
 pub mod secret;
 pub mod simlog;
+pub mod stream;
 pub mod testcase;
 
 pub use campaign::{Campaign, CampaignResult};
@@ -83,5 +84,6 @@ pub use paths::AccessPath;
 pub use plan::VerificationPlan;
 pub use provenance::{ProvenanceChain, ProvenanceHop};
 pub use report::{CheckReport, Finding, LeakClass, Principle};
-pub use runner::run_case;
+pub use runner::{run_case, run_case_opts, RunOptions, SnapshotCache, SnapshotCacheMetrics};
+pub use stream::StreamingChecker;
 pub use testcase::TestCase;

@@ -85,6 +85,27 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         "Wall-clock time of the execute+check stage, microseconds",
     );
 
+    if let Some(snapshot) = &engine.snapshot {
+        snap.counter(
+            "teesec_snapshot_cache_hits_total",
+            &[("design", design)],
+            snapshot.hits,
+            "Cases built by forking a cached copy-on-write platform snapshot",
+        );
+        snap.counter(
+            "teesec_snapshot_cache_misses_total",
+            &[("design", design)],
+            snapshot.misses,
+            "Cases that captured a fresh snapshot for their setup configuration",
+        );
+        snap.counter(
+            "teesec_snapshot_cache_bypasses_total",
+            &[("design", design)],
+            snapshot.bypasses,
+            "Cases built from scratch because snapshotting does not apply",
+        );
+    }
+
     if let Some(diff) = &engine.diff {
         snap.counter(
             "teesec_diff_cases_compared_total",
@@ -318,6 +339,24 @@ mod tests {
         assert!(prom.contains("teesec_diff_cases_compared_total"));
         assert!(prom.contains("teesec_diff_divergences_total{design=\"boom\"} 0"));
         assert!(prom.contains("teesec_diff_retires_compared_total"));
+    }
+
+    #[test]
+    fn snapshot_cache_metrics_land_in_the_snapshot() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(6));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            threads: 2,
+            streaming: true,
+            snapshot_cache: true,
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_snapshot_cache_hits_total"));
+        assert!(prom.contains("teesec_snapshot_cache_misses_total"));
+        assert!(prom.contains("teesec_snapshot_cache_bypasses_total"));
+        let m = result.engine.unwrap().snapshot.expect("cache metrics on");
+        assert_eq!((m.hits + m.misses + m.bypasses) as usize, result.case_count);
     }
 
     #[test]

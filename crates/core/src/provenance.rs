@@ -116,7 +116,7 @@ fn carries_secret(e: &TraceEvent, value: u64, secrets: &SecretCatalog) -> bool {
     }
 }
 
-fn event_verb(kind: &TraceEventKind) -> &'static str {
+pub(crate) fn event_verb(kind: &TraceEventKind) -> &'static str {
     match kind {
         TraceEventKind::Fill { .. } => "fill carried the secret",
         TraceEventKind::Write { .. } => "write installed the secret",

@@ -1,11 +1,35 @@
 //! Lowers test cases onto the Keystone platform and executes them on the
 //! cycle-driven core — the "RTL simulation" phase of the framework.
+//!
+//! Three execution paths exist:
+//!
+//! - **fresh**: assemble the security monitor, build page tables, and
+//!   simulate the SM boot from reset for every case;
+//! - **boot-forked**: cases sharing a boot configuration fork a
+//!   copy-on-write [`PlatformSnapshot`] captured once per configuration
+//!   just before the first host fetch ([`SnapshotCache`]), skipping the
+//!   SM assembly, page-table build, and boot simulation entirely;
+//! - **prefix-forked**: interrupt-timing sweep cases — identical except
+//!   for the cycle their external interrupt lands — fork a checkpoint of
+//!   the fully built platform *run up to the first interrupt candidate*,
+//!   skipping the shared setup-gadget prefix's simulation entirely and
+//!   re-simulating only the post-interrupt tail.
+//!
+//! All paths produce cycle-exact identical platforms (asserted by the
+//! `stream_equivalence` suite), so callers opt in purely for speed.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
 
 use teesec_tee::layout;
-use teesec_tee::platform::{BuildError, HostVm, Platform};
+use teesec_tee::platform::{BuildError, HostVm, Platform, PlatformBuilder, PlatformSnapshot};
 use teesec_tee::sm::SmOptions;
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::core::RunExit;
+use teesec_uarch::trace::TraceSink;
 
 use crate::testcase::{lower_steps, TestCase};
 
@@ -45,10 +69,75 @@ pub fn run_case_budgeted(
     cfg: &CoreConfig,
     budget: Option<u64>,
 ) -> Result<RunOutcome, BuildError> {
+    run_case_opts(
+        tc,
+        cfg,
+        RunOptions {
+            budget,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Execution options for [`run_case_opts`].
+pub struct RunOptions<'c> {
+    /// Simulated-cycle watchdog (see [`run_case_budgeted`]).
+    pub budget: Option<u64>,
+    /// Fork the platform from a shared boot snapshot when one applies.
+    pub snapshot_cache: Option<&'c SnapshotCache>,
+    /// Trace sink receiving every event online (e.g. a
+    /// [`StreamingChecker`](crate::stream::StreamingChecker)). When the
+    /// platform is snapshot-forked, events already simulated before the
+    /// fork are replayed into the sink first, so it observes the exact
+    /// sequence a fresh run would have produced.
+    pub sink: Option<Box<dyn TraceSink>>,
+    /// Keep buffering trace events in memory. Disable for streaming runs:
+    /// the sink still sees every event, but peak retained events stay
+    /// O(boot prefix) instead of O(simulated cycles).
+    pub buffer_trace: bool,
+}
+
+impl Default for RunOptions<'_> {
+    fn default() -> Self {
+        RunOptions {
+            budget: None,
+            snapshot_cache: None,
+            sink: None,
+            buffer_trace: true,
+        }
+    }
+}
+
+/// [`run_case`] with full control over budget, snapshot reuse, and
+/// streaming ([`RunOptions`]).
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] exactly as [`run_case`] does.
+pub fn run_case_opts(
+    tc: &TestCase,
+    cfg: &CoreConfig,
+    mut opts: RunOptions<'_>,
+) -> Result<RunOutcome, BuildError> {
     let build_start = std::time::Instant::now();
-    let mut platform = build_platform(tc, cfg)?;
+    let limit = opts.budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
+    let mut platform = match opts.snapshot_cache {
+        Some(cache) => cache.platform_for(tc, cfg, limit)?,
+        None => case_builder(tc, cfg).build()?,
+    };
+    if let Some(mut sink) = opts.sink.take() {
+        // A forked platform's buffer already holds the boot-prefix events
+        // (a fresh build's is empty): replay them so the sink sees the
+        // full event sequence from reset.
+        for e in platform.core.trace.events() {
+            sink.on_event(e);
+        }
+        platform.core.trace.set_sink(sink);
+    }
+    if !opts.buffer_trace {
+        platform.core.trace.set_buffering(false);
+    }
     let build_us = build_start.elapsed().as_micros();
-    let limit = budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
     let exit = platform.run(limit);
     let cycles = platform.core.cycle;
     Ok(RunOutcome {
@@ -57,6 +146,273 @@ pub fn run_case_budgeted(
         cycles,
         build_us,
     })
+}
+
+/// Hit/miss/bypass counters of a [`SnapshotCache`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotCacheMetrics {
+    /// Cases that forked an existing checkpoint (boot or setup-prefix).
+    pub hits: u64,
+    /// Cases that captured a new checkpoint (first case per
+    /// configuration or sweep family).
+    pub misses: u64,
+    /// Cases that fell back to a fresh build (checkpointing inapplicable:
+    /// an external interrupt scheduled inside the boot prefix, or a
+    /// capture failure for the configuration).
+    pub bypasses: u64,
+}
+
+/// Retained setup-prefix checkpoints are bounded: each holds a
+/// copy-on-write platform (shared pages plus the buffered prefix trace),
+/// so the cache evicts the oldest sweep family beyond this many.
+const PREFIX_CAP: usize = 64;
+
+/// A keyed cache of copy-on-write platform checkpoints, shared across
+/// engine workers (interior mutability; take a `&SnapshotCache` per
+/// worker). Two tiers:
+///
+/// - **Boot snapshots**, keyed by everything the boot prefix depends on:
+///   the design name plus the setup knobs lowered into the security
+///   monitor image and host page tables — `(design, host_sv39,
+///   mcounteren, sm_clear_hpcs, irq enabled)`. Everything else a case
+///   varies (host/enclave programs, secret seeds, the interrupt cycle) is
+///   applied *after* the fork by [`PlatformBuilder::build_from`].
+/// - **Setup-prefix checkpoints** for interrupt-timing sweeps, keyed by
+///   the design name plus the *entire case minus its interrupt cycle*
+///   (name, access path and cycle budget are execution-irrelevant and
+///   canonicalized out). The first case of a sweep family builds the full
+///   platform, simulates the shared setup prefix up to one cycle before
+///   its interrupt, and checkpoints there; every sibling whose interrupt
+///   lands later forks the checkpoint and re-simulates only the tail.
+#[derive(Debug, Default)]
+pub struct SnapshotCache {
+    boots: Mutex<HashMap<BootKey, Option<Arc<PlatformSnapshot>>>>,
+    prefixes: Mutex<PrefixMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+type BootKey = (String, bool, u64, bool, bool);
+type PrefixKey = (String, String);
+
+/// Insertion-ordered map of setup-prefix checkpoints (`None` marks a
+/// family whose capture failed, so siblings skip straight to tier two).
+#[derive(Debug, Default)]
+struct PrefixMap {
+    entries: HashMap<PrefixKey, Option<Arc<PrefixSnapshot>>>,
+    order: VecDeque<PrefixKey>,
+}
+
+/// A fully built platform checkpointed mid-run, after the setup-gadget
+/// prefix shared by an interrupt-timing sweep family.
+#[derive(Debug)]
+struct PrefixSnapshot {
+    platform: Platform,
+    /// The cycle the checkpoint was taken at. Forking is sound only for
+    /// interrupts scheduled strictly later: before this cycle the
+    /// captured execution and a fresh run are indistinguishable.
+    prefix_cycles: u64,
+}
+
+impl SnapshotCache {
+    /// Creates an empty cache.
+    pub fn new() -> SnapshotCache {
+        SnapshotCache::default()
+    }
+
+    /// Current counter values.
+    pub fn metrics(&self) -> SnapshotCacheMetrics {
+        SnapshotCacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Produces a ready-to-run platform for `tc`, forking the deepest
+    /// applicable checkpoint (setup-prefix, then boot) and falling back
+    /// to a fresh build. Exactly one of hits/misses/bypasses is counted
+    /// per call, so the three always sum to the number of cases run.
+    fn platform_for(
+        &self,
+        tc: &TestCase,
+        cfg: &CoreConfig,
+        limit: u64,
+    ) -> Result<Platform, BuildError> {
+        // Tier one: setup-prefix checkpoints for interrupt-timing sweeps.
+        // Only sound when the interrupt lands strictly inside the cycle
+        // budget — otherwise a fresh run would hit the limit first.
+        if let Some(at) = tc.irq_at.filter(|&at| at > 0 && at - 1 < limit) {
+            let key: PrefixKey = (cfg.name.clone(), prefix_fingerprint(tc));
+            let cached = {
+                let map = self.prefixes.lock().expect("prefix cache poisoned");
+                map.entries.get(&key).cloned()
+            };
+            match cached {
+                Some(Some(snap)) if at > snap.prefix_cycles => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    let mut platform = snap.platform.clone();
+                    platform.core.schedule_external_interrupt(at);
+                    return Ok(platform);
+                }
+                // Captured but inapplicable (interrupt inside the captured
+                // prefix, or the family's capture failed): tier two.
+                Some(_) => {}
+                None => return self.capture_prefix(tc, cfg, at, key),
+            }
+        }
+        // Tier two: boot snapshots.
+        let (snap, fresh_capture) = self.boot_snapshot_for(tc, cfg);
+        match snap {
+            Some(snap) if boot_fork_applies(tc, &snap) => {
+                let counter = if fresh_capture {
+                    &self.misses
+                } else {
+                    &self.hits
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                case_builder(tc, cfg).build_from(&snap)
+            }
+            _ => {
+                self.bypasses.fetch_add(1, Ordering::Relaxed);
+                case_builder(tc, cfg).build()
+            }
+        }
+    }
+
+    /// First case of a sweep family: build the full platform (forking the
+    /// boot snapshot when possible), simulate the shared setup prefix up
+    /// to one cycle before this case's interrupt, checkpoint there, and
+    /// hand this case a fork of the fresh checkpoint.
+    fn capture_prefix(
+        &self,
+        tc: &TestCase,
+        cfg: &CoreConfig,
+        at: u64,
+        key: PrefixKey,
+    ) -> Result<Platform, BuildError> {
+        let (boot, _) = self.boot_snapshot_for(tc, cfg);
+        let built = match boot {
+            Some(snap) if boot_fork_applies(tc, &snap) => {
+                case_builder_with(tc, cfg, false).build_from(&snap)
+            }
+            _ => case_builder_with(tc, cfg, false).build(),
+        };
+        let mut platform = match built {
+            Ok(p) => p,
+            Err(e) => {
+                // Remember the failure so siblings skip the capture
+                // attempt; the case itself surfaces the build error.
+                let mut map = self.prefixes.lock().expect("prefix cache poisoned");
+                map.insert_bounded(key, None);
+                self.bypasses.fetch_add(1, Ordering::Relaxed);
+                return Err(e);
+            }
+        };
+        // The prefix run is interrupt-free by construction (the builder
+        // above never schedules one), so it is bit-identical to a fresh
+        // run's first `at - 1` cycles: the interrupt only asserts from
+        // cycle `at` onward.
+        platform.run(at - 1);
+        let snap = Arc::new(PrefixSnapshot {
+            prefix_cycles: platform.core.cycle,
+            platform,
+        });
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut forked = snap.platform.clone();
+        forked.core.schedule_external_interrupt(at);
+        let mut map = self.prefixes.lock().expect("prefix cache poisoned");
+        map.insert_bounded(key, Some(snap));
+        Ok(forked)
+    }
+
+    /// The boot snapshot for `tc`'s configuration, capturing it on first
+    /// use (uncounted: callers attribute the case to exactly one
+    /// counter). The flag reports whether this call did the capture.
+    fn boot_snapshot_for(
+        &self,
+        tc: &TestCase,
+        cfg: &CoreConfig,
+    ) -> (Option<Arc<PlatformSnapshot>>, bool) {
+        let key: BootKey = (
+            cfg.name.clone(),
+            tc.host_sv39,
+            tc.mcounteren,
+            tc.sm_clear_hpcs,
+            tc.irq_at.is_some(),
+        );
+        let mut fresh_capture = false;
+        let entry = {
+            let mut map = self.boots.lock().expect("snapshot cache poisoned");
+            map.entry(key)
+                .or_insert_with(|| {
+                    fresh_capture = true;
+                    PlatformSnapshot::capture(
+                        cfg.clone(),
+                        &sm_options_for(tc, cfg),
+                        host_vm_for(tc),
+                    )
+                    .ok()
+                    .map(Arc::new)
+                })
+                .clone()
+        };
+        (entry, fresh_capture)
+    }
+}
+
+impl PrefixMap {
+    /// Inserts, evicting the oldest family beyond [`PREFIX_CAP`] so
+    /// retained checkpoint memory stays bounded.
+    fn insert_bounded(&mut self, key: PrefixKey, snap: Option<Arc<PrefixSnapshot>>) {
+        if self.entries.insert(key.clone(), snap).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > PREFIX_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.entries.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Whether forking the boot snapshot reproduces a fresh run exactly: an
+/// external interrupt scheduled at (or inside) the boot prefix could not
+/// be taken at the same cycle a fresh run would.
+fn boot_fork_applies(tc: &TestCase, snap: &PlatformSnapshot) -> bool {
+    tc.irq_at.is_none_or(|at| at > snap.boot_cycles() + 1)
+}
+
+/// The sweep-family key: the case with every execution-irrelevant field
+/// (name, access-path label, cycle budget) and the swept interrupt cycle
+/// canonicalized out. Two cases with equal fingerprints build and run
+/// bit-identically up to their first interrupt.
+fn prefix_fingerprint(tc: &TestCase) -> String {
+    let mut probe = tc.clone();
+    probe.name = String::new();
+    probe.path = crate::paths::AccessPath::LoadL1Hit;
+    probe.max_cycles = 0;
+    probe.irq_at = None;
+    serde_json::to_string(&probe).expect("test cases serialize")
+}
+
+fn host_vm_for(tc: &TestCase) -> HostVm {
+    if tc.host_sv39 {
+        HostVm::Sv39
+    } else {
+        HostVm::Bare
+    }
+}
+
+fn sm_options_for(tc: &TestCase, cfg: &CoreConfig) -> SmOptions {
+    SmOptions {
+        mcounteren: tc.mcounteren,
+        clear_hpcs_on_switch: tc.sm_clear_hpcs,
+        hpm_counters: cfg.hpm_counters,
+        enable_external_irq: tc.irq_at.is_some(),
+        ..SmOptions::default()
+    }
 }
 
 /// Lowers `tc` onto a fresh platform without running it. Building is
@@ -68,19 +424,28 @@ pub fn run_case_budgeted(
 ///
 /// Propagates [`BuildError`] exactly as [`run_case`] does.
 pub fn build_platform(tc: &TestCase, cfg: &CoreConfig) -> Result<Platform, BuildError> {
+    case_builder(tc, cfg).build()
+}
+
+/// Lowers `tc` into a configured [`PlatformBuilder`], ready for either
+/// [`PlatformBuilder::build`] or [`PlatformBuilder::build_from`].
+fn case_builder(tc: &TestCase, cfg: &CoreConfig) -> PlatformBuilder<'static> {
+    case_builder_with(tc, cfg, true)
+}
+
+/// [`case_builder`] with control over whether the case's external
+/// interrupt is scheduled on the core. Prefix capture builds with it
+/// unscheduled (the SM image still enables the interrupt path — that
+/// depends only on `irq_at.is_some()`), then each fork schedules its own
+/// sweep cycle.
+fn case_builder_with(
+    tc: &TestCase,
+    cfg: &CoreConfig,
+    schedule_irq: bool,
+) -> PlatformBuilder<'static> {
     let mut builder = Platform::builder(cfg.clone())
-        .host_vm(if tc.host_sv39 {
-            HostVm::Sv39
-        } else {
-            HostVm::Bare
-        })
-        .sm_options(SmOptions {
-            mcounteren: tc.mcounteren,
-            clear_hpcs_on_switch: tc.sm_clear_hpcs,
-            hpm_counters: cfg.hpm_counters,
-            enable_external_irq: tc.irq_at.is_some(),
-            ..SmOptions::default()
-        });
+        .host_vm(host_vm_for(tc))
+        .sm_options(sm_options_for(tc, cfg));
     let host_steps = tc.host_steps.clone();
     builder = builder.host_code(move |a, _| {
         lower_steps(a, &host_steps, layout::HOST_BASE, "h");
@@ -105,10 +470,10 @@ pub fn build_platform(tc: &TestCase, cfg: &CoreConfig) -> Result<Platform, Build
     for rec in tc.secrets.records() {
         builder = builder.seed_u64(rec.addr, rec.value);
     }
-    if let Some(at) = tc.irq_at {
+    if let Some(at) = tc.irq_at.filter(|_| schedule_irq) {
         builder = builder.external_interrupt_at(at);
     }
-    builder.build()
+    builder
 }
 
 #[cfg(test)]
@@ -125,6 +490,49 @@ mod tests {
         assert_eq!(out.exit, RunExit::Halted, "case must halt: {}", tc.name);
         assert!(out.cycles > 100);
         assert!(!out.platform.core.trace.is_empty());
+    }
+
+    /// An interrupt-timing sweep family must fork the setup-prefix
+    /// checkpoint (one miss, then hits) and stay cycle- and
+    /// counter-exact with fresh builds at every swept cycle.
+    #[test]
+    fn prefix_forked_irq_sweep_matches_fresh_builds() {
+        let cfg = CoreConfig::boom();
+        let cache = SnapshotCache::new();
+        for k in 0..4u64 {
+            let params = CaseParams {
+                restricted_counters: true,
+                irq_at: Some(2_000 + 37 * k),
+                ..CaseParams::default()
+            };
+            let tc = assemble_case(AccessPath::HpcRead, params, &cfg).unwrap();
+            let fresh = run_case(&tc, &cfg).expect("fresh build");
+            let forked = run_case_opts(
+                &tc,
+                &cfg,
+                RunOptions {
+                    snapshot_cache: Some(&cache),
+                    ..RunOptions::default()
+                },
+            )
+            .expect("forked build");
+            assert_eq!(forked.exit, fresh.exit, "sweep step {k}");
+            assert_eq!(forked.cycles, fresh.cycles, "cycle-exact at step {k}");
+            assert_eq!(
+                forked.platform.core.counters(),
+                fresh.platform.core.counters(),
+                "microarch counter digests at step {k}"
+            );
+            assert_eq!(
+                forked.platform.core.trace.len(),
+                fresh.platform.core.trace.len(),
+                "trace length at step {k}"
+            );
+        }
+        let m = cache.metrics();
+        assert_eq!(m.misses, 1, "one capture for the family: {m:?}");
+        assert_eq!(m.hits, 3, "siblings fork the checkpoint: {m:?}");
+        assert_eq!(m.bypasses, 0, "{m:?}");
     }
 
     #[test]

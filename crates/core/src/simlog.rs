@@ -27,8 +27,10 @@ pub fn render_simlog(trace: &Trace) -> String {
                 data,
                 purpose,
             } => {
-                let head =
-                    u64::from_le_bytes(data[..8.min(data.len())].try_into().unwrap_or([0; 8]));
+                let mut head_bytes = [0u8; 8];
+                let n = data.len().min(8);
+                head_bytes[..n].copy_from_slice(&data[..n]);
+                let head = u64::from_le_bytes(head_bytes);
                 let _ = writeln!(
                     out,
                     "FILL line={addr:#x} purpose={purpose:?} bytes={} head={head:#018x}",
@@ -116,5 +118,30 @@ mod tests {
     #[test]
     fn empty_trace_renders_empty() {
         assert!(render_simlog(&Trace::new()).is_empty());
+    }
+
+    #[test]
+    fn short_fill_line_keeps_its_head_bytes() {
+        // Regression: fills shorter than 8 bytes used to render head=0x0
+        // because the failed `try_into` fell back to a zeroed array.
+        let mut t = Trace::new();
+        t.record(TraceEvent {
+            cycle: 1,
+            priv_level: PrivLevel::Machine,
+            domain: Domain::Untrusted,
+            pc: None,
+            structure: Structure::Lfb,
+            kind: TraceEventKind::Fill {
+                addr: 0x8040_0040,
+                data: vec![0xCD, 0xAB, 0x34, 0x12],
+                purpose: teesec_uarch::trace::FillPurpose::Demand,
+            },
+        });
+        let log = render_simlog(&t);
+        assert!(
+            log.contains("head=0x000000001234abcd"),
+            "short fill must render its little-endian head bytes, got: {log}"
+        );
+        assert!(!log.contains("head=0x0000000000000000"));
     }
 }

@@ -74,6 +74,8 @@ pub enum BuildError {
         /// Words available.
         capacity: usize,
     },
+    /// Snapshot capture could not park the boot at the host entry point.
+    SnapshotBoot,
 }
 
 impl std::fmt::Display for BuildError {
@@ -86,6 +88,9 @@ impl std::fmt::Display for BuildError {
                 capacity,
             } => {
                 write!(f, "{region} code too large: {words} words > {capacity}")
+            }
+            BuildError::SnapshotBoot => {
+                write!(f, "snapshot capture: SM boot never reached the host entry")
             }
         }
     }
@@ -175,91 +180,13 @@ impl<'a> PlatformBuilder<'a> {
         let lay = Layout::default();
         let mut mem = Memory::new();
 
-        // Security monitor.
-        let sm_asm = sm::generate(&self.sm_options);
-        let sm_words = sm_asm.assemble()?;
-        let sm_cap = ((layout::SM_SCRATCH - layout::SM_BASE) / 4) as usize;
-        if sm_words.len() > sm_cap {
-            return Err(BuildError::CodeTooLarge {
-                region: "security monitor",
-                words: sm_words.len(),
-                capacity: sm_cap,
-            });
-        }
-        mem.load_words(layout::SM_BASE, &sm_words);
+        load_sm(&self.sm_options, &mut mem)?;
+        let satp_val = build_host_pagetables(self.host_vm, &mut mem);
 
-        // Host page tables (before host code so the prologue can reference
-        // the root).
-        let satp_val = match self.host_vm {
-            HostVm::Bare => None,
-            HostVm::Sv39 => {
-                let mut pt = PageTableBuilder::new(layout::PT_BASE, layout::PT_SIZE, &mut mem);
-                let rwx = Pte::R | Pte::W | Pte::X;
-                pt.identity_map(layout::HOST_BASE, layout::HOST_SIZE, rwx, &mut mem);
-                pt.identity_map(
-                    layout::SHARED_BASE,
-                    layout::SHARED_SIZE,
-                    rwx | Pte::U,
-                    &mut mem,
-                );
-                for i in 0..layout::MAX_ENCLAVES {
-                    // The malicious OS maps enclave physical memory into its
-                    // own address space; PMP is the only line of defense.
-                    pt.identity_map(
-                        layout::enclave_base(i),
-                        layout::ENCLAVE_SIZE,
-                        Pte::R | Pte::W,
-                        &mut mem,
-                    );
-                }
-                Some(teesec_isa::csr::Satp::sv39(pt.root()).0)
-            }
-        };
-
-        // Host code: prologue + payload + terminator.
-        let mut host_asm = Assembler::new(layout::HOST_BASE);
-        if let Some(satp) = satp_val {
-            host_asm.li(Reg::T0, satp);
-            host_asm.csrw(csr::SATP, Reg::T0);
-            host_asm.sfence_vma();
-            // Permit supervisor access to user pages (the shared buffer).
-            host_asm.li(Reg::T0, 1 << 18); // sstatus.SUM
-            host_asm.csrrs(Reg::ZERO, csr::SSTATUS, Reg::T0);
-        }
-        if let Some(f) = self.host {
-            f(&mut host_asm, &lay);
-        }
-        host_asm.inst(Inst::Ebreak);
-        let host_words = host_asm.assemble()?;
-        let host_cap = ((layout::HOST_DATA - layout::HOST_BASE) / 4) as usize;
-        if host_words.len() > host_cap {
-            return Err(BuildError::CodeTooLarge {
-                region: "host",
-                words: host_words.len(),
-                capacity: host_cap,
-            });
-        }
+        let host_words = assemble_host(self.host, satp_val, &lay)?;
         mem.load_words(layout::HOST_BASE, &host_words);
 
-        // Enclave payloads.
-        for (i, gen) in self.enclaves.into_iter().enumerate() {
-            let Some(f) = gen else { continue };
-            let mut easm = Assembler::new(layout::enclave_base(i));
-            f(&mut easm, &lay);
-            // Default terminator: yield back to the host.
-            easm.li(Reg::A7, SbiCall::StopEnclave.id());
-            easm.ecall();
-            let words = easm.assemble()?;
-            let cap = ((layout::enclave_data(i) - layout::enclave_base(i)) / 4) as usize;
-            if words.len() > cap {
-                return Err(BuildError::CodeTooLarge {
-                    region: "enclave",
-                    words: words.len(),
-                    capacity: cap,
-                });
-            }
-            mem.load_words(layout::enclave_base(i), &words);
-        }
+        load_enclaves(self.enclaves, &lay, &mut mem)?;
 
         for (addr, bytes) in self.seeds {
             mem.write_bytes(addr, &bytes);
@@ -272,10 +199,209 @@ impl<'a> PlatformBuilder<'a> {
         }
         Ok(Platform { core, layout: lay })
     }
+
+    /// Forks a platform from a pre-booted [`PlatformSnapshot`] instead of
+    /// re-assembling the SM and re-simulating the boot sequence. The
+    /// snapshot must have been captured with the same core configuration,
+    /// SM options and host VM mode this builder was given; per-case state
+    /// (host/enclave code, seeds, interrupt schedule) is applied on top of
+    /// the forked copy-on-write image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when generated code fails to assemble or
+    /// overflows its region.
+    pub fn build_from(self, snap: &PlatformSnapshot) -> Result<Platform, BuildError> {
+        let lay = snap.layout.clone();
+        let mut core = snap.core.clone();
+
+        let host_words = assemble_host(self.host, snap.satp_val, &lay)?;
+        core.mem.load_words(layout::HOST_BASE, &host_words);
+
+        load_enclaves(self.enclaves, &lay, &mut core.mem)?;
+
+        for (addr, bytes) in self.seeds {
+            core.mem.write_bytes(addr, &bytes);
+        }
+
+        if !self.trace_enabled {
+            // Match a fresh `.without_trace()` build: nothing recorded.
+            core.trace.clear();
+            core.trace.set_enabled(false);
+        }
+        if let Some(at) = self.irq_at {
+            core.schedule_external_interrupt(at);
+        }
+        core.resume_fetch();
+        Ok(Platform { core, layout: lay })
+    }
+}
+
+fn load_sm(sm_options: &SmOptions, mem: &mut Memory) -> Result<(), BuildError> {
+    let sm_asm = sm::generate(sm_options);
+    let sm_words = sm_asm.assemble()?;
+    let sm_cap = ((layout::SM_SCRATCH - layout::SM_BASE) / 4) as usize;
+    if sm_words.len() > sm_cap {
+        return Err(BuildError::CodeTooLarge {
+            region: "security monitor",
+            words: sm_words.len(),
+            capacity: sm_cap,
+        });
+    }
+    mem.load_words(layout::SM_BASE, &sm_words);
+    Ok(())
+}
+
+/// Builds the host page tables (before host code so the prologue can
+/// reference the root); returns the SATP value to activate, when paging.
+fn build_host_pagetables(host_vm: HostVm, mem: &mut Memory) -> Option<u64> {
+    match host_vm {
+        HostVm::Bare => None,
+        HostVm::Sv39 => {
+            let mut pt = PageTableBuilder::new(layout::PT_BASE, layout::PT_SIZE, mem);
+            let rwx = Pte::R | Pte::W | Pte::X;
+            pt.identity_map(layout::HOST_BASE, layout::HOST_SIZE, rwx, mem);
+            pt.identity_map(layout::SHARED_BASE, layout::SHARED_SIZE, rwx | Pte::U, mem);
+            for i in 0..layout::MAX_ENCLAVES {
+                // The malicious OS maps enclave physical memory into its
+                // own address space; PMP is the only line of defense.
+                pt.identity_map(
+                    layout::enclave_base(i),
+                    layout::ENCLAVE_SIZE,
+                    Pte::R | Pte::W,
+                    mem,
+                );
+            }
+            Some(teesec_isa::csr::Satp::sv39(pt.root()).0)
+        }
+    }
+}
+
+/// Host code: prologue + payload + terminator.
+fn assemble_host(
+    host: Option<CodeGen<'_>>,
+    satp_val: Option<u64>,
+    lay: &Layout,
+) -> Result<Vec<u32>, BuildError> {
+    let mut host_asm = Assembler::new(layout::HOST_BASE);
+    if let Some(satp) = satp_val {
+        host_asm.li(Reg::T0, satp);
+        host_asm.csrw(csr::SATP, Reg::T0);
+        host_asm.sfence_vma();
+        // Permit supervisor access to user pages (the shared buffer).
+        host_asm.li(Reg::T0, 1 << 18); // sstatus.SUM
+        host_asm.csrrs(Reg::ZERO, csr::SSTATUS, Reg::T0);
+    }
+    if let Some(f) = host {
+        f(&mut host_asm, lay);
+    }
+    host_asm.inst(Inst::Ebreak);
+    let host_words = host_asm.assemble()?;
+    let host_cap = ((layout::HOST_DATA - layout::HOST_BASE) / 4) as usize;
+    if host_words.len() > host_cap {
+        return Err(BuildError::CodeTooLarge {
+            region: "host",
+            words: host_words.len(),
+            capacity: host_cap,
+        });
+    }
+    Ok(host_words)
+}
+
+fn load_enclaves(
+    enclaves: Vec<Option<CodeGen<'_>>>,
+    lay: &Layout,
+    mem: &mut Memory,
+) -> Result<(), BuildError> {
+    for (i, gen) in enclaves.into_iter().enumerate() {
+        let Some(f) = gen else { continue };
+        let mut easm = Assembler::new(layout::enclave_base(i));
+        f(&mut easm, lay);
+        // Default terminator: yield back to the host.
+        easm.li(Reg::A7, SbiCall::StopEnclave.id());
+        easm.ecall();
+        let words = easm.assemble()?;
+        let cap = ((layout::enclave_data(i) - layout::enclave_base(i)) / 4) as usize;
+        if words.len() > cap {
+            return Err(BuildError::CodeTooLarge {
+                region: "enclave",
+                words: words.len(),
+                capacity: cap,
+            });
+        }
+        mem.load_words(layout::enclave_base(i), &words);
+    }
+    Ok(())
+}
+
+/// A pre-booted platform checkpoint: the SM image is assembled, host page
+/// tables are built, and the boot sequence has been simulated up to — but
+/// not including — the first host instruction fetch. Forking a case from a
+/// snapshot ([`PlatformBuilder::build_from`]) shares all of that work;
+/// thanks to the copy-on-write [`Memory`] the fork itself is cheap.
+///
+/// The capture point is a fetch fence at [`layout::HOST_BASE`]: the `mret`
+/// into the host has committed, PMP/CSR state is programmed, and fetch is
+/// parked one instruction short of host code — so the forked platform's
+/// cycle-by-cycle behavior is identical to a fresh build's.
+#[derive(Debug, Clone)]
+pub struct PlatformSnapshot {
+    core: Core,
+    satp_val: Option<u64>,
+    layout: Layout,
+    boot_cycles: u64,
+}
+
+impl PlatformSnapshot {
+    /// Assembles the SM + page tables and simulates the boot up to the
+    /// first host fetch for the given configuration triple.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the SM fails to assemble or the boot
+    /// never reaches the host entry point.
+    pub fn capture(
+        core_config: CoreConfig,
+        sm_options: &SmOptions,
+        host_vm: HostVm,
+    ) -> Result<PlatformSnapshot, BuildError> {
+        let lay = Layout::default();
+        let mut mem = Memory::new();
+        load_sm(sm_options, &mut mem)?;
+        let satp_val = build_host_pagetables(host_vm, &mut mem);
+        let mut core = Core::new(core_config, mem, layout::SM_BASE);
+        if !core.run_until_fetch(layout::HOST_BASE, 1_000_000) {
+            return Err(BuildError::SnapshotBoot);
+        }
+        let boot_cycles = core.cycle;
+        Ok(PlatformSnapshot {
+            core,
+            satp_val,
+            layout: lay,
+            boot_cycles,
+        })
+    }
+
+    /// Simulated cycles the boot prefix consumed (the work each fork
+    /// skips).
+    pub fn boot_cycles(&self) -> u64 {
+        self.boot_cycles
+    }
+
+    /// The boot-prefix trace events a fork starts with (replayed into a
+    /// streaming sink before live events arrive).
+    pub fn boot_events(&self) -> &[teesec_uarch::trace::TraceEvent] {
+        self.core.trace.events()
+    }
 }
 
 /// A booted platform: a core loaded with SM + host + enclave images.
-#[derive(Debug)]
+///
+/// Cloning is copy-on-write at page granularity (see [`Memory`]): a clone
+/// shares every backed page with the original, so checkpoint/fork schemes
+/// can duplicate a mid-run platform for the cost of the core's registers
+/// and per-page pointers.
+#[derive(Debug, Clone)]
 pub struct Platform {
     /// The simulated core (trace, caches and CSRs are reachable through it).
     pub core: Core,
@@ -451,6 +577,76 @@ mod tests {
             p.core.lsu.dtlb.valid_count() > 0,
             "DTLB populated by hardware walks"
         );
+    }
+
+    fn lifecycle_builder<'a>(cfg: CoreConfig) -> PlatformBuilder<'a> {
+        Platform::builder(cfg)
+            .seed_u64(layout::enclave_data(0) + 8, 0x5E_C4E7)
+            .enclave_code(0, |a, lay| {
+                let data = lay.enclave_bases[0] + layout::ENCLAVE_SIZE / 2;
+                a.li(Reg::T0, data);
+                a.ld(Reg::T1, Reg::T0, 8);
+                a.sd(Reg::T1, Reg::T0, 16);
+            })
+            .host_code(|a, _| {
+                emit_sbi_call(a, SbiCall::CreateEnclave, 0);
+                emit_sbi_call(a, SbiCall::RunEnclave, 0);
+                a.li(Reg::S2, 0x33);
+            })
+    }
+
+    #[test]
+    fn snapshot_fork_matches_fresh_build_exactly() {
+        let snap = PlatformSnapshot::capture(boom(), &SmOptions::default(), HostVm::Bare)
+            .expect("capture");
+        assert!(snap.boot_cycles() > 0);
+
+        let mut fresh = lifecycle_builder(boom()).build().expect("fresh build");
+        let mut forked = lifecycle_builder(boom())
+            .build_from(&snap)
+            .expect("forked build");
+
+        assert_eq!(fresh.run(2_000_000), RunExit::Halted);
+        assert_eq!(forked.run(2_000_000), RunExit::Halted);
+
+        assert_eq!(fresh.core.cycle, forked.core.cycle, "cycle-exact fork");
+        for r in teesec_isa::reg::Reg::all() {
+            assert_eq!(fresh.core.reg(r), forked.core.reg(r), "{r:?}");
+        }
+        assert_eq!(
+            fresh.core.counters(),
+            forked.core.counters(),
+            "microarch counter digests must match"
+        );
+        assert_eq!(fresh.core.trace.len(), forked.core.trace.len());
+        assert_eq!(
+            fresh.core.mem.first_difference(&forked.core.mem),
+            None,
+            "end-of-run memory identical"
+        );
+    }
+
+    #[test]
+    fn snapshot_fork_matches_fresh_build_under_sv39() {
+        let snap = PlatformSnapshot::capture(boom(), &SmOptions::default(), HostVm::Sv39)
+            .expect("capture");
+        let build = || {
+            Platform::builder(boom())
+                .host_vm(HostVm::Sv39)
+                .host_code(|a, lay| {
+                    a.li(Reg::T0, lay.shared_base);
+                    a.li(Reg::T1, 0x5AFE);
+                    a.sd(Reg::T1, Reg::T0, 0);
+                    a.ld(Reg::S2, Reg::T0, 0);
+                })
+        };
+        let mut fresh = build().build().expect("fresh");
+        let mut forked = build().build_from(&snap).expect("forked");
+        assert_eq!(fresh.run(1_000_000), RunExit::Halted);
+        assert_eq!(forked.run(1_000_000), RunExit::Halted);
+        assert_eq!(fresh.core.reg(Reg::S2), 0x5AFE);
+        assert_eq!(fresh.core.cycle, forked.core.cycle);
+        assert_eq!(fresh.core.counters(), forked.core.counters());
     }
 
     #[test]

@@ -104,7 +104,12 @@ pub struct RetiredInst {
 }
 
 /// A configured core instance bound to a physical memory.
-#[derive(Debug)]
+///
+/// `Clone` forks the complete core state — architectural and
+/// microarchitectural — in O(backed pages) thanks to the copy-on-write
+/// [`Memory`]; platform snapshotting builds on this. The clone does *not*
+/// inherit an attached trace sink (see [`Trace::clone`]).
+#[derive(Debug, Clone)]
 pub struct Core {
     /// The configuration the core was built with.
     pub config: CoreConfig,
@@ -151,6 +156,11 @@ pub struct Core {
     /// `retire_log` for [`Core::take_retired_log`].
     retire_probe: bool,
     retire_log: Vec<RetiredInst>,
+    /// Fetch fence: when the fetch stage is about to fetch this PC, it
+    /// stops instead (mid-cycle, before the fetch) and latches
+    /// `fetch_fence_hit` — the snapshot point for platform checkpointing.
+    fetch_fence: Option<u64>,
+    fetch_fence_hit: bool,
 }
 
 impl Core {
@@ -182,8 +192,50 @@ impl Core {
             domain_before_trap: None,
             retire_probe: false,
             retire_log: Vec::new(),
+            fetch_fence: None,
+            fetch_fence_hit: false,
             mem,
             config,
+        }
+    }
+
+    /// Arms (or clears, with `None`) the fetch fence: the fetch stage halts
+    /// dispatch the moment it is about to fetch `pc`, leaving the pipeline
+    /// otherwise undisturbed. Used to park the core at a known program
+    /// point for snapshotting.
+    pub fn set_fetch_fence(&mut self, pc: Option<u64>) {
+        self.fetch_fence = pc;
+        self.fetch_fence_hit = false;
+    }
+
+    /// `true` once the fetch stage stopped at the armed fence PC.
+    pub fn fetch_fence_hit(&self) -> bool {
+        self.fetch_fence_hit
+    }
+
+    /// Steps until the fetch stage reaches the fence at `pc` (returns
+    /// `true`), or the core halts / `max_cycles` elapses (`false`). On
+    /// success the core is parked mid-cycle: execute/commit of the current
+    /// cycle have run, and fetch stopped just *before* fetching `pc`.
+    /// Complete the interrupted cycle later with [`Core::resume_fetch`].
+    pub fn run_until_fetch(&mut self, pc: u64, max_cycles: u64) -> bool {
+        self.set_fetch_fence(Some(pc));
+        while !self.fetch_fence_hit && !self.halted && self.cycle < max_cycles {
+            self.step();
+        }
+        self.fetch_fence_hit
+    }
+
+    /// Clears the fetch fence and finishes the fetch stage of the cycle
+    /// [`Core::run_until_fetch`] interrupted, so a subsequent
+    /// [`Core::run`]/[`Core::step`] continues exactly as an uninterrupted
+    /// execution would.
+    pub fn resume_fetch(&mut self) {
+        let was_hit = self.fetch_fence_hit;
+        self.fetch_fence = None;
+        self.fetch_fence_hit = false;
+        if was_hit && !self.halted {
+            self.fetch_stage();
         }
     }
 
@@ -1285,6 +1337,10 @@ impl Core {
             && !self.halted
         {
             let pc = self.fetch_pc;
+            if self.fetch_fence == Some(pc) {
+                self.fetch_fence_hit = true;
+                return;
+            }
             let (word, fetch_exc) = self.fetch_word(pc);
             let decoded = match fetch_exc {
                 Some(e) => {

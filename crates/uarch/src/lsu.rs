@@ -239,7 +239,7 @@ enum DrainState {
 }
 
 /// The load/store unit.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lsu {
     cfg: CoreConfig,
     /// L1 data cache.

@@ -1,13 +1,22 @@
 //! Sparse physical memory backing the simulated SoC.
+//!
+//! Pages are reference-counted and copy-on-write: cloning a `Memory` (as
+//! platform snapshotting does) shares every backed page, and a page is only
+//! physically duplicated when one of the clones writes to it. Forking a
+//! platform from a snapshot is therefore O(backed pages) pointer copies, not
+//! a full memory copy.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use teesec_isa::vm::PAGE_SIZE;
+
+const PAGE: usize = PAGE_SIZE as usize;
 
 /// Byte-addressable sparse physical memory. Unbacked locations read as zero.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8]>>,
+    pages: HashMap<u64, Arc<[u8; PAGE]>>,
 }
 
 impl Memory {
@@ -18,9 +27,13 @@ impl Memory {
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8] {
         let key = addr / PAGE_SIZE;
-        self.pages
+        let page = self
+            .pages
             .entry(key)
-            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+            .or_insert_with(|| Arc::new([0u8; PAGE]));
+        // Copy-on-write: duplicate the page only if a snapshot still
+        // shares it.
+        &mut Arc::make_mut(page)[..]
     }
 
     /// Reads one byte.
@@ -37,23 +50,49 @@ impl Memory {
         self.page_mut(addr)[off] = v;
     }
 
-    /// Reads `buf.len()` bytes starting at `addr`.
+    /// Reads `buf.len()` bytes starting at `addr`, one page lookup per
+    /// touched page instead of one per byte.
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr + done as u64;
+            let off = (a % PAGE_SIZE) as usize;
+            let run = buf.len().min(done + PAGE - off);
+            match self.pages.get(&(a / PAGE_SIZE)) {
+                Some(p) => buf[done..run].copy_from_slice(&p[off..off + (run - done)]),
+                None => buf[done..run].fill(0),
+            }
+            done = run;
         }
     }
 
-    /// Writes `data` starting at `addr`.
+    /// Writes `data` starting at `addr`, one page lookup per touched page.
     pub fn write_bytes(&mut self, addr: u64, data: &[u8]) {
-        for (i, b) in data.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b);
+        let mut done = 0usize;
+        while done < data.len() {
+            let a = addr + done as u64;
+            let off = (a % PAGE_SIZE) as usize;
+            let run = data.len().min(done + PAGE - off);
+            self.page_mut(a)[off..off + (run - done)].copy_from_slice(&data[done..run]);
+            done = run;
         }
     }
 
     /// Reads a little-endian value of `len` bytes (`len <= 8`).
     pub fn read_uint(&self, addr: u64, len: u64) -> u64 {
         debug_assert!(len <= 8);
+        let off = (addr % PAGE_SIZE) as usize;
+        // Fast path: the access stays within one page (the overwhelmingly
+        // common case), so a single lookup serves every byte.
+        if off + len as usize <= PAGE {
+            let mut v = 0u64;
+            if let Some(p) = self.pages.get(&(addr / PAGE_SIZE)) {
+                for i in (0..len as usize).rev() {
+                    v = (v << 8) | p[off + i] as u64;
+                }
+            }
+            return v;
+        }
         let mut v = 0u64;
         for i in (0..len).rev() {
             v = (v << 8) | self.read_u8(addr + i) as u64;
@@ -64,6 +103,14 @@ impl Memory {
     /// Writes a little-endian value of `len` bytes (`len <= 8`).
     pub fn write_uint(&mut self, addr: u64, v: u64, len: u64) {
         debug_assert!(len <= 8);
+        let off = (addr % PAGE_SIZE) as usize;
+        if off + len as usize <= PAGE {
+            let page = self.page_mut(addr);
+            for i in 0..len as usize {
+                page[off + i] = (v >> (8 * i)) as u8;
+            }
+            return;
+        }
         for i in 0..len {
             self.write_u8(addr + i, (v >> (8 * i)) as u8);
         }
@@ -168,6 +215,28 @@ mod tests {
         m.load_words(0x8000_0000, &[0x1111_1111, 0x2222_2222]);
         assert_eq!(m.read_u32(0x8000_0000), 0x1111_1111);
         assert_eq!(m.read_u32(0x8000_0004), 0x2222_2222);
+    }
+
+    #[test]
+    fn clone_is_copy_on_write() {
+        let mut a = Memory::new();
+        a.write_u64(0x1000, 0xAAAA);
+        a.write_u64(0x3000, 0xBBBB);
+        let mut b = a.clone();
+        // Clone shares every backed page until one side writes.
+        assert!(Arc::ptr_eq(&a.pages[&1], &b.pages[&1]));
+        b.write_u64(0x1000, 0xCCCC);
+        assert!(
+            !Arc::ptr_eq(&a.pages[&1], &b.pages[&1]),
+            "written page split"
+        );
+        assert!(
+            Arc::ptr_eq(&a.pages[&3], &b.pages[&3]),
+            "untouched page shared"
+        );
+        assert_eq!(a.read_u64(0x1000), 0xAAAA, "original unaffected");
+        assert_eq!(b.read_u64(0x1000), 0xCCCC);
+        assert_eq!(b.read_u64(0x3000), 0xBBBB);
     }
 
     #[test]

@@ -373,21 +373,69 @@ impl TraceStats {
     }
 }
 
+/// An online consumer of trace events.
+///
+/// A sink attached via [`Trace::set_sink`] observes every recorded event as
+/// it happens, which lets a checker run *during* the simulation instead of
+/// over a fully buffered log. Combined with [`Trace::set_buffering`]`(false)`
+/// this bounds trace memory regardless of how many cycles a case runs.
+///
+/// `Send + Sync` are required so a `Core` carrying a sink can still be
+/// shared across engine worker threads.
+pub trait TraceSink: Send + Sync {
+    /// Called once per recorded event, in record order.
+    fn on_event(&mut self, event: &TraceEvent);
+
+    /// Recovers the concrete sink for downcasting after the run.
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+}
+
 /// The growing execution trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     stats: TraceStats,
     enabled: bool,
+    buffering: bool,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.events)
+            .field("stats", &self.stats)
+            .field("enabled", &self.enabled)
+            .field("buffering", &self.buffering)
+            .field("sink", &self.sink.as_ref().map(|_| "<dyn TraceSink>"))
+            .finish()
+    }
+}
+
+impl Clone for Trace {
+    /// Clones the buffered events and stats. The sink — if any — is *not*
+    /// cloned: a sink holds per-run checker state, so a forked trace starts
+    /// without one (attach a fresh sink with [`Trace::set_sink`]).
+    fn clone(&self) -> Trace {
+        Trace {
+            events: self.events.clone(),
+            stats: self.stats.clone(),
+            enabled: self.enabled,
+            buffering: self.buffering,
+            sink: None,
+        }
+    }
 }
 
 impl Trace {
-    /// Creates an enabled, empty trace.
+    /// Creates an enabled, empty, buffering trace.
     pub fn new() -> Trace {
         Trace {
             events: Vec::new(),
             stats: TraceStats::default(),
             enabled: true,
+            buffering: true,
+            sink: None,
         }
     }
 
@@ -402,10 +450,43 @@ impl Trace {
         self.enabled
     }
 
+    /// Enables/disables event buffering. With buffering off, events still
+    /// update the running stats and feed the attached sink, but are not
+    /// retained — [`Trace::events`] stays empty and memory stays bounded.
+    pub fn set_buffering(&mut self, on: bool) {
+        self.buffering = on;
+    }
+
+    /// Whether recorded events are retained in the buffer.
+    pub fn is_buffering(&self) -> bool {
+        self.buffering
+    }
+
+    /// Attaches an online event consumer (replacing any previous one).
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the current sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is attached.
+    pub fn has_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
     /// Appends an event (no-op when disabled).
     pub fn record(&mut self, event: TraceEvent) {
-        if self.enabled {
-            self.stats.bump(&event);
+        if !self.enabled {
+            return;
+        }
+        self.stats.bump(&event);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_event(&event);
+        }
+        if self.buffering {
             self.events.push(event);
         }
     }
@@ -564,5 +645,54 @@ mod tests {
         t.set_enabled(false);
         t.record(ev(1, Structure::L1d));
         assert_eq!(t.stats().total(), 0);
+    }
+
+    struct CollectSink(Vec<u64>);
+
+    impl TraceSink for CollectSink {
+        fn on_event(&mut self, event: &TraceEvent) {
+            self.0.push(event.cycle);
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn sink_sees_every_event_without_buffering() {
+        let mut t = Trace::new();
+        t.set_buffering(false);
+        t.set_sink(Box::new(CollectSink(Vec::new())));
+        t.record(ev(1, Structure::L1d));
+        t.record(ev(2, Structure::Lfb));
+        assert!(t.is_empty(), "buffering off retains nothing");
+        assert_eq!(t.stats().total(), 2, "stats still maintained");
+        let sink = t.take_sink().expect("sink attached");
+        let got = sink.into_any().downcast::<CollectSink>().expect("type");
+        assert_eq!(got.0, vec![1, 2], "sink saw events in record order");
+        assert!(!t.has_sink());
+    }
+
+    #[test]
+    fn disabled_trace_feeds_no_sink() {
+        let mut t = Trace::new();
+        t.set_enabled(false);
+        t.set_sink(Box::new(CollectSink(Vec::new())));
+        t.record(ev(1, Structure::L1d));
+        let sink = t.take_sink().unwrap().into_any();
+        assert!(sink.downcast::<CollectSink>().unwrap().0.is_empty());
+    }
+
+    #[test]
+    fn clone_drops_the_sink_but_keeps_events() {
+        let mut t = Trace::new();
+        t.set_sink(Box::new(CollectSink(Vec::new())));
+        t.record(ev(1, Structure::L1d));
+        let c = t.clone();
+        assert!(!c.has_sink(), "per-run sink state must not be forked");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().total(), 1);
+        assert!(t.has_sink(), "original keeps its sink");
     }
 }

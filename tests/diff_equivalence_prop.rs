@@ -10,104 +10,16 @@ use rand::{Rng, SeedableRng};
 
 use teesec::minimize::minimize_case;
 use teesec::testcase::{Actor, Step, TestCase};
-use teesec_isa::asm::Assembler;
-use teesec_isa::csr;
-use teesec_isa::inst::{AluOp, BranchCond, Inst, MemWidth};
+use teesec_isa::inst::MemWidth;
 use teesec_isa::reg::Reg;
 use teesec_uarch::core::Core;
 use teesec_uarch::iss::Iss;
 use teesec_uarch::mem::Memory;
 use teesec_uarch::CoreConfig;
 
-const BASE: u64 = 0x8000_0000;
-const DATA: u64 = 0x8020_0000;
-
-const POOL: [Reg; 8] = [
-    Reg::ZERO,
-    Reg::A0,
-    Reg::A1,
-    Reg::A2,
-    Reg::T0,
-    Reg::T1,
-    Reg::T2,
-    Reg::S2,
-];
-
-fn reg(rng: &mut StdRng) -> Reg {
-    POOL[rng.gen_range(0..POOL.len())]
-}
-
-/// A random, always-terminating gadget program. `branchy` adds forward
-/// branches and bounded countdown loops; otherwise the program is pure
-/// straight-line ALU/memory work.
-fn gadget_program(seed: u64, len: usize, branchy: bool) -> Vec<u32> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut a = Assembler::new(BASE);
-    a.la(Reg::T5, "handler");
-    a.csrw(csr::MTVEC, Reg::T5);
-    a.li(Reg::S10, DATA);
-    let mut label = 0usize;
-    for _ in 0..len {
-        let roll = if branchy {
-            rng.gen_range(0..100)
-        } else {
-            rng.gen_range(0..60)
-        };
-        match roll {
-            0..=29 => {
-                let op = [AluOp::Add, AluOp::Xor, AluOp::Or, AluOp::And, AluOp::Sub]
-                    [rng.gen_range(0..5)];
-                a.inst(Inst::AluReg {
-                    op,
-                    rd: reg(&mut rng),
-                    rs1: reg(&mut rng),
-                    rs2: reg(&mut rng),
-                    word: rng.gen_bool(0.25),
-                });
-            }
-            30..=44 => {
-                let width =
-                    [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D][rng.gen_range(0..4)];
-                let off: i32 = rng.gen_range(0..64) * 8;
-                if rng.gen_bool(0.5) {
-                    a.store(width, reg(&mut rng), Reg::S10, off);
-                } else {
-                    a.load(width, reg(&mut rng), Reg::S10, off);
-                }
-            }
-            45..=59 => {
-                a.li(reg(&mut rng), rng.gen::<u64>());
-            }
-            60..=79 => {
-                let l = format!("fwd_{label}");
-                label += 1;
-                a.branch(
-                    [BranchCond::Eq, BranchCond::Ne, BranchCond::Ltu][rng.gen_range(0..3)],
-                    reg(&mut rng),
-                    reg(&mut rng),
-                    &l,
-                );
-                for _ in 0..rng.gen_range(1..3) {
-                    a.addi(reg(&mut rng), reg(&mut rng), rng.gen_range(-32..32));
-                }
-                a.label(l);
-            }
-            _ => {
-                let l = format!("loop_{label}");
-                label += 1;
-                a.li(Reg::T4, rng.gen_range(1..5));
-                a.label(&l);
-                a.add(reg(&mut rng), reg(&mut rng), reg(&mut rng));
-                a.addi(Reg::T4, Reg::T4, -1);
-                a.bnez(Reg::T4, &l);
-            }
-        }
-    }
-    a.j("handler");
-    a.label("handler");
-    a.inst(Inst::Ebreak);
-    a.assemble().expect("gadget program must assemble")
-}
+#[path = "common/gadgets.rs"]
+mod gadgets;
+use gadgets::{gadget_program, BASE, DATA};
 
 /// Lockstep-compares one program on one design: every retired PC and every
 /// committed destination value must match the ISS, and so must the final

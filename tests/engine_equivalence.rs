@@ -50,6 +50,51 @@ fn engine_matches_serial_at_1_2_and_7_threads() {
     }
 }
 
+/// The production configuration — streaming checker + shared snapshot
+/// cache across workers — must be result-identical to the plain batch
+/// engine, down to the retained reports, and must actually use the cache.
+#[test]
+fn streaming_snapshot_engine_matches_batch_engine() {
+    let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(CORPUS)).keep_reports();
+    let (batch, batch_reports) = campaign.run_engine(EngineOptions {
+        threads: 4,
+        ..EngineOptions::default()
+    });
+    assert!(batch.engine.as_ref().unwrap().snapshot.is_none());
+
+    let (streamed, streamed_reports) = campaign.run_engine(EngineOptions {
+        threads: 4,
+        streaming: true,
+        snapshot_cache: true,
+        ..EngineOptions::default()
+    });
+    assert_eq!(
+        normalized(streamed.clone()),
+        normalized(batch.clone()),
+        "streaming + snapshot-cache engine diverged from the batch engine"
+    );
+    assert_eq!(
+        streamed_reports, batch_reports,
+        "retained reports diverged under streaming"
+    );
+    let cache = streamed
+        .engine
+        .as_ref()
+        .unwrap()
+        .snapshot
+        .as_ref()
+        .expect("snapshot metrics attached when the cache is on");
+    assert_eq!(
+        (cache.hits + cache.misses + cache.bypasses) as usize,
+        CORPUS,
+        "every case consults the cache exactly once: {cache:?}"
+    );
+    assert!(
+        cache.hits > 0,
+        "a 40-case corpus must share setups: {cache:?}"
+    );
+}
+
 #[test]
 fn engine_matches_serial_on_second_design() {
     let campaign = Campaign::new(CoreConfig::xiangshan(), Fuzzer::with_target(24));

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 
 use teesec::diff::DiffVerdict;
 use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, ObsMetrics};
+use teesec::runner::SnapshotCacheMetrics;
 use teesec_obs::Histogram;
 use teesec_uarch::{CoreConfig, Structure, StructureCounters, UarchCounters};
 
@@ -63,6 +64,11 @@ fn sample_metrics() -> EngineMetrics {
             divergences: 0,
             skipped: 1,
             retires_compared: 400,
+        }),
+        snapshot: Some(SnapshotCacheMetrics {
+            hits: 2,
+            misses: 1,
+            bypasses: 0,
         }),
     }
 }
@@ -209,6 +215,10 @@ fn engine_metrics_without_obs_still_parse() {
     assert_eq!(
         back.diff, None,
         "pre-diff-era metrics parse with diff: None"
+    );
+    assert_eq!(
+        back.snapshot, None,
+        "pre-snapshot-era metrics parse with snapshot: None"
     );
     assert_eq!(back.cases_total, 3);
 

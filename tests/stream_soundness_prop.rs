@@ -1,0 +1,146 @@
+//! Property-based soundness for the PR 4 streaming/snapshot machinery:
+//!
+//! * the online [`StreamingChecker`] never reports *fewer* findings than
+//!   the batch `check_case` pipeline on the same run — and in fact the
+//!   two reports serialize byte-identically;
+//! * snapshotting a core mid-run (a copy-on-write clone) and then letting
+//!   it run to completion is state-identical to the uninterrupted run.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use teesec::checker::check_case;
+use teesec::runner::{run_case, run_case_opts, RunOptions};
+use teesec::stream::StreamingChecker;
+use teesec::testcase::TestCase;
+use teesec::Fuzzer;
+use teesec_isa::reg::Reg;
+use teesec_uarch::core::Core;
+use teesec_uarch::mem::Memory;
+use teesec_uarch::CoreConfig;
+
+#[path = "common/gadgets.rs"]
+mod gadgets;
+use gadgets::{gadget_program, BASE, DATA};
+
+static BOOM_CORPUS: OnceLock<Vec<TestCase>> = OnceLock::new();
+static XS_CORPUS: OnceLock<Vec<TestCase>> = OnceLock::new();
+
+/// A shared 120-case default-fuzzer pool per design, generated once.
+fn corpus(cfg: &CoreConfig) -> &'static [TestCase] {
+    let cell = if cfg.name == "xiangshan" {
+        &XS_CORPUS
+    } else {
+        &BOOM_CORPUS
+    };
+    cell.get_or_init(|| Fuzzer::with_target(120).generate(cfg))
+}
+
+proptest! {
+    /// Soundness: on fuzzer-shaped cases with randomly perturbed setup
+    /// parameters, the streaming checker reports at least as many findings
+    /// as the batch pipeline — and the full reports are byte-identical.
+    #[test]
+    fn streaming_never_reports_fewer_findings_than_batch(
+        idx in any::<usize>(),
+        clear_hpcs in any::<bool>(),
+        xiangshan in any::<bool>(),
+    ) {
+        let cfg = if xiangshan {
+            CoreConfig::xiangshan()
+        } else {
+            CoreConfig::boom()
+        };
+        let pool = corpus(&cfg);
+        let mut tc = pool[idx % pool.len()].clone();
+        tc.sm_clear_hpcs = clear_hpcs;
+
+        let batch_outcome = run_case(&tc, &cfg).expect("batch build");
+        let batch = check_case(&tc, &batch_outcome, &cfg);
+
+        let mut stream_outcome = run_case_opts(
+            &tc,
+            &cfg,
+            RunOptions {
+                sink: Some(Box::new(StreamingChecker::new(&tc, &cfg))),
+                buffer_trace: false,
+                ..RunOptions::default()
+            },
+        )
+        .expect("streaming build");
+        let checker = stream_outcome
+            .platform
+            .core
+            .trace
+            .take_sink()
+            .expect("sink survives the run")
+            .into_any()
+            .downcast::<StreamingChecker>()
+            .expect("sink is the streaming checker");
+        let stream = checker.finish(&tc, &stream_outcome);
+
+        prop_assert!(
+            stream.findings.len() >= batch.findings.len(),
+            "{} on {}: streaming dropped findings ({} < {})",
+            tc.name, cfg.name, stream.findings.len(), batch.findings.len()
+        );
+        prop_assert_eq!(
+            serde_json::to_string(&stream).unwrap(),
+            serde_json::to_string(&batch).unwrap(),
+            "{} on {}: reports diverge", tc.name, cfg.name
+        );
+    }
+
+    /// Snapshot/restore soundness at the core level: clone the core after
+    /// `split` cycles (the CoW fork the platform snapshot relies on), let
+    /// the clone finish the run, and compare against a never-interrupted
+    /// twin — registers, memory, cycle count, and counters must all match.
+    #[test]
+    fn snapshot_plus_remaining_steps_matches_uninterrupted_run(
+        seed in any::<u64>(),
+        split in 1u64..2_000,
+        branchy in any::<bool>(),
+    ) {
+        let words = gadget_program(seed, 40, branchy);
+        let mut mem = Memory::new();
+        mem.load_words(BASE, &words);
+        for off in (0..0x200u64).step_by(8) {
+            mem.write_u64(DATA + off, seed ^ off);
+        }
+        let mut core = Core::new(CoreConfig::boom(), mem, BASE);
+        core.trace.set_enabled(false);
+        let mut straight = core.clone();
+
+        while !core.halted && core.cycle < split {
+            core.step();
+        }
+        let mut resumed = core.clone(); // the snapshot
+        drop(core); // the original may die; the snapshot must not care
+
+        const BOUND: u64 = 500_000;
+        while !resumed.halted && resumed.cycle < BOUND {
+            resumed.step();
+        }
+        while !straight.halted && straight.cycle < BOUND {
+            straight.step();
+        }
+        prop_assert!(resumed.halted, "seed {seed}: resumed core did not halt");
+        prop_assert!(straight.halted, "seed {seed}: straight core did not halt");
+        resumed.drain();
+        straight.drain();
+
+        prop_assert_eq!(resumed.cycle, straight.cycle, "seed {seed}: cycle count");
+        for r in Reg::all() {
+            prop_assert_eq!(
+                resumed.reg(r), straight.reg(r),
+                "seed {seed}: register {} diverged", r
+            );
+        }
+        prop_assert!(
+            resumed.mem.first_difference(&straight.mem).is_none(),
+            "seed {seed}: memory diverged"
+        );
+        prop_assert_eq!(resumed.counters(), straight.counters(), "seed {seed}: counters");
+    }
+}
