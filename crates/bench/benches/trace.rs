@@ -1,0 +1,64 @@
+//! Tracing overhead benchmarks: the same engine corpus executed with the
+//! span recorder disabled (the default no-op tracer), enabled, and enabled
+//! plus Chrome JSON export + critical-path analysis. The disabled case is
+//! the one that matters for the acceptance bar — tracing off must be
+//! indistinguishable from the pre-tracing engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use teesec::campaign::PhaseTiming;
+use teesec::engine::{Engine, EngineOptions};
+use teesec::fuzz::Fuzzer;
+use teesec_trace::Tracer;
+use teesec_uarch::CoreConfig;
+
+const CORPUS: usize = 32;
+const THREADS: usize = 2;
+
+fn bench_traced_vs_untraced(c: &mut Criterion) {
+    let cfg = CoreConfig::boom();
+    let corpus = Fuzzer::with_target(CORPUS).generate(&cfg);
+    let mut g = c.benchmark_group("engine_tracing");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(CORPUS as u64));
+    for traced in [false, true] {
+        let label = if traced { "traced" } else { "untraced" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &traced, |b, &traced| {
+            b.iter(|| {
+                let opts = EngineOptions {
+                    threads: THREADS,
+                    tracer: if traced {
+                        Tracer::new(THREADS)
+                    } else {
+                        Tracer::disabled()
+                    },
+                    ..EngineOptions::default()
+                };
+                Engine::new(cfg.clone(), opts).run_corpus(&corpus, PhaseTiming::default())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_export_and_analyze(c: &mut Criterion) {
+    let cfg = CoreConfig::boom();
+    let corpus = Fuzzer::with_target(CORPUS).generate(&cfg);
+    let tracer = Tracer::new(THREADS);
+    let opts = EngineOptions {
+        threads: THREADS,
+        tracer: tracer.clone(),
+        ..EngineOptions::default()
+    };
+    Engine::new(cfg, opts).run_corpus(&corpus, PhaseTiming::default());
+    let trace = tracer.snapshot();
+
+    let mut g = c.benchmark_group("trace_post_processing");
+    g.sample_size(10);
+    g.bench_function("chrome_export", |b| b.iter(|| trace.to_chrome_json()));
+    g.bench_function("critical_path_analysis", |b| b.iter(|| trace.analyze(5)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_traced_vs_untraced, bench_export_and_analyze);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! `bench_trend` — cross-PR benchmark consistency check and trend table.
+//!
+//! Usage: `cargo run -p teesec-bench --bin bench_trend [-- <repo-root>]`
+//!
+//! Loads every `BENCH_*.json` under the repo root (default: two levels up
+//! from this crate, i.e. the workspace root), fails with exit code 1 if
+//! any file violates the shared schema, and prints a per-metric table
+//! with one column per PR so regressions are visible at a glance.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use teesec_bench::trend;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map_or_else(
+        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
+        PathBuf::from,
+    );
+    let files = match trend::load(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("bench_trend: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "bench_trend: {} file(s) under {} pass the schema check",
+        files.len(),
+        root.display()
+    );
+    for f in &files {
+        println!("  {} (pr {})", f.name, f.pr);
+    }
+    println!();
+    print!("{}", trend::trend_table(&files));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,295 @@
+//! Cross-PR benchmark trend checking.
+//!
+//! Every PR that changes performance-relevant machinery commits a
+//! `BENCH_prN.json` at the repo root. Those files are a *contract*:
+//! `tools/bench_trend` (the `bench_trend` binary here) loads all of them,
+//! asserts the shared schema stayed consistent — `pr`, `date`,
+//! `environment{cpus,profile}`, `commands[]` — and renders a per-metric
+//! trend table so a regression (or an accidentally renamed metric key)
+//! shows up as a visible column wiggle instead of an archaeology session.
+
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+/// One loaded and schema-checked `BENCH_prN.json`.
+#[derive(Debug)]
+pub struct BenchFile {
+    /// File name (`BENCH_pr4.json`).
+    pub name: String,
+    /// The `pr` field.
+    pub pr: u64,
+    /// The parsed document.
+    pub value: Value,
+}
+
+/// All `BENCH_*.json` paths directly under `root`, name-sorted.
+pub fn find_bench_files(root: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(root)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn field<'v>(v: &'v Value, key: &str, name: &str) -> Result<&'v Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{name}: missing required key `{key}`"))
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::UInt(u) => u64::try_from(*u).ok(),
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Checks one document against the shared cross-PR schema.
+fn schema_check(name: &str, v: &Value) -> Result<u64, String> {
+    v.as_object()
+        .ok_or_else(|| format!("{name}: top level must be an object"))?;
+    let pr = as_u64(field(v, "pr", name)?)
+        .ok_or_else(|| format!("{name}: `pr` must be an unsigned integer"))?;
+    match field(v, "date", name)? {
+        Value::String(d) if d.len() == 10 && d.chars().filter(|c| *c == '-').count() == 2 => {}
+        other => return Err(format!("{name}: `date` must be YYYY-MM-DD, got {other:?}")),
+    }
+    let env = field(v, "environment", name)?;
+    env.as_object()
+        .ok_or_else(|| format!("{name}: `environment` must be an object"))?;
+    as_u64(field(env, "cpus", name)?)
+        .ok_or_else(|| format!("{name}: `environment.cpus` must be an unsigned integer"))?;
+    match field(env, "profile", name)? {
+        Value::String(_) => {}
+        other => {
+            return Err(format!(
+                "{name}: `environment.profile` must be a string, got {other:?}"
+            ))
+        }
+    }
+    let commands = field(v, "commands", name)?
+        .as_array()
+        .ok_or_else(|| format!("{name}: `commands` must be an array"))?;
+    if commands.is_empty() {
+        return Err(format!("{name}: `commands` must name at least one command"));
+    }
+    for c in commands {
+        if !matches!(c, Value::String(_)) {
+            return Err(format!(
+                "{name}: `commands` entries must be strings, got {c:?}"
+            ));
+        }
+    }
+    Ok(pr)
+}
+
+/// Loads and schema-checks every bench file under `root`, PR-sorted.
+///
+/// # Errors
+///
+/// Unreadable/unparseable files, schema violations, and duplicate `pr`
+/// values are all reported with the offending file named.
+pub fn load(root: &Path) -> Result<Vec<BenchFile>, String> {
+    let paths = find_bench_files(root);
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json files under {}", root.display()));
+    }
+    let mut files = Vec::new();
+    for path in paths {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("BENCH_?.json")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{name}: read failed: {e}"))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("{name}: invalid JSON: {e}"))?;
+        let pr = schema_check(&name, &value)?;
+        files.push(BenchFile { name, pr, value });
+    }
+    files.sort_by_key(|f| f.pr);
+    for pair in files.windows(2) {
+        if pair[0].pr == pair[1].pr {
+            return Err(format!(
+                "{} and {} both claim pr {}",
+                pair[0].name, pair[1].name, pair[0].pr
+            ));
+        }
+    }
+    Ok(files)
+}
+
+/// Flattens a document's numeric leaves to dotted metric paths.
+///
+/// Bookkeeping keys (`pr`, the `environment` block) and arrays (per-run
+/// sample lists) are skipped — rows are the *headline* numbers.
+pub fn flatten_metrics(v: &Value) -> Vec<(String, f64)> {
+    fn walk(prefix: &str, v: &Value, out: &mut Vec<(String, f64)>) {
+        match v {
+            Value::Object(fields) => {
+                for (k, child) in fields {
+                    let path = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&path, child, out);
+                }
+            }
+            _ => {
+                if let Some(n) = as_f64(v) {
+                    out.push((prefix.to_string(), n));
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if let Some(fields) = v.as_object() {
+        for (k, child) in fields {
+            if k == "pr" || k == "environment" {
+                continue;
+            }
+            walk(k, child, &mut out);
+        }
+    }
+    out
+}
+
+fn fmt_num(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n:.3}")
+    }
+}
+
+/// Renders the per-metric trend table: one row per dotted metric path,
+/// one column per PR, `-` where a PR does not report the metric.
+pub fn trend_table(files: &[BenchFile]) -> String {
+    use std::fmt::Write as _;
+    let per_file: Vec<Vec<(String, f64)>> =
+        files.iter().map(|f| flatten_metrics(&f.value)).collect();
+    let mut rows: Vec<String> = per_file
+        .iter()
+        .flatten()
+        .map(|(path, _)| path.clone())
+        .collect();
+    rows.sort();
+    rows.dedup();
+
+    let width = rows.iter().map(String::len).max().unwrap_or(6).max(6);
+    let mut out = String::new();
+    let _ = write!(out, "{:<width$}", "metric");
+    for f in files {
+        let _ = write!(out, " {:>12}", format!("pr{}", f.pr));
+    }
+    out.push('\n');
+    for row in &rows {
+        let _ = write!(out, "{row:<width$}");
+        for metrics in &per_file {
+            let cell = metrics
+                .iter()
+                .find(|(p, _)| p == row)
+                .map_or_else(|| "-".to_string(), |(_, n)| fmt_num(*n));
+            let _ = write!(out, " {cell:>12}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The real committed BENCH files must satisfy the contract — this is
+    /// the in-CI version of `bench_trend`'s check.
+    #[test]
+    fn committed_bench_files_pass_the_schema_check() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let files = load(root).expect("committed BENCH files load");
+        assert!(
+            files.len() >= 2,
+            "expected BENCH_pr2 and BENCH_pr4 at least"
+        );
+        assert!(files.windows(2).all(|w| w[0].pr < w[1].pr));
+        let pr2 = files.iter().find(|f| f.pr == 2).expect("BENCH_pr2.json");
+        let metrics = flatten_metrics(&pr2.value);
+        assert!(
+            metrics
+                .iter()
+                .any(|(p, _)| p == "engine_scaling_ms.threads_1"),
+            "expected the PR 2 headline metric, got {metrics:?}"
+        );
+    }
+
+    #[test]
+    fn trend_table_lines_up_metrics_across_prs() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let files = load(root).expect("load");
+        let table = trend_table(&files);
+        let header = table.lines().next().expect("header row");
+        for f in &files {
+            assert!(header.contains(&format!("pr{}", f.pr)), "{header}");
+        }
+        assert!(table.contains("engine_scaling_ms.threads_1"), "{table}");
+        // A metric reported by one PR but not another renders as `-`.
+        assert!(
+            table.contains(" -"),
+            "absent cells must render as -:\n{table}"
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_reported_with_the_file_named() {
+        let bad = |json: &str| -> String {
+            let v: Value = serde_json::from_str(json).expect("test JSON parses");
+            schema_check("BENCH_bad.json", &v).expect_err("must fail")
+        };
+        assert!(bad(r#"{"date":"2026-08-07"}"#).contains("`pr`"));
+        assert!(bad(r#"{"pr":9,"date":"yesterday"}"#).contains("`date`"));
+        assert!(bad(r#"{"pr":9,"date":"2026-08-07","environment":{}}"#).contains("cpus"));
+        assert!(bad(r#"{"pr":9,"date":"2026-08-07",
+                    "environment":{"cpus":1,"profile":"bench"},"commands":[]}"#)
+        .contains("commands"));
+        let ok = r#"{"pr":9,"date":"2026-08-07",
+            "environment":{"cpus":1,"profile":"bench"},
+            "commands":["cargo bench"],"wall_ms":{"x":1.5}}"#;
+        let v: Value = serde_json::from_str(ok).unwrap();
+        assert_eq!(schema_check("BENCH_pr9.json", &v), Ok(9));
+        assert_eq!(flatten_metrics(&v), vec![("wall_ms.x".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn duplicate_pr_numbers_are_rejected() {
+        let dir = std::env::temp_dir().join("teesec_bench_trend_dup_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = r#"{"pr":7,"date":"2026-08-07",
+            "environment":{"cpus":1,"profile":"bench"},"commands":["x"]}"#;
+        std::fs::write(dir.join("BENCH_pr7.json"), doc).unwrap();
+        std::fs::write(dir.join("BENCH_pr7b.json"), doc).unwrap();
+        let err = load(&dir).expect_err("duplicate pr must fail");
+        assert!(err.contains("both claim pr 7"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

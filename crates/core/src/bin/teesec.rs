@@ -5,15 +5,17 @@
 //! teesec list-gadgets                      # access_gadgets.txt analog
 //! teesec plan    [--design D] [--json]     # the verification plan
 //! teesec run <gadget> [--design D] [--simlog FILE] [--checker-log FILE]
-//!                     [--events FILE] [--metrics-out FILE]
+//!                     [--events FILE] [--metrics-out FILE] [--trace-out FILE]
 //! teesec explain <gadget> [--design D]     # leak provenance chains
 //! teesec campaign [--design D] [--cases N] [--output FILE]
 //!                 [--events FILE] [--metrics-out FILE] [--diff]
 //!                 [--streaming on|off] [--snapshot-cache on|off]
+//!                 [--trace-out FILE]       # Perfetto span trace
 //! teesec matrix  [--cases N]               # the Table 3 matrix
 //! teesec diff    [gadget ...] [--design D] [--cases N] [--stride N]
-//!                [--output FILE]           # core-vs-ISS lockstep oracle
+//!                [--output FILE] [--trace-out FILE]  # core-vs-ISS oracle
 //! teesec coverage [--design D] [--seeds N] [--cases N] [--metrics-out FILE]
+//! teesec trace-report <trace.json> [--json] # critical path + stragglers
 //! ```
 
 use std::collections::BTreeMap;
@@ -23,7 +25,7 @@ use std::process::ExitCode;
 use teesec::assemble::{assemble_case, CaseParams};
 use teesec::campaign::{vulnerability_matrix, Campaign};
 use teesec::checker::check_case;
-use teesec::diff::{diff_corpus, DiffOptions, DiffVerdict};
+use teesec::diff::{DiffOptions, DiffVerdict};
 use teesec::engine::{EngineOptions, EventSink};
 use teesec::fuzz::{CoverageFuzzer, Fuzzer};
 use teesec::gadgets::{catalog, GadgetKind};
@@ -31,20 +33,24 @@ use teesec::paths::AccessPath;
 use teesec::runner::run_case;
 use teesec::simlog::render_simlog;
 use teesec::VerificationPlan;
+use teesec_trace::{Trace, Tracer};
 use teesec_uarch::CoreConfig;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
          teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
-         \x20          [--events FILE] [--metrics-out FILE]\n  \
+         \x20          [--events FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
          teesec explain <access-gadget> [--design boom|xiangshan]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
          \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet] [--diff]\n  \
          \x20               [--streaming on|off] [--snapshot-cache on|off]  (both default on)\n  \
+         \x20               [--trace-out FILE]\n  \
          teesec matrix [--cases N]\n  \
          teesec diff [gadget ...] [--design boom|xiangshan] [--cases N] [--stride N] [--output FILE]\n  \
-         teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]"
+         \x20           [--trace-out FILE]\n  \
+         teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]\n  \
+         teesec trace-report <trace.json> [--json]"
     );
     ExitCode::from(2)
 }
@@ -59,6 +65,7 @@ struct Opts {
     output: Option<String>,
     events: Option<String>,
     metrics_out: Option<String>,
+    trace_out: Option<String>,
     case_cycle_budget: Option<u64>,
     quiet: bool,
     diff: bool,
@@ -93,6 +100,7 @@ fn parse(args: &[String]) -> Option<Opts> {
         output: None,
         events: None,
         metrics_out: None,
+        trace_out: None,
         case_cycle_budget: None,
         quiet: false,
         diff: false,
@@ -145,6 +153,10 @@ fn parse(args: &[String]) -> Option<Opts> {
                 i += 1;
                 o.metrics_out = Some(args.get(i)?.clone());
             }
+            "--trace-out" => {
+                i += 1;
+                o.trace_out = Some(args.get(i)?.clone());
+            }
             "--case-cycle-budget" => {
                 i += 1;
                 o.case_cycle_budget = Some(args.get(i)?.parse().ok()?);
@@ -195,6 +207,7 @@ fn main() -> ExitCode {
         "matrix" => cmd_matrix(&opts),
         "diff" => cmd_diff(&opts),
         "coverage" => cmd_coverage(&opts),
+        "trace-report" => cmd_trace_report(&opts),
         _ => usage(),
     }
 }
@@ -327,8 +340,9 @@ fn cmd_run(opts: &Opts) -> ExitCode {
     }
     // Observability artifacts: route the same single case through the
     // engine (simulation is deterministic, so results are identical) to
-    // produce the JSONL event stream and/or the metrics snapshot.
-    if opts.events.is_some() || opts.metrics_out.is_some() {
+    // produce the JSONL event stream, the metrics snapshot, and/or the
+    // Perfetto span trace.
+    if opts.events.is_some() || opts.metrics_out.is_some() || opts.trace_out.is_some() {
         let events = match &opts.events {
             Some(p) => match EventSink::file(p) {
                 Ok(sink) => Some(sink),
@@ -339,12 +353,17 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             },
             None => None,
         };
+        let tracer = match &opts.trace_out {
+            Some(_) => Tracer::new(1),
+            None => Tracer::disabled(),
+        };
         let engine = teesec::Engine::new(
             opts.design.clone(),
             EngineOptions {
                 threads: 1,
                 counters: true,
                 events,
+                tracer: tracer.clone(),
                 ..EngineOptions::default()
             },
         );
@@ -354,6 +373,11 @@ fn cmd_run(opts: &Opts) -> ExitCode {
         );
         if let Some(p) = &opts.events {
             println!("event stream written to {p}");
+        }
+        if let Some(p) = &opts.trace_out {
+            if !write_trace(&tracer, p) {
+                return ExitCode::FAILURE;
+            }
         }
         if let Some(p) = &opts.metrics_out {
             let snap = teesec::metrics::campaign_snapshot(&result);
@@ -433,6 +457,10 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         },
         None => None,
     };
+    let tracer = match &opts.trace_out {
+        Some(_) => Tracer::new(opts.threads.max(1)),
+        None => Tracer::disabled(),
+    };
     let campaign =
         Campaign::new(opts.design.clone(), Fuzzer::with_target(opts.cases)).keep_reports();
     let (result, reports) = campaign.run_engine(EngineOptions {
@@ -448,6 +476,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         }),
         streaming: opts.streaming,
         snapshot_cache: opts.snapshot_cache,
+        tracer: tracer.clone(),
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
@@ -483,6 +512,16 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
     }
     if let Some(p) = &opts.events {
         println!("event stream written to {p}");
+    }
+    if let Some(p) = &opts.trace_out {
+        if !write_trace(&tracer, p) {
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            if let Some(report) = metrics.trace.as_ref() {
+                print!("{}", report.render());
+            }
+        }
     }
     if let Some(p) = &opts.metrics_out {
         let snap = teesec::metrics::campaign_snapshot(&result);
@@ -541,7 +580,11 @@ fn cmd_diff(opts: &Opts) -> ExitCode {
         stride: opts.stride,
         ..DiffOptions::default()
     };
-    let summary = diff_corpus(&corpus, &opts.design, &diff_opts);
+    let tracer = match &opts.trace_out {
+        Some(_) => Tracer::new(1),
+        None => Tracer::disabled(),
+    };
+    let summary = teesec::diff_corpus_traced(&corpus, &opts.design, &diff_opts, &tracer);
     for case in &summary.cases {
         match &case.verdict {
             DiffVerdict::Diverged(d) => {
@@ -561,6 +604,11 @@ fn cmd_diff(opts: &Opts) -> ExitCode {
         summary.skipped,
         summary.retires_compared
     );
+    if let Some(p) = &opts.trace_out {
+        if !write_trace(&tracer, p) {
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(p) = &opts.output {
         fs::write(
             p,
@@ -574,6 +622,56 @@ fn cmd_diff(opts: &Opts) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Serializes `tracer`'s recorded spans as Chrome/Perfetto trace JSON at
+/// `path`. Returns `false` (after printing the error) on I/O failure.
+fn write_trace(tracer: &Tracer, path: &str) -> bool {
+    match fs::write(path, tracer.snapshot().to_chrome_json()) {
+        Ok(()) => {
+            println!("perfetto trace written to {path} (open at ui.perfetto.dev)");
+            true
+        }
+        Err(e) => {
+            eprintln!("cannot write trace `{path}`: {e}");
+            false
+        }
+    }
+}
+
+/// `teesec trace-report`: offline analysis of a `--trace-out` file —
+/// campaign critical path, per-phase wall-time attribution, worker
+/// utilization, and the top straggler cases. `--json` emits the structured
+/// [`TraceReport`](teesec_trace::TraceReport) instead of the table.
+fn cmd_trace_report(opts: &Opts) -> ExitCode {
+    let Some(path) = opts.positional.first() else {
+        eprintln!("`teesec trace-report` requires a trace.json file (from --trace-out)");
+        return ExitCode::from(2);
+    };
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read trace `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match Trace::from_chrome_json(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse trace `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = trace.analyze(5);
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize")
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
 }
 
 /// `teesec coverage`: one coverage-guided fuzzing session. `--seeds` sets

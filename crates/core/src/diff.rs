@@ -22,6 +22,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use teesec_trace::Tracer;
+
 use teesec_isa::csr::{self, CsrAddr};
 use teesec_isa::inst::Inst;
 use teesec_isa::priv_level::PrivLevel;
@@ -495,14 +497,42 @@ fn diverged_at(
 /// Runs [`diff_case`] over a corpus, aggregating verdicts. Build failures
 /// surface as skips (the campaign engine already reports them separately).
 pub fn diff_corpus(cases: &[TestCase], cfg: &CoreConfig, opts: &DiffOptions) -> DiffSummary {
+    diff_corpus_traced(cases, cfg, opts, &Tracer::disabled())
+}
+
+/// [`diff_corpus`] with span recording: each case becomes a `case` span
+/// (worker 0) wrapping a `diff` child span whose `verdict` arg carries the
+/// oracle's outcome — `teesec diff --trace-out` renders the corpus as a
+/// single-lane timeline.
+pub fn diff_corpus_traced(
+    cases: &[TestCase],
+    cfg: &CoreConfig,
+    opts: &DiffOptions,
+    tracer: &Tracer,
+) -> DiffSummary {
     let mut summary = DiffSummary::default();
-    for tc in cases {
+    for (seq, tc) in cases.iter().enumerate() {
+        let mut case_span = tracer.span(0, "case", 0);
+        case_span.arg("case", tc.name.as_str());
+        case_span.arg("seq", seq);
+        case_span.arg("design", cfg.name.as_str());
+        let mut dspan = tracer.span(0, "diff", case_span.id());
         let verdict = match diff_case(tc, cfg, opts) {
             Ok(v) => v,
             Err(e) => DiffVerdict::Skipped {
                 reason: format!("build failed: {e:?}"),
             },
         };
+        dspan.arg(
+            "verdict",
+            match &verdict {
+                DiffVerdict::Match { .. } => "match",
+                DiffVerdict::Diverged(_) => "diverged",
+                DiffVerdict::Skipped { .. } => "skipped",
+            },
+        );
+        drop(dspan);
+        drop(case_span);
         match &verdict {
             DiffVerdict::Match { retires, .. } => {
                 summary.matches += 1;

@@ -31,6 +31,7 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 use teesec_obs::{Histogram, Summary};
+use teesec_trace::{TraceCtx, TraceReport, Tracer};
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::introspect::StorageInventory;
 use teesec_uarch::{RunExit, StructureCounters, UarchCounters};
@@ -77,6 +78,14 @@ pub struct EngineOptions {
     /// re-assembling and re-simulating the SM boot. Hit/miss/bypass
     /// counters land in [`EngineMetrics::snapshot`].
     pub snapshot_cache: bool,
+    /// Span recorder. When enabled ([`Tracer::new`]), the engine emits a
+    /// full span tree — `campaign` → per-worker `worker` → `queue_wait` /
+    /// `case` → `build` / `simulate` / `scan` / `diff` — plus watchdog
+    /// and snapshot-capture instants, analyzes it into
+    /// [`EngineMetrics::trace`], and leaves the raw spans retrievable via
+    /// [`Tracer::snapshot`] for `--trace-out`. The default (disabled)
+    /// tracer makes every instrumentation point a no-op.
+    pub tracer: Tracer,
 }
 
 /// A thread-safe JSONL sink for [`EngineEvent`]s.
@@ -195,6 +204,11 @@ pub enum EngineEvent {
         case: String,
         /// Worker id (0-based).
         worker: usize,
+        /// The case's span id on a traced run (`None` untraced) — joins
+        /// this event against the `--trace-out` trace.
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
     },
     /// A case simulated and checked normally.
     CaseFinished {
@@ -216,6 +230,10 @@ pub enum EngineEvent {
         simulate_us: u128,
         /// Check phase cost.
         check_us: u128,
+        /// The case's span id on a traced run (`None` untraced).
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
     },
     /// The microarchitectural counter digest of one finished case.
     /// Emitted right after [`EngineEvent::CaseFinished`] when
@@ -227,6 +245,10 @@ pub enum EngineEvent {
         case: String,
         /// The case's harvested counters.
         counters: UarchCounters,
+        /// The case's span id on a traced run (`None` untraced).
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
     },
     /// The differential-oracle verdict of one finished case. Emitted
     /// right after [`EngineEvent::CaseFinished`] (and any
@@ -238,6 +260,10 @@ pub enum EngineEvent {
         case: String,
         /// The oracle's verdict for this case.
         verdict: DiffVerdict,
+        /// The case's span id on a traced run (`None` untraced).
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
     },
     /// A case failed to build or panicked and was quarantined.
     CaseQuarantined {
@@ -247,6 +273,10 @@ pub enum EngineEvent {
         case: String,
         /// Error description.
         error: String,
+        /// The case's span id on a traced run (`None` untraced).
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
     },
     /// All cases drained; aggregate metrics follow.
     CampaignFinished {
@@ -286,7 +316,16 @@ pub struct EngineMetrics {
     /// [`EngineOptions::snapshot_cache`] was on. Absent in event streams
     /// recorded before the field existed (deserializes to `None`).
     pub snapshot: Option<SnapshotCacheMetrics>,
+    /// Trace analysis — critical path, per-phase wall-time attribution,
+    /// worker utilization, top straggler cases. `Some` iff
+    /// [`EngineOptions::tracer`] was enabled. Absent in event streams
+    /// recorded before the field existed (deserializes to `None`).
+    pub trace: Option<TraceReport>,
 }
+
+/// Straggler-table depth of the [`TraceReport`] a traced engine run
+/// attaches to its metrics.
+const TRACE_TOP_STRAGGLERS: usize = 5;
 
 /// Aggregate differential-oracle outcomes for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -389,6 +428,9 @@ pub(crate) struct CaseExecution {
     pub check_us: u128,
     pub counters: Option<UarchCounters>,
     pub diff: Option<DiffVerdict>,
+    /// Which build path produced the platform (`None` for quarantined
+    /// cases that never finished building).
+    pub cache: Option<&'static str>,
 }
 
 /// Per-case execution knobs for [`execute_case`] (the engine-independent
@@ -400,6 +442,12 @@ pub(crate) struct ExecOptions<'c> {
     pub counters: bool,
     pub streaming: bool,
     pub snapshot_cache: Option<&'c SnapshotCache>,
+    /// Span recorder for the case's phase spans (`None` untraced).
+    pub tracer: Option<&'c Tracer>,
+    /// Worker index spans are attributed to.
+    pub worker: usize,
+    /// The enclosing `case` span's id (0 untraced).
+    pub case_span: u64,
 }
 
 /// Builds, simulates, and checks `tc`, quarantining build errors and
@@ -431,6 +479,12 @@ pub(crate) fn execute_case(
         check_us: 0,
         counters: None,
         diff: None,
+        cache: None,
+    };
+    let tctx = TraceCtx {
+        tracer: opts.tracer,
+        worker: opts.worker,
+        parent: opts.case_span,
     };
 
     let t_sim = Instant::now();
@@ -445,6 +499,7 @@ pub(crate) fn execute_case(
                     .streaming
                     .then(|| Box::new(StreamingChecker::new(tc, cfg)) as _),
                 buffer_trace: !opts.streaming,
+                trace: tctx,
             },
         )
     })) {
@@ -456,6 +511,8 @@ pub(crate) fn execute_case(
     let simulate_us = t_sim.elapsed().as_micros().saturating_sub(build_us);
 
     let t_chk = Instant::now();
+    let mut scan_span = tctx.span("scan");
+    scan_span.arg("streaming", u64::from(opts.streaming));
     let streamed: Option<Box<StreamingChecker>> = outcome
         .platform
         .core
@@ -469,6 +526,8 @@ pub(crate) fn execute_case(
         Ok(report) => report,
         Err(panic) => return quarantined(format!("checker panic: {}", panic_message(&panic))),
     };
+    scan_span.arg("findings", report.findings.len());
+    drop(scan_span);
     let check_us = t_chk.elapsed().as_micros();
     let counters = opts.counters.then(|| outcome.platform.core.counters());
 
@@ -498,6 +557,7 @@ pub(crate) fn execute_case(
         check_us,
         counters,
         diff: None,
+        cache: Some(outcome.build.label()),
     }
 }
 
@@ -557,6 +617,11 @@ impl Engine {
     ) -> (CampaignResult, Vec<CheckReport>) {
         let threads = self.opts.threads.max(1);
         let t0 = Instant::now();
+        let mut campaign_span = self.opts.tracer.span(0, "campaign", 0);
+        campaign_span.arg("design", self.cfg.name.as_str());
+        campaign_span.arg("cases", corpus.len());
+        campaign_span.arg("threads", threads);
+        let campaign_id = campaign_span.id();
         if let Some(sink) = &self.opts.events {
             sink.emit(&EngineEvent::CampaignStarted {
                 design: self.cfg.name.clone(),
@@ -581,14 +646,27 @@ impl Engine {
                 let snapshot_cache = snapshot_cache.as_ref();
                 handles.push(scope.spawn(move || {
                     let mut out = Vec::new();
+                    let mut wspan = opts.tracer.span(worker, "worker", campaign_id);
+                    let worker_id = wspan.id();
                     loop {
+                        let queue_span = opts.tracer.span(worker, "queue_wait", worker_id);
                         let seq = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(tc) = corpus.get(seq) else { break };
+                        drop(queue_span);
+                        let mut case_span = opts.tracer.span(worker, "case", worker_id);
+                        case_span.arg("case", tc.name.as_str());
+                        case_span.arg("seq", seq);
+                        case_span.arg("design", cfg.name.as_str());
+                        let case_id = case_span.id();
+                        let sid = (case_id != 0).then_some(case_id);
+                        let pid = (worker_id != 0).then_some(worker_id);
                         if let Some(sink) = &opts.events {
                             sink.emit(&EngineEvent::CaseStarted {
                                 seq,
                                 case: tc.name.clone(),
                                 worker,
+                                span_id: sid,
+                                parent_id: pid,
                             });
                         }
                         let mut exec = execute_case(
@@ -600,20 +678,51 @@ impl Engine {
                                 counters: opts.counters,
                                 streaming: opts.streaming,
                                 snapshot_cache,
+                                tracer: opts.tracer.enabled().then_some(&opts.tracer),
+                                worker,
+                                case_span: case_id,
                             },
                         );
                         if let Some(diff_opts) = &opts.diff {
                             if exec.result.error.is_none() {
-                                exec.diff = Some(execute_diff(tc, cfg, diff_opts));
+                                let mut dspan = opts.tracer.span(worker, "diff", case_id);
+                                let verdict = execute_diff(tc, cfg, diff_opts);
+                                dspan.arg(
+                                    "verdict",
+                                    match &verdict {
+                                        DiffVerdict::Match { .. } => "match",
+                                        DiffVerdict::Diverged(_) => "diverged",
+                                        DiffVerdict::Skipped { .. } => "skipped",
+                                    },
+                                );
+                                exec.diff = Some(verdict);
                             }
                         }
+                        if exec.budget_exceeded {
+                            opts.tracer.mark(worker, "watchdog_fire", case_id);
+                        }
+                        if exec.result.error.is_some() {
+                            case_span.arg("quarantined", 1u64);
+                        }
+                        if let Some(cache) = exec.cache {
+                            case_span.arg("cache", cache);
+                        }
+                        case_span.arg("cycles", exec.result.cycles);
+                        case_span.arg("findings", exec.result.finding_count);
+                        if let Some(counters) = &exec.counters {
+                            case_span.arg("instructions", counters.instructions_retired);
+                            case_span.arg("trace_events", counters.trace_events);
+                        }
+                        drop(case_span);
                         if let Some(sink) = &opts.events {
-                            sink.emit(&case_event(seq, &exec));
+                            sink.emit(&case_event(seq, &exec, sid, pid));
                             if let Some(counters) = &exec.counters {
                                 sink.emit(&EngineEvent::CaseCounters {
                                     seq,
                                     case: exec.result.name.clone(),
                                     counters: counters.clone(),
+                                    span_id: sid,
+                                    parent_id: pid,
                                 });
                             }
                             if let Some(verdict) = &exec.diff {
@@ -621,6 +730,8 @@ impl Engine {
                                     seq,
                                     case: exec.result.name.clone(),
                                     verdict: verdict.clone(),
+                                    span_id: sid,
+                                    parent_id: pid,
                                 });
                             }
                         }
@@ -637,6 +748,7 @@ impl Engine {
                         }
                         out.push((seq, exec));
                     }
+                    wspan.arg("cases", out.len());
                     out
                 }));
             }
@@ -647,6 +759,7 @@ impl Engine {
         if self.opts.progress && !corpus.is_empty() {
             eprintln!();
         }
+        drop(campaign_span);
 
         let mut metrics = EngineMetrics {
             threads,
@@ -663,6 +776,11 @@ impl Engine {
                 .then(|| ObsMetrics::for_design(&self.cfg)),
             diff: self.opts.diff.is_some().then(DiffMetrics::default),
             snapshot: snapshot_cache.as_ref().map(SnapshotCache::metrics),
+            trace: self
+                .opts
+                .tracer
+                .enabled()
+                .then(|| self.opts.tracer.snapshot().analyze(TRACE_TOP_STRAGGLERS)),
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
@@ -729,12 +847,19 @@ impl Engine {
     }
 }
 
-fn case_event(seq: usize, exec: &CaseExecution) -> EngineEvent {
+fn case_event(
+    seq: usize,
+    exec: &CaseExecution,
+    span_id: Option<u64>,
+    parent_id: Option<u64>,
+) -> EngineEvent {
     match &exec.result.error {
         Some(error) => EngineEvent::CaseQuarantined {
             seq,
             case: exec.result.name.clone(),
             error: error.clone(),
+            span_id,
+            parent_id,
         },
         None => EngineEvent::CaseFinished {
             seq,
@@ -746,6 +871,8 @@ fn case_event(seq: usize, exec: &CaseExecution) -> EngineEvent {
             build_us: exec.build_us,
             simulate_us: exec.simulate_us,
             check_us: exec.check_us,
+            span_id,
+            parent_id,
         },
     }
 }

@@ -73,7 +73,9 @@ pub mod testcase;
 pub use campaign::{Campaign, CampaignResult};
 pub use checker::check_case;
 pub use cover::{CoverKind, CoverageKey, CoverageMap};
-pub use diff::{diff_case, diff_corpus, DiffOptions, DiffSummary, DiffVerdict, Divergence};
+pub use diff::{
+    diff_case, diff_corpus, diff_corpus_traced, DiffOptions, DiffSummary, DiffVerdict, Divergence,
+};
 pub use engine::{
     DiffMetrics, Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink, ObsMetrics,
 };
@@ -84,6 +86,8 @@ pub use paths::AccessPath;
 pub use plan::VerificationPlan;
 pub use provenance::{ProvenanceChain, ProvenanceHop};
 pub use report::{CheckReport, Finding, LeakClass, Principle};
-pub use runner::{run_case, run_case_opts, RunOptions, SnapshotCache, SnapshotCacheMetrics};
+pub use runner::{
+    run_case, run_case_opts, BuildKind, RunOptions, SnapshotCache, SnapshotCacheMetrics,
+};
 pub use stream::StreamingChecker;
 pub use testcase::TestCase;

@@ -40,8 +40,10 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         findings_total as u64,
         "Checker findings across the corpus",
     );
+    // A 0/1 detection flag is state, not a monotonic count — expose it as
+    // a gauge (it can go back to 0 when a mitigation lands).
     for class in crate::report::LeakClass::all() {
-        snap.counter(
+        snap.gauge(
             "teesec_leak_class_detected",
             &[("design", design), ("class", &class.to_string())],
             u64::from(result.found(*class)),
@@ -85,12 +87,63 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         "Wall-clock time of the execute+check stage, microseconds",
     );
 
+    if let Some(trace) = &engine.trace {
+        for phase in &trace.phases {
+            let labels = &[("design", design), ("phase", phase.phase.as_str())];
+            let s = &phase.summary;
+            // Span durations are recorded in µs, and 1 µs is exactly one
+            // micro-second — the fixed-point micro gauge renders them as
+            // decimal seconds without ever touching a float.
+            for (stat, value) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99)] {
+                snap.gauge_micro(
+                    &format!("teesec_phase_wall_seconds_{stat}"),
+                    labels,
+                    value,
+                    "Per-case phase wall-time percentile, seconds",
+                );
+            }
+            snap.gauge_micro(
+                "teesec_phase_wall_seconds_sum",
+                labels,
+                phase.total_us,
+                "Total wall time attributed to the phase, seconds",
+            );
+            snap.gauge(
+                "teesec_phase_wall_seconds_count",
+                labels,
+                s.count,
+                "Spans recorded for the phase",
+            );
+        }
+        for w in &trace.workers {
+            let worker = w.worker.to_string();
+            snap.gauge_micro(
+                "teesec_worker_busy_ratio",
+                &[("design", design), ("worker", &worker)],
+                w.busy_ratio_ppm,
+                "Fraction of the worker's span it spent executing cases",
+            );
+        }
+        snap.gauge(
+            "teesec_trace_critical_path_us",
+            &[("design", design)],
+            trace.critical_path_us,
+            "Wall time of the campaign's critical-path worker, microseconds",
+        );
+    }
+
     if let Some(snapshot) = &engine.snapshot {
         snap.counter(
             "teesec_snapshot_cache_hits_total",
             &[("design", design)],
             snapshot.hits,
             "Cases built by forking a cached copy-on-write platform snapshot",
+        );
+        snap.counter(
+            "teesec_snapshot_cache_capture_us_total",
+            &[("design", design)],
+            snapshot.capture_us,
+            "Wall time spent capturing snapshots (boot + prefix), microseconds",
         );
         snap.counter(
             "teesec_snapshot_cache_misses_total",
@@ -200,7 +253,7 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
             "Flush/invalidate events per structure",
         );
         snap.gauge(
-            "teesec_structure_occupancy_at_exit",
+            "teesec_structure_occupancy_entries",
             labels,
             s.occupancy_at_exit,
             "Maximum valid entries at case exit (residue surface)",

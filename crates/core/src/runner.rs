@@ -27,11 +27,43 @@ use serde::{Deserialize, Serialize};
 use teesec_tee::layout;
 use teesec_tee::platform::{BuildError, HostVm, Platform, PlatformBuilder, PlatformSnapshot};
 use teesec_tee::sm::SmOptions;
+use teesec_trace::TraceCtx;
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::core::RunExit;
 use teesec_uarch::trace::TraceSink;
 
 use crate::testcase::{lower_steps, TestCase};
+
+/// How a case's platform came to be: the snapshot-cache tier (if any)
+/// that produced it. Carried on [`RunOutcome`] so traces and events can
+/// attribute build cost to the right path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildKind {
+    /// Assembled and booted from reset (no cache, or cache bypassed).
+    Fresh,
+    /// This case captured the boot snapshot for its configuration.
+    BootCaptured,
+    /// Forked an existing boot snapshot.
+    BootForked,
+    /// This case captured the setup-prefix checkpoint for its sweep
+    /// family.
+    PrefixCaptured,
+    /// Forked an existing setup-prefix checkpoint.
+    PrefixForked,
+}
+
+impl BuildKind {
+    /// Short label for trace args and metrics (`fresh`, `boot_fork`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            BuildKind::Fresh => "fresh",
+            BuildKind::BootCaptured => "boot_capture",
+            BuildKind::BootForked => "boot_fork",
+            BuildKind::PrefixCaptured => "prefix_capture",
+            BuildKind::PrefixForked => "prefix_fork",
+        }
+    }
+}
 
 /// The product of running one test case.
 #[derive(Debug)]
@@ -45,6 +77,8 @@ pub struct RunOutcome {
     /// Wall-clock cost of assembling and building the platform, separated
     /// from simulation proper for the engine's per-phase histograms.
     pub build_us: u128,
+    /// Which build path produced the platform.
+    pub build: BuildKind,
 }
 
 /// Builds and runs `tc` on a core configured by `cfg`.
@@ -95,6 +129,10 @@ pub struct RunOptions<'c> {
     /// the sink still sees every event, but peak retained events stay
     /// O(boot prefix) instead of O(simulated cycles).
     pub buffer_trace: bool,
+    /// Span-recording context: when its tracer is set, the run emits
+    /// `build` and `simulate` spans (under the context's parent span)
+    /// plus periodic `sim_cycles` counter samples.
+    pub trace: TraceCtx<'c>,
 }
 
 impl Default for RunOptions<'_> {
@@ -104,9 +142,15 @@ impl Default for RunOptions<'_> {
             snapshot_cache: None,
             sink: None,
             buffer_trace: true,
+            trace: TraceCtx::default(),
         }
     }
 }
+
+/// Simulated cycles between `sim_cycles` counter samples on a traced run
+/// (a handful of samples for a typical case, so sampling cost stays
+/// negligible next to simulation).
+const SIM_SAMPLE_CYCLES: u64 = 50_000;
 
 /// [`run_case`] with full control over budget, snapshot reuse, and
 /// streaming ([`RunOptions`]).
@@ -120,10 +164,11 @@ pub fn run_case_opts(
     mut opts: RunOptions<'_>,
 ) -> Result<RunOutcome, BuildError> {
     let build_start = std::time::Instant::now();
+    let mut build_span = opts.trace.span("build");
     let limit = opts.budget.map_or(tc.max_cycles, |b| b.min(tc.max_cycles));
-    let mut platform = match opts.snapshot_cache {
+    let (mut platform, build) = match opts.snapshot_cache {
         Some(cache) => cache.platform_for(tc, cfg, limit)?,
-        None => case_builder(tc, cfg).build()?,
+        None => (case_builder(tc, cfg).build()?, BuildKind::Fresh),
     };
     if let Some(mut sink) = opts.sink.take() {
         // A forked platform's buffer already holds the boot-prefix events
@@ -137,14 +182,31 @@ pub fn run_case_opts(
     if !opts.buffer_trace {
         platform.core.trace.set_buffering(false);
     }
+    build_span.arg("cache", build.label());
+    drop(build_span);
+    if matches!(build, BuildKind::BootCaptured | BuildKind::PrefixCaptured) {
+        opts.trace.mark("snapshot_capture");
+    }
     let build_us = build_start.elapsed().as_micros();
-    let exit = platform.run(limit);
+    let exit = if opts.trace.active() {
+        let mut sim_span = opts.trace.span("simulate");
+        let tctx = opts.trace;
+        let exit = platform.run_batched(limit, SIM_SAMPLE_CYCLES, &mut |core| {
+            tctx.counter_sample("sim_cycles", core.cycle);
+        });
+        sim_span.arg("cycles", platform.core.cycle);
+        sim_span.arg("cache", build.label());
+        exit
+    } else {
+        platform.run(limit)
+    };
     let cycles = platform.core.cycle;
     Ok(RunOutcome {
         platform,
         exit,
         cycles,
         build_us,
+        build,
     })
 }
 
@@ -160,6 +222,9 @@ pub struct SnapshotCacheMetrics {
     /// an external interrupt scheduled inside the boot prefix, or a
     /// capture failure for the configuration).
     pub bypasses: u64,
+    /// Total wall-clock µs spent capturing checkpoints (boot snapshots
+    /// plus setup-prefix builds) — the one-time cost the hits amortize.
+    pub capture_us: u64,
 }
 
 /// Retained setup-prefix checkpoints are bounded: each holds a
@@ -191,6 +256,7 @@ pub struct SnapshotCache {
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    capture_us: AtomicU64,
 }
 
 type BootKey = (String, bool, u64, bool, bool);
@@ -227,6 +293,7 @@ impl SnapshotCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            capture_us: self.capture_us.load(Ordering::Relaxed),
         }
     }
 
@@ -239,7 +306,7 @@ impl SnapshotCache {
         tc: &TestCase,
         cfg: &CoreConfig,
         limit: u64,
-    ) -> Result<Platform, BuildError> {
+    ) -> Result<(Platform, BuildKind), BuildError> {
         // Tier one: setup-prefix checkpoints for interrupt-timing sweeps.
         // Only sound when the interrupt lands strictly inside the cycle
         // budget — otherwise a fresh run would hit the limit first.
@@ -254,7 +321,7 @@ impl SnapshotCache {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     let mut platform = snap.platform.clone();
                     platform.core.schedule_external_interrupt(at);
-                    return Ok(platform);
+                    return Ok((platform, BuildKind::PrefixForked));
                 }
                 // Captured but inapplicable (interrupt inside the captured
                 // prefix, or the family's capture failed): tier two.
@@ -266,17 +333,17 @@ impl SnapshotCache {
         let (snap, fresh_capture) = self.boot_snapshot_for(tc, cfg);
         match snap {
             Some(snap) if boot_fork_applies(tc, &snap) => {
-                let counter = if fresh_capture {
-                    &self.misses
+                let (counter, kind) = if fresh_capture {
+                    (&self.misses, BuildKind::BootCaptured)
                 } else {
-                    &self.hits
+                    (&self.hits, BuildKind::BootForked)
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
-                case_builder(tc, cfg).build_from(&snap)
+                Ok((case_builder(tc, cfg).build_from(&snap)?, kind))
             }
             _ => {
                 self.bypasses.fetch_add(1, Ordering::Relaxed);
-                case_builder(tc, cfg).build()
+                Ok((case_builder(tc, cfg).build()?, BuildKind::Fresh))
             }
         }
     }
@@ -291,8 +358,11 @@ impl SnapshotCache {
         cfg: &CoreConfig,
         at: u64,
         key: PrefixKey,
-    ) -> Result<Platform, BuildError> {
+    ) -> Result<(Platform, BuildKind), BuildError> {
         let (boot, _) = self.boot_snapshot_for(tc, cfg);
+        // Boot-capture cost (when this call did one) is accounted by
+        // `boot_snapshot_for`; time only the prefix build + run here.
+        let t0 = std::time::Instant::now();
         let built = match boot {
             Some(snap) if boot_fork_applies(tc, &snap) => {
                 case_builder_with(tc, cfg, false).build_from(&snap)
@@ -319,12 +389,16 @@ impl SnapshotCache {
             prefix_cycles: platform.core.cycle,
             platform,
         });
+        self.capture_us.fetch_add(
+            t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut forked = snap.platform.clone();
         forked.core.schedule_external_interrupt(at);
         let mut map = self.prefixes.lock().expect("prefix cache poisoned");
         map.insert_bounded(key, Some(snap));
-        Ok(forked)
+        Ok((forked, BuildKind::PrefixCaptured))
     }
 
     /// The boot snapshot for `tc`'s configuration, capturing it on first
@@ -358,6 +432,12 @@ impl SnapshotCache {
                 })
                 .clone()
         };
+        if fresh_capture {
+            if let Some(snap) = &entry {
+                self.capture_us
+                    .fetch_add(snap.capture_us(), Ordering::Relaxed);
+            }
+        }
         (entry, fresh_capture)
     }
 }

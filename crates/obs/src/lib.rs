@@ -260,6 +260,10 @@ pub struct MetricsSnapshot {
     pub counters: Vec<ScalarMetric>,
     /// Point-in-time gauges.
     pub gauges: Vec<ScalarMetric>,
+    /// Fixed-point gauges: `value` holds millionths, rendered as a decimal
+    /// (`1_500_000` → `1.500000`). Keeps seconds- and ratio-valued series
+    /// exact and `Eq` without `f64` anywhere in the snapshot.
+    pub micro_gauges: Vec<ScalarMetric>,
     /// Distributions.
     pub histograms: Vec<HistogramMetric>,
 }
@@ -296,6 +300,27 @@ impl MetricsSnapshot {
         });
     }
 
+    /// Appends a fixed-point gauge sample: `value_micro` is the value in
+    /// millionths (so `teesec_phase_wall_seconds_p50` for 1.5 s is
+    /// `1_500_000`), rendered as `1.500000` in the Prometheus exposition.
+    pub fn gauge_micro(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value_micro: u64,
+        help: &str,
+    ) {
+        self.micro_gauges.push(ScalarMetric {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: value_micro,
+            help: help.to_string(),
+        });
+    }
+
     /// Appends a histogram.
     pub fn histogram(&mut self, name: &str, histogram: Histogram, help: &str) {
         let summary = histogram.summary();
@@ -314,7 +339,11 @@ impl MetricsSnapshot {
     /// requires, regardless of insertion order.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
-        for (metrics, kind) in [(&self.counters, "counter"), (&self.gauges, "gauge")] {
+        for (metrics, kind, micro) in [
+            (&self.counters, "counter", false),
+            (&self.gauges, "gauge", false),
+            (&self.micro_gauges, "gauge", true),
+        ] {
             let mut families: Vec<&str> = Vec::new();
             for m in metrics.iter() {
                 if !families.contains(&m.name.as_str()) {
@@ -329,7 +358,12 @@ impl MetricsSnapshot {
                         let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
                         first = false;
                     }
-                    let _ = writeln!(out, "{}{} {}", m.name, render_labels(&m.labels), m.value);
+                    let value = if micro {
+                        format!("{}.{:06}", m.value / 1_000_000, m.value % 1_000_000)
+                    } else {
+                        m.value.to_string()
+                    };
+                    let _ = writeln!(out, "{}{} {}", m.name, render_labels(&m.labels), value);
                 }
             }
         }
@@ -481,6 +515,26 @@ mod tests {
         assert!(text.contains("t_lat_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("t_lat_sum 105"));
         assert!(text.contains("t_lat_count 2"));
+    }
+
+    #[test]
+    fn micro_gauges_render_as_fixed_point_decimals() {
+        let mut snap = MetricsSnapshot::new();
+        snap.gauge_micro(
+            "t_wall_seconds",
+            &[("phase", "simulate")],
+            1_500_000,
+            "wall s",
+        );
+        snap.gauge_micro("t_wall_seconds", &[("phase", "scan")], 42, "wall s");
+        snap.gauge_micro("t_busy_ratio", &[], 987_654, "busy fraction");
+        let text = snap.render_prometheus();
+        assert!(text.contains("# TYPE t_wall_seconds gauge"), "{text}");
+        assert!(text.contains("t_wall_seconds{phase=\"simulate\"} 1.500000"));
+        assert!(text.contains("t_wall_seconds{phase=\"scan\"} 0.000042"));
+        assert!(text.contains("t_busy_ratio 0.987654"));
+        // One HELP/TYPE pair for the two-sample family.
+        assert_eq!(text.matches("# TYPE t_wall_seconds").count(), 1);
     }
 
     #[test]

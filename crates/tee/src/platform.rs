@@ -350,6 +350,7 @@ pub struct PlatformSnapshot {
     satp_val: Option<u64>,
     layout: Layout,
     boot_cycles: u64,
+    capture_us: u64,
 }
 
 impl PlatformSnapshot {
@@ -365,6 +366,7 @@ impl PlatformSnapshot {
         sm_options: &SmOptions,
         host_vm: HostVm,
     ) -> Result<PlatformSnapshot, BuildError> {
+        let t0 = std::time::Instant::now();
         let lay = Layout::default();
         let mut mem = Memory::new();
         load_sm(sm_options, &mut mem)?;
@@ -379,6 +381,7 @@ impl PlatformSnapshot {
             satp_val,
             layout: lay,
             boot_cycles,
+            capture_us: t0.elapsed().as_micros().min(u64::MAX as u128) as u64,
         })
     }
 
@@ -386,6 +389,13 @@ impl PlatformSnapshot {
     /// skips).
     pub fn boot_cycles(&self) -> u64 {
         self.boot_cycles
+    }
+
+    /// Wall-clock µs the capture itself cost (SM assembly, page-table
+    /// build, and boot simulation) — the one-time price each fork
+    /// amortizes, surfaced in the snapshot-cache metrics.
+    pub fn capture_us(&self) -> u64 {
+        self.capture_us
     }
 
     /// The boot-prefix trace events a fork starts with (replayed into a
@@ -418,6 +428,17 @@ impl Platform {
     /// Runs until the host's `ebreak` or the cycle limit.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         self.core.run(max_cycles)
+    }
+
+    /// [`Platform::run`] with a periodic observer — see
+    /// [`Core::run_batched`]; the stepping is bit-identical to `run`.
+    pub fn run_batched(
+        &mut self,
+        max_cycles: u64,
+        batch: u64,
+        on_batch: &mut dyn FnMut(&Core),
+    ) -> RunExit {
+        self.core.run_batched(max_cycles, batch, on_batch)
     }
 }
 

@@ -384,6 +384,29 @@ impl Core {
         RunExit::Halted
     }
 
+    /// [`Core::run`] with a periodic observer: `on_batch` is invoked after
+    /// every `batch` simulated cycles and once on exit, with the core
+    /// inspectable in between. The stepping is bit-identical to a single
+    /// `run(max_cycles)` call — the hook only partitions the same cycle
+    /// sequence — so tracers can sample progress (cycle counters, stall
+    /// state) without perturbing the simulation.
+    pub fn run_batched(
+        &mut self,
+        max_cycles: u64,
+        batch: u64,
+        on_batch: &mut dyn FnMut(&Core),
+    ) -> RunExit {
+        let batch = batch.max(1);
+        loop {
+            let target = max_cycles.min(self.cycle.saturating_add(batch));
+            let exit = self.run(target);
+            on_batch(self);
+            if exit == RunExit::Halted || self.cycle >= max_cycles {
+                return exit;
+            }
+        }
+    }
+
     /// Ticks the LSU (without advancing the pipeline) until all in-flight
     /// memory work completes.
     pub fn drain(&mut self) {
@@ -1615,6 +1638,33 @@ mod tests {
         });
         run(&mut core);
         assert_eq!(core.reg(Reg::A2), 42);
+    }
+
+    #[test]
+    fn run_batched_is_cycle_identical_to_run() {
+        let program = |a: &mut Assembler| {
+            a.li(Reg::T0, 0x8010_0000);
+            for i in 0..24 {
+                a.li(Reg::T1, 0x1000 + i);
+                a.sd(Reg::T1, Reg::T0, (i * 8) as i32);
+                a.ld(Reg::T2, Reg::T0, (i * 8) as i32);
+            }
+            a.inst(Inst::Ebreak);
+        };
+        for (limit, batch) in [(200_000u64, 50u64), (200_000, 1), (40, 16), (40, 1_000)] {
+            let mut plain = core_with(CoreConfig::boom(), program);
+            let plain_exit = plain.run(limit);
+            let mut batched = core_with(CoreConfig::boom(), program);
+            let mut samples = Vec::new();
+            let batched_exit = batched.run_batched(limit, batch, &mut |c| samples.push(c.cycle));
+            assert_eq!(batched_exit, plain_exit, "limit {limit} batch {batch}");
+            assert_eq!(batched.cycle, plain.cycle, "limit {limit} batch {batch}");
+            assert_eq!(batched.retired(), plain.retired());
+            assert_eq!(batched.counters(), plain.counters());
+            assert!(!samples.is_empty(), "observer must fire at least once");
+            assert!(samples.windows(2).all(|w| w[0] <= w[1]), "{samples:?}");
+            assert_eq!(*samples.last().unwrap(), batched.cycle);
+        }
     }
 
     #[test]

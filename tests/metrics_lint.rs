@@ -1,0 +1,283 @@
+//! Lint-style locks on the Prometheus text exposition: every family that
+//! `campaign_snapshot` / `coverage_snapshot` can ever emit must carry
+//! exactly one `# HELP`/`# TYPE` header (before its first sample), use a
+//! consistent unit suffix, and keep histogram buckets cumulative. A new
+//! metric that violates the house conventions fails here, not in a
+//! dashboard three weeks later.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use teesec::campaign::Campaign;
+use teesec::engine::EngineOptions;
+use teesec::fuzz::{CoverageFuzzer, Fuzzer};
+use teesec::metrics::{campaign_snapshot, coverage_snapshot};
+use teesec_trace::Tracer;
+use teesec_uarch::CoreConfig;
+
+/// Families that intentionally carry no unit suffix (dimensionless flags).
+const NO_UNIT_ALLOWLIST: &[&str] = &["teesec_leak_class_detected"];
+
+/// Recognized unit / kind suffixes a family name may end with.
+const UNIT_SUFFIXES: &[&str] = &[
+    "_total", "_us", "_seconds", "_cycles", "_entries", "_buckets", "_ratio", "_threads",
+];
+
+/// Aggregation suffixes stripped before the unit check (`*_seconds_p99`
+/// has unit `seconds`).
+const AGG_SUFFIXES: &[&str] = &["_p50", "_p90", "_p99", "_sum", "_count"];
+
+#[derive(Debug, Default)]
+struct Family {
+    help: usize,
+    r#type: usize,
+    kind: String,
+    /// Line index of the first sample (headers must precede it).
+    first_sample: Option<usize>,
+    header_line: Option<usize>,
+}
+
+struct Exposition {
+    families: BTreeMap<String, Family>,
+    /// `(family, sample name, label blob, value)` per sample line.
+    samples: Vec<(String, String, String, String)>,
+}
+
+/// Splits `name{labels} value` / `name value` into its three parts.
+fn split_sample(line: &str) -> (String, String, String) {
+    if let Some(brace) = line.find('{') {
+        let close = line.rfind('}').expect("unclosed label set");
+        (
+            line[..brace].to_string(),
+            line[brace..=close].to_string(),
+            line[close + 1..].trim().to_string(),
+        )
+    } else {
+        let (name, value) = line.split_once(' ').expect("sample without value");
+        (name.to_string(), String::new(), value.trim().to_string())
+    }
+}
+
+fn parse(text: &str) -> Exposition {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut samples = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP without text");
+            assert!(!help.trim().is_empty(), "empty HELP for {name}");
+            let f = families.entry(name.to_string()).or_default();
+            f.help += 1;
+            f.header_line.get_or_insert(idx);
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE without kind");
+            let f = families.entry(name.to_string()).or_default();
+            f.r#type += 1;
+            f.kind = kind.trim().to_string();
+            f.header_line.get_or_insert(idx);
+        } else {
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            let (name, labels, value) = split_sample(line);
+            // Histogram sample names are the family plus a component
+            // suffix; everything else must match its family exactly.
+            let family = if families.contains_key(&name) {
+                name.clone()
+            } else {
+                let stripped = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|s| name.strip_suffix(s))
+                    .unwrap_or(&name);
+                assert!(
+                    families
+                        .get(stripped)
+                        .is_some_and(|f| f.kind == "histogram"),
+                    "sample `{name}` has no preceding # HELP/# TYPE header"
+                );
+                stripped.to_string()
+            };
+            let f = families.get_mut(&family).unwrap();
+            f.first_sample.get_or_insert(idx);
+            samples.push((family, name, labels, value));
+        }
+    }
+    Exposition { families, samples }
+}
+
+/// A full-featured engine run (counters + diff + streaming + snapshot
+/// cache + tracing) so every optional family appears in the exposition.
+fn full_campaign_text() -> String {
+    let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(6));
+    let (result, _) = campaign.run_engine(EngineOptions {
+        threads: 2,
+        counters: true,
+        diff: Some(teesec::diff::DiffOptions::default()),
+        streaming: true,
+        snapshot_cache: true,
+        tracer: Tracer::new(2),
+        ..EngineOptions::default()
+    });
+    campaign_snapshot(&result).render_prometheus()
+}
+
+fn coverage_text() -> String {
+    let cfg = CoreConfig::boom();
+    let outcome = CoverageFuzzer::new(2, 4).run(&cfg);
+    coverage_snapshot(&outcome, &cfg.name).render_prometheus()
+}
+
+fn lint(text: &str) {
+    let exp = parse(text);
+    assert!(!exp.samples.is_empty(), "empty exposition");
+
+    let name_ok = |n: &str| {
+        !n.is_empty()
+            && n.starts_with(|c: char| c.is_ascii_lowercase())
+            && n.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    };
+
+    for (name, f) in &exp.families {
+        assert_eq!(
+            f.help, 1,
+            "{name}: expected exactly one # HELP, got {}",
+            f.help
+        );
+        assert_eq!(
+            f.r#type, 1,
+            "{name}: expected exactly one # TYPE, got {}",
+            f.r#type
+        );
+        assert!(
+            matches!(f.kind.as_str(), "counter" | "gauge" | "histogram"),
+            "{name}: unknown kind `{}`",
+            f.kind
+        );
+        assert!(name_ok(name), "{name}: invalid metric name");
+        assert!(
+            name.starts_with("teesec_"),
+            "{name}: missing teesec_ namespace"
+        );
+        let first = f
+            .first_sample
+            .unwrap_or_else(|| panic!("{name}: header without samples"));
+        assert!(
+            f.header_line.unwrap() < first,
+            "{name}: headers must precede the first sample"
+        );
+
+        // Unit-suffix discipline: counters end `_total`; every family ends
+        // with a recognized unit (percentile/sum/count aggregations strip
+        // first) unless explicitly allowlisted as dimensionless.
+        if f.kind == "counter" {
+            assert!(
+                name.ends_with("_total"),
+                "{name}: counters must end in _total"
+            );
+        } else {
+            assert!(
+                !name.ends_with("_total"),
+                "{name}: _total implies a counter"
+            );
+        }
+        if !NO_UNIT_ALLOWLIST.contains(&name.as_str()) {
+            let base = AGG_SUFFIXES
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .unwrap_or(name);
+            assert!(
+                UNIT_SUFFIXES.iter().any(|u| base.ends_with(u)),
+                "{name}: no recognized unit suffix (base `{base}`); \
+                 extend UNIT_SUFFIXES or NO_UNIT_ALLOWLIST deliberately"
+            );
+        }
+    }
+
+    // No duplicate (sample name, label set) pairs.
+    let mut seen = BTreeSet::new();
+    for (_, name, labels, _) in &exp.samples {
+        assert!(
+            seen.insert((name.clone(), labels.clone())),
+            "duplicate sample {name}{labels}"
+        );
+    }
+
+    // Histogram shape: buckets cumulative non-decreasing, +Inf == _count,
+    // _sum and _count present.
+    for (name, f) in &exp.families {
+        if f.kind != "histogram" {
+            continue;
+        }
+        let mut buckets: Vec<(String, u64)> = Vec::new();
+        let mut sum = None;
+        let mut count = None;
+        for (family, sample, labels, value) in &exp.samples {
+            if family != name {
+                continue;
+            }
+            if sample == &format!("{name}_bucket") {
+                let le = labels
+                    .strip_prefix("{le=\"")
+                    .and_then(|l| l.strip_suffix("\"}"))
+                    .unwrap_or_else(|| panic!("{sample}: malformed le label `{labels}`"));
+                buckets.push((le.to_string(), value.parse().unwrap()));
+            } else if sample == &format!("{name}_sum") {
+                sum = Some(value.clone());
+            } else if sample == &format!("{name}_count") {
+                count = Some(value.parse::<u64>().unwrap());
+            }
+        }
+        let count = count.unwrap_or_else(|| panic!("{name}: missing _count"));
+        assert!(sum.is_some(), "{name}: missing _sum");
+        assert!(!buckets.is_empty(), "{name}: histogram without buckets");
+        assert!(
+            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+            "{name}: bucket counts must be cumulative: {buckets:?}"
+        );
+        let (last_le, last_n) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf", "{name}: last bucket must be +Inf");
+        assert_eq!(*last_n, count, "{name}: +Inf bucket must equal _count");
+    }
+}
+
+#[test]
+fn campaign_exposition_passes_the_lint() {
+    let text = full_campaign_text();
+    lint(&text);
+    // The audited families from this PR are actually present and typed
+    // the way the audit fixed them.
+    assert!(
+        text.contains("# TYPE teesec_leak_class_detected gauge"),
+        "{text}"
+    );
+    assert!(text.contains("# TYPE teesec_structure_occupancy_entries gauge"));
+    assert!(!text.contains("teesec_structure_occupancy_at_exit"));
+    assert!(text.contains("# TYPE teesec_phase_wall_seconds_p99 gauge"));
+    assert!(text.contains("# TYPE teesec_worker_busy_ratio gauge"));
+    assert!(text.contains("# TYPE teesec_snapshot_cache_capture_us_total counter"));
+    assert!(text.contains("phase=\"simulate\""));
+}
+
+#[test]
+fn coverage_exposition_passes_the_lint() {
+    lint(&coverage_text());
+}
+
+#[test]
+fn the_lint_itself_catches_violations() {
+    // Missing header.
+    let r = std::panic::catch_unwind(|| lint("teesec_orphan_total 3\n"));
+    assert!(r.is_err(), "orphan sample must fail");
+    // Counter without _total.
+    let r = std::panic::catch_unwind(|| {
+        lint("# HELP teesec_bad_us x\n# TYPE teesec_bad_us counter\nteesec_bad_us 3\n")
+    });
+    assert!(r.is_err(), "counter without _total must fail");
+    // Unitless gauge outside the allowlist.
+    let r = std::panic::catch_unwind(|| {
+        lint("# HELP teesec_mystery x\n# TYPE teesec_mystery gauge\nteesec_mystery 3\n")
+    });
+    assert!(r.is_err(), "unit-less family must fail");
+    // A well-formed family passes.
+    lint("# HELP teesec_ok_total x\n# TYPE teesec_ok_total counter\nteesec_ok_total 3\n");
+}

@@ -15,7 +15,8 @@ use std::collections::BTreeMap;
 use teesec::diff::DiffVerdict;
 use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, ObsMetrics};
 use teesec::runner::SnapshotCacheMetrics;
-use teesec_obs::Histogram;
+use teesec_obs::{Histogram, Summary};
+use teesec_trace::{CriticalHop, HopKind, PhaseStat, Straggler, TraceReport, WorkerStat};
 use teesec_uarch::{CoreConfig, Structure, StructureCounters, UarchCounters};
 
 const FIXTURE: &str = concat!(
@@ -38,6 +39,51 @@ fn sample_counters() -> UarchCounters {
             flushes: 1,
             occupancy_at_exit: 7,
             capacity: 64,
+        }],
+    }
+}
+
+fn sample_report() -> TraceReport {
+    TraceReport {
+        wall_us: 9876,
+        cases: 3,
+        critical_worker: 1,
+        critical_path_us: 9000,
+        critical_path: vec![CriticalHop {
+            kind: HopKind::Case,
+            name: "exp_load_l1_hit__case".into(),
+            start_us: 0,
+            dur_us: 9000,
+            dominant_phase: "simulate".into(),
+        }],
+        phases: vec![PhaseStat {
+            phase: "simulate".into(),
+            total_us: 7000,
+            summary: Summary {
+                count: 3,
+                sum: 7000,
+                min: 1000,
+                max: 4000,
+                p50: 2000,
+                p90: 4000,
+                p99: 4000,
+            },
+        }],
+        workers: vec![WorkerStat {
+            worker: 1,
+            cases: 2,
+            busy_us: 9000,
+            idle_us: 876,
+            busy_ratio_ppm: 911_300,
+            starved_intervals: 0,
+            starved_us: 0,
+        }],
+        stragglers: vec![Straggler {
+            case: "exp_load_l1_hit__case".into(),
+            seq: 0,
+            worker: 1,
+            dur_us: 5000,
+            phase_us: vec![("simulate".into(), 4000)],
         }],
     }
 }
@@ -69,7 +115,9 @@ fn sample_metrics() -> EngineMetrics {
             hits: 2,
             misses: 1,
             bypasses: 0,
+            capture_us: 4200,
         }),
+        trace: Some(sample_report()),
     }
 }
 
@@ -85,6 +133,8 @@ fn sample_events() -> Vec<EngineEvent> {
             seq: 0,
             case: "exp_load_l1_hit__case".into(),
             worker: 1,
+            span_id: Some(3),
+            parent_id: Some(2),
         },
         EngineEvent::CaseFinished {
             seq: 0,
@@ -96,11 +146,15 @@ fn sample_events() -> Vec<EngineEvent> {
             build_us: 150,
             simulate_us: 2000,
             check_us: 300,
+            span_id: Some(3),
+            parent_id: Some(2),
         },
         EngineEvent::CaseCounters {
             seq: 0,
             case: "exp_load_l1_hit__case".into(),
             counters: sample_counters(),
+            span_id: Some(3),
+            parent_id: Some(2),
         },
         EngineEvent::CaseDiff {
             seq: 0,
@@ -109,11 +163,15 @@ fn sample_events() -> Vec<EngineEvent> {
                 retires: 400,
                 cycles: 1234,
             },
+            span_id: Some(3),
+            parent_id: Some(2),
         },
         EngineEvent::CaseQuarantined {
             seq: 1,
             case: "broken__case".into(),
             error: "build error: region overflow".into(),
+            span_id: None,
+            parent_id: Some(2),
         },
         EngineEvent::CampaignFinished {
             metrics: sample_metrics(),
@@ -220,7 +278,25 @@ fn engine_metrics_without_obs_still_parse() {
         back.snapshot, None,
         "pre-snapshot-era metrics parse with snapshot: None"
     );
+    assert_eq!(
+        back.trace, None,
+        "pre-tracing-era metrics parse with trace: None"
+    );
     assert_eq!(back.cases_total, 3);
+
+    // Pre-tracing event lines (no span_id/parent_id) keep parsing too.
+    let legacy_event = r#"{"CaseStarted":{"seq":0,"case":"c","worker":1}}"#;
+    let back: EngineEvent = serde_json::from_str(legacy_event).expect("legacy event parses");
+    assert_eq!(
+        back,
+        EngineEvent::CaseStarted {
+            seq: 0,
+            case: "c".into(),
+            worker: 1,
+            span_id: None,
+            parent_id: None,
+        }
+    );
 
     // And an explicit null round-trips to None too.
     let mut metrics = sample_metrics();
