@@ -73,6 +73,11 @@ pub struct CaseParams {
     pub irq_at: Option<u64>,
     /// Program `mcounteren = 0` (privileged-counter variant of M1).
     pub restricted_counters: bool,
+    /// Append a host branch re-probe after the TEE interaction returns
+    /// ([`gadgets::host_reprobe_branch`]) so the monitor-return window
+    /// exercises the branch predictors. Off in the systematic corpus; the
+    /// coverage gap hunt (EXPERIMENTS.md) turns it on.
+    pub reprobe: bool,
 }
 
 impl Default for CaseParams {
@@ -86,6 +91,7 @@ impl Default for CaseParams {
             lifecycle: Lifecycle::Stop,
             irq_at: None,
             restricted_counters: false,
+            reprobe: false,
         }
     }
 }
@@ -133,7 +139,7 @@ pub fn assemble_case(
         return Err(SkipReason::PathAbsent);
     }
     validate_combo(path, &params)?;
-    let name = format!(
+    let mut name = format!(
         "{}__{:?}_{:?}_{:?}_off{:x}_{:?}{}",
         path.id(),
         params.victim,
@@ -147,6 +153,9 @@ pub fn assemble_case(
             "_pre"
         },
     );
+    if params.reprobe {
+        name.push_str("_reprobe");
+    }
     let mut tc = TestCase::new(name, path);
     tc.irq_at = params.irq_at;
     if params.restricted_counters {
@@ -176,6 +185,14 @@ pub fn assemble_case(
         AccessPath::SmScrub => assemble_scrub_case(&mut tc, &params, &mut lc)?,
         AccessPath::HpcRead => assemble_hpc_case(&mut tc, &params, cfg, &mut lc)?,
         AccessPath::BtbLookup => assemble_btb_case(&mut tc, &params, &mut lc)?,
+    }
+    if params.reprobe {
+        // Appended after the path's own probe phase, so the branch runs
+        // once the TEE interaction has handed control back to the host.
+        // Offset 0x800 clears every path's own host code (the BTB case
+        // places its primed branch at 0x400) while keeping the same
+        // predictor index bits (0x3F0) as the pre-SBI training branch.
+        gadgets::host_reprobe_branch(&mut tc, 0x800 + (params.offset & 0x3F0));
     }
     Ok(tc)
 }

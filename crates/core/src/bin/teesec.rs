@@ -6,7 +6,7 @@
 //! teesec plan    [--design D] [--json]     # the verification plan
 //! teesec run <gadget> [--design D] [--simlog FILE] [--checker-log FILE]
 //!                     [--events FILE] [--metrics-out FILE] [--trace-out FILE]
-//! teesec explain <gadget> [--design D]     # leak provenance chains
+//! teesec explain <gadget> [--design D] [--json]  # leak provenance chains
 //! teesec campaign [--design D] [--cases N] [--output FILE]
 //!                 [--events FILE] [--metrics-out FILE] [--diff]
 //!                 [--streaming on|off] [--snapshot-cache on|off]
@@ -15,6 +15,8 @@
 //! teesec diff    [gadget ...] [--design D] [--cases N] [--stride N]
 //!                [--output FILE] [--trace-out FILE]  # core-vs-ISS oracle
 //! teesec coverage [--design D] [--seeds N] [--cases N] [--metrics-out FILE]
+//! teesec coverage-report [--design D] [--cases N] [--json] [--output FILE]
+//!                        [--fail-under-ratio PCT]   # plan-coverage heatmap + gaps
 //! teesec trace-report <trace.json> [--json] # critical path + stragglers
 //! ```
 
@@ -41,7 +43,7 @@ fn usage() -> ExitCode {
         "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
          teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
          \x20          [--events FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
-         teesec explain <access-gadget> [--design boom|xiangshan]\n  \
+         teesec explain <access-gadget> [--design boom|xiangshan] [--json]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
          \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet] [--diff]\n  \
          \x20               [--streaming on|off] [--snapshot-cache on|off]  (both default on)\n  \
@@ -50,6 +52,9 @@ fn usage() -> ExitCode {
          teesec diff [gadget ...] [--design boom|xiangshan] [--cases N] [--stride N] [--output FILE]\n  \
          \x20           [--trace-out FILE]\n  \
          teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]\n  \
+         teesec coverage-report [--design boom|xiangshan] [--cases N] [--threads N] [--json]\n  \
+         \x20                      [--output FILE] [--metrics-out FILE] [--fail-under-ratio PCT]\n  \
+         \x20                      [--reprobe]\n  \
          teesec trace-report <trace.json> [--json]"
     );
     ExitCode::from(2)
@@ -73,6 +78,8 @@ struct Opts {
     snapshot_cache: bool,
     stride: u64,
     seeds: usize,
+    fail_under_ratio: Option<u64>,
+    reprobe: bool,
     positional: Vec<String>,
 }
 
@@ -108,6 +115,8 @@ fn parse(args: &[String]) -> Option<Opts> {
         snapshot_cache: true,
         stride: 1,
         seeds: 6,
+        fail_under_ratio: None,
+        reprobe: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -179,6 +188,11 @@ fn parse(args: &[String]) -> Option<Opts> {
                 i += 1;
                 o.seeds = args.get(i)?.parse().ok()?;
             }
+            "--fail-under-ratio" => {
+                i += 1;
+                o.fail_under_ratio = Some(args.get(i)?.parse().ok()?);
+            }
+            "--reprobe" => o.reprobe = true,
             p if !p.starts_with('-') => o.positional.push(p.to_string()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -207,6 +221,7 @@ fn main() -> ExitCode {
         "matrix" => cmd_matrix(&opts),
         "diff" => cmd_diff(&opts),
         "coverage" => cmd_coverage(&opts),
+        "coverage-report" => cmd_coverage_report(&opts),
         "trace-report" => cmd_trace_report(&opts),
         _ => usage(),
     }
@@ -413,6 +428,19 @@ fn cmd_explain(opts: &Opts) -> ExitCode {
     };
     let outcome = run_case(&tc, &opts.design).expect("build");
     let report = check_case(&tc, &outcome, &opts.design);
+    if opts.json {
+        // The full structured report: findings plus their provenance
+        // chains (origin / retention hops / observation), CI-parseable.
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serialize")
+        );
+        return if report.clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if report.clean() {
         println!(
             "{} on {}: no violations — nothing to explain",
@@ -476,6 +504,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         }),
         streaming: opts.streaming,
         snapshot_cache: opts.snapshot_cache,
+        coverage: true,
         tracer: tracer.clone(),
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
@@ -498,6 +527,16 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         println!(
             "  snapshot cache: {} hits, {} misses, {} bypasses",
             snap.hits, snap.misses, snap.bypasses
+        );
+    }
+    if let Some(pc) = metrics.plan_coverage.as_ref() {
+        println!(
+            "  plan coverage: {}/{} declared paths exercised ({}.{:02}%), {} gap(s)",
+            pc.exercised_declared(),
+            pc.declared(),
+            pc.coverage_ratio_ppm() / 10_000,
+            pc.coverage_ratio_ppm() % 10_000 / 100,
+            pc.gaps().count()
         );
     }
     if let Some(obs) = metrics.obs.as_ref() {
@@ -670,6 +709,115 @@ fn cmd_trace_report(opts: &Opts) -> ExitCode {
         );
     } else {
         print!("{}", report.render());
+    }
+    ExitCode::SUCCESS
+}
+
+/// `teesec coverage-report`: runs a campaign with plan-coverage recording
+/// on and renders the security-coverage report — the structure ×
+/// transition × observer heatmap, the top secret-residency windows, and
+/// the explicit list of declared-but-never-exercised plan paths. With
+/// `--fail-under-ratio PCT` the exit code turns nonzero when coverage
+/// lands under the threshold (CI gate).
+fn cmd_coverage_report(opts: &Opts) -> ExitCode {
+    let mut corpus = Fuzzer::with_target(opts.cases).generate(&opts.design);
+    if opts.reprobe {
+        // The gap-closing variants from the coverage gap hunt
+        // (EXPERIMENTS.md): one host branch re-probe per access path, so
+        // the monitor-return window finally executes a branch.
+        for &path in AccessPath::all() {
+            let params = CaseParams {
+                reprobe: true,
+                ..CaseParams::default()
+            };
+            if let Ok(tc) = assemble_case(path, params, &opts.design) {
+                corpus.push(tc);
+            }
+        }
+    }
+    let engine = teesec::Engine::new(
+        opts.design.clone(),
+        EngineOptions {
+            threads: opts.threads,
+            progress: false,
+            streaming: opts.streaming,
+            snapshot_cache: opts.snapshot_cache,
+            coverage: true,
+            ..EngineOptions::default()
+        },
+    );
+    let (result, _) = engine.run_corpus(&corpus, teesec::campaign::PhaseTiming::default());
+    let metrics = result.engine.as_ref().expect("engine metrics");
+    let pc = metrics.plan_coverage.as_ref().expect("coverage was on");
+
+    let blob = pc.report_json();
+    if let Some(p) = &opts.output {
+        fs::write(p, serde_json::to_string_pretty(&blob).expect("serialize")).expect("write");
+    }
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&blob).expect("serialize")
+        );
+    } else {
+        print!("{}", pc.render_heatmap());
+
+        let mut residency: Vec<_> = pc.residency.iter().collect();
+        residency.sort_by_key(|r| std::cmp::Reverse(r.worst_cycles));
+        if !residency.is_empty() {
+            println!("\nsecret residency (worst exposure window per structure):");
+            for r in residency.iter().take(10) {
+                println!(
+                    "  {:<18} {:>6} window(s), worst {:>8} cycles  ({})",
+                    r.structure.display_name(),
+                    r.windows.count(),
+                    r.worst_cycles,
+                    r.worst_case.as_deref().unwrap_or("-"),
+                );
+            }
+        }
+
+        let gaps: Vec<_> = pc.gaps().collect();
+        if gaps.is_empty() {
+            println!("\nno gaps: every declared plan path was exercised");
+        } else {
+            println!(
+                "\ngaps ({} declared plan paths never exercised):",
+                gaps.len()
+            );
+            for g in &gaps {
+                println!(
+                    "  {:<18} during {:<14} observed by {}",
+                    g.cell.structure.display_name(),
+                    g.cell.transition.label(),
+                    g.cell.observer.label(),
+                );
+            }
+        }
+        if let Some(p) = &opts.output {
+            println!("\nstructured report written to {p}");
+        }
+    }
+    if let Some(p) = &opts.metrics_out {
+        let snap = teesec::metrics::campaign_snapshot(&result);
+        if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
+            eprintln!("cannot write metrics snapshot `{p}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !opts.json {
+            println!("metrics snapshot written to {p} (+ {p}.json)");
+        }
+    }
+    if let Some(pct) = opts.fail_under_ratio {
+        let ratio_ppm = pc.coverage_ratio_ppm();
+        if ratio_ppm < pct.saturating_mul(10_000) {
+            eprintln!(
+                "coverage {}.{:02}% is under the --fail-under-ratio {pct}% threshold",
+                ratio_ppm / 10_000,
+                ratio_ppm % 10_000 / 100,
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

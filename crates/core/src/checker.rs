@@ -76,22 +76,54 @@ pub(crate) fn finding_key(f: &Finding) -> String {
 /// buffered trace here, so both pipelines yield identical findings by
 /// construction.
 pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> CheckReport {
+    check_case_inner(tc, outcome, cfg, false).0
+}
+
+/// [`check_case`] with plan-coverage recording on: additionally returns
+/// the case's [`CaseCoverage`](crate::coverage::CaseCoverage) record —
+/// byte-identical to what the streaming pipeline's
+/// [`StreamingChecker::finish_coverage`](crate::stream::StreamingChecker::finish_coverage)
+/// produces, because both drive the same [`ScanState`](crate::stream::ScanState).
+pub fn check_case_coverage(
+    tc: &TestCase,
+    outcome: &RunOutcome,
+    cfg: &CoreConfig,
+) -> (CheckReport, crate::coverage::CaseCoverage) {
+    let (report, coverage) = check_case_inner(tc, outcome, cfg, true);
+    (report, coverage.expect("coverage recording was enabled"))
+}
+
+fn check_case_inner(
+    tc: &TestCase,
+    outcome: &RunOutcome,
+    cfg: &CoreConfig,
+    record_coverage: bool,
+) -> (CheckReport, Option<crate::coverage::CaseCoverage>) {
     let mut secrets = tc.secrets.clone();
     secrets.reindex();
 
     let counters = outcome.platform.core.config.hpm_counters;
     let mut scan = crate::stream::ScanState::new(tc.mcounteren, counters, secrets.clone());
+    if record_coverage {
+        scan.enable_coverage();
+    }
     for e in outcome.platform.core.trace.events() {
         scan.on_event(e);
     }
-    let (mut findings, mut dedup) = scan.into_findings();
+    let (mut findings, mut dedup, mut coverage) = scan.into_findings();
 
+    let snapshot_from = findings.len();
     let mut push = |findings: &mut Vec<Finding>, f: Finding| {
         if dedup.insert(finding_key(&f)) {
             findings.push(f);
         }
     };
     scan_snapshot(tc, outcome, &secrets, &mut findings, &mut push);
+    if let Some(cov) = coverage.as_mut() {
+        for f in &findings[snapshot_from..] {
+            cov.record_detection(f);
+        }
+    }
 
     let mut report = CheckReport {
         case: tc.name.clone(),
@@ -101,7 +133,8 @@ pub fn check_case(tc: &TestCase, outcome: &RunOutcome, cfg: &CoreConfig) -> Chec
         provenance: Vec::new(),
     };
     crate::provenance::annotate(&mut report, outcome, &secrets);
-    report
+    let case_coverage = coverage.map(|cov| cov.finish(&report));
+    (report, case_coverage)
 }
 
 /// Scans the end-of-run microarchitectural snapshot for residues

@@ -37,7 +37,8 @@ use teesec_uarch::introspect::StorageInventory;
 use teesec_uarch::{RunExit, StructureCounters, UarchCounters};
 
 use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
-use crate::checker::check_case;
+use crate::checker::{check_case, check_case_coverage};
+use crate::coverage::{CaseCoverage, PlanCoverage};
 use crate::diff::{diff_case, DiffOptions, DiffVerdict};
 use crate::report::CheckReport;
 use crate::runner::{run_case_opts, RunOptions, SnapshotCache, SnapshotCacheMetrics};
@@ -73,6 +74,13 @@ pub struct EngineOptions {
     /// batch pipeline (proven by the `stream_equivalence` suite), but peak
     /// retained trace events stay O(boot prefix) instead of O(cycles).
     pub streaming: bool,
+    /// Record per-case plan coverage (the structure × transition ×
+    /// observer matrix) and secret-residency windows, emitting one
+    /// [`EngineEvent::CaseCoverage`] per case and merging the aggregate
+    /// [`PlanCoverage`] into [`EngineMetrics::plan_coverage`]. Off by
+    /// default: recording rides the checker's event scan and the JSONL
+    /// stream grows by one event per case.
+    pub coverage: bool,
     /// Share one [`SnapshotCache`] across workers so cases with the same
     /// setup configuration fork a copy-on-write boot snapshot instead of
     /// re-assembling and re-simulating the SM boot. Hit/miss/bypass
@@ -265,6 +273,22 @@ pub enum EngineEvent {
         /// The enclosing worker span's id on a traced run.
         parent_id: Option<u64>,
     },
+    /// The plan-coverage record of one finished case. Emitted right
+    /// after [`EngineEvent::CaseFinished`] (and any
+    /// [`EngineEvent::CaseCounters`] / [`EngineEvent::CaseDiff`]) when
+    /// [`EngineOptions::coverage`] is on.
+    CaseCoverage {
+        /// Corpus index.
+        seq: usize,
+        /// Case name.
+        case: String,
+        /// Cells exercised, cells with findings, residency windows.
+        coverage: CaseCoverage,
+        /// The case's span id on a traced run (`None` untraced).
+        span_id: Option<u64>,
+        /// The enclosing worker span's id on a traced run.
+        parent_id: Option<u64>,
+    },
     /// A case failed to build or panicked and was quarantined.
     CaseQuarantined {
         /// Corpus index.
@@ -321,6 +345,11 @@ pub struct EngineMetrics {
     /// [`EngineOptions::tracer`] was enabled. Absent in event streams
     /// recorded before the field existed (deserializes to `None`).
     pub trace: Option<TraceReport>,
+    /// Campaign-lifetime plan-coverage matrix and secret-residency
+    /// aggregates. `Some` iff [`EngineOptions::coverage`] was on. Absent
+    /// in event streams recorded before the field existed (deserializes
+    /// to `None`).
+    pub plan_coverage: Option<PlanCoverage>,
 }
 
 /// Straggler-table depth of the [`TraceReport`] a traced engine run
@@ -428,6 +457,7 @@ pub(crate) struct CaseExecution {
     pub check_us: u128,
     pub counters: Option<UarchCounters>,
     pub diff: Option<DiffVerdict>,
+    pub coverage: Option<CaseCoverage>,
     /// Which build path produced the platform (`None` for quarantined
     /// cases that never finished building).
     pub cache: Option<&'static str>,
@@ -441,6 +471,8 @@ pub(crate) struct ExecOptions<'c> {
     pub budget: Option<u64>,
     pub counters: bool,
     pub streaming: bool,
+    /// Record per-case plan coverage and residency windows.
+    pub coverage: bool,
     pub snapshot_cache: Option<&'c SnapshotCache>,
     /// Span recorder for the case's phase spans (`None` untraced).
     pub tracer: Option<&'c Tracer>,
@@ -479,6 +511,7 @@ pub(crate) fn execute_case(
         check_us: 0,
         counters: None,
         diff: None,
+        coverage: None,
         cache: None,
     };
     let tctx = TraceCtx {
@@ -495,9 +528,13 @@ pub(crate) fn execute_case(
             RunOptions {
                 budget: opts.budget,
                 snapshot_cache: opts.snapshot_cache,
-                sink: opts
-                    .streaming
-                    .then(|| Box::new(StreamingChecker::new(tc, cfg)) as _),
+                sink: opts.streaming.then(|| {
+                    Box::new(if opts.coverage {
+                        StreamingChecker::with_coverage(tc, cfg)
+                    } else {
+                        StreamingChecker::new(tc, cfg)
+                    }) as _
+                }),
                 buffer_trace: !opts.streaming,
                 trace: tctx,
             },
@@ -519,11 +556,15 @@ pub(crate) fn execute_case(
         .trace
         .take_sink()
         .and_then(|s| s.into_any().downcast::<StreamingChecker>().ok());
-    let report = match catch_unwind(AssertUnwindSafe(|| match streamed {
-        Some(checker) => checker.finish(tc, &outcome),
-        None => check_case(tc, &outcome, cfg),
+    let (report, coverage) = match catch_unwind(AssertUnwindSafe(|| match streamed {
+        Some(checker) => checker.finish_coverage(tc, &outcome),
+        None if opts.coverage => {
+            let (report, cc) = check_case_coverage(tc, &outcome, cfg);
+            (report, Some(cc))
+        }
+        None => (check_case(tc, &outcome, cfg), None),
     })) {
-        Ok(report) => report,
+        Ok(out) => out,
         Err(panic) => return quarantined(format!("checker panic: {}", panic_message(&panic))),
     };
     scan_span.arg("findings", report.findings.len());
@@ -557,6 +598,7 @@ pub(crate) fn execute_case(
         check_us,
         counters,
         diff: None,
+        coverage,
         cache: Some(outcome.build.label()),
     }
 }
@@ -677,6 +719,7 @@ impl Engine {
                                 budget: opts.case_cycle_budget,
                                 counters: opts.counters,
                                 streaming: opts.streaming,
+                                coverage: opts.coverage,
                                 snapshot_cache,
                                 tracer: opts.tracer.enabled().then_some(&opts.tracer),
                                 worker,
@@ -734,6 +777,15 @@ impl Engine {
                                     parent_id: pid,
                                 });
                             }
+                            if let Some(coverage) = &exec.coverage {
+                                sink.emit(&EngineEvent::CaseCoverage {
+                                    seq,
+                                    case: exec.result.name.clone(),
+                                    coverage: coverage.clone(),
+                                    span_id: sid,
+                                    parent_id: pid,
+                                });
+                            }
                         }
                         if exec.result.error.is_some() {
                             quarantined_ctr.fetch_add(1, Ordering::Relaxed);
@@ -781,6 +833,10 @@ impl Engine {
                 .tracer
                 .enabled()
                 .then(|| self.opts.tracer.snapshot().analyze(TRACE_TOP_STRAGGLERS)),
+            plan_coverage: self
+                .opts
+                .coverage
+                .then(|| PlanCoverage::for_design(&self.cfg)),
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
@@ -792,6 +848,9 @@ impl Engine {
             metrics.cases_quarantined += usize::from(exec.result.error.is_some());
             metrics.cases_budget_exceeded += usize::from(exec.budget_exceeded);
             metrics.findings_total += exec.result.finding_count;
+            if let (Some(pc), Some(cc)) = (metrics.plan_coverage.as_mut(), &exec.coverage) {
+                pc.absorb(&exec.result.name, cc);
+            }
             for (s, n) in exec.findings_by_structure {
                 *metrics.findings_by_structure.entry(s).or_insert(0) += n;
             }

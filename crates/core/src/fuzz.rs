@@ -134,6 +134,7 @@ impl Fuzzer {
                 },
                 irq_at: None,
                 restricted_counters: false,
+                reprobe: false,
             };
             if let Ok(mut tc) = assemble_case(path, params, cfg) {
                 salt += 1;

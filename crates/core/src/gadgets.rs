@@ -423,6 +423,26 @@ pub fn touch_page_boundary(tc: &mut TestCase, enclave: usize) {
     );
 }
 
+/// `Host_Reprobe_Branch()` — the host re-executes its primed branch
+/// *after* the TEE interaction returned, re-training the predictors from
+/// the monitor-return window. This gadget extends the paper's Table 2
+/// set: it was added to close the FTB/BHT monitor-return gap that
+/// `teesec coverage-report` surfaced — the systematic corpus primes host
+/// branches only before the first SBI call and probes afterwards with a
+/// cycle read alone, so no branch ever executes in the window where the
+/// predictor residue would actually be consumed (see EXPERIMENTS.md,
+/// "coverage gap hunt").
+pub fn host_reprobe_branch(tc: &mut TestCase, offset: u64) {
+    tc.push(
+        Actor::Host,
+        Step::BranchAtOffset {
+            offset,
+            taken: true,
+        },
+    );
+    tc.push(Actor::Host, Step::ReadCycle);
+}
+
 /// `Read_Cycle()` — timing probe.
 pub fn read_cycle(tc: &mut TestCase, actor: Actor) {
     tc.push(actor, Step::ReadCycle);

@@ -32,8 +32,10 @@
 //! corpora on a fault-isolated, work-stealing worker pool with a JSONL
 //! event stream and aggregate metrics. Deep observability rides on top:
 //! [`provenance`] reconstructs each finding's *secret write → retention →
-//! observation* chain from the trace, and [`metrics`] exposes campaign
-//! aggregates as Prometheus-text and JSON snapshots.
+//! observation* chain from the trace, [`coverage`] maps which of the
+//! plan's structure × transition × observer cells a campaign actually
+//! exercised (plus secret-residency windows), and [`metrics`] exposes
+//! campaign aggregates as Prometheus-text and JSON snapshots.
 //!
 //! # Example
 //!
@@ -54,6 +56,7 @@ pub mod assemble;
 pub mod campaign;
 pub mod checker;
 pub mod cover;
+pub mod coverage;
 pub mod diff;
 pub mod engine;
 pub mod fuzz;
@@ -71,8 +74,12 @@ pub mod stream;
 pub mod testcase;
 
 pub use campaign::{Campaign, CampaignResult};
-pub use checker::check_case;
+pub use checker::{check_case, check_case_coverage};
 pub use cover::{CoverKind, CoverageKey, CoverageMap};
+pub use coverage::{
+    CaseCoverage, CellKey, CoverageCell, ObserverKind, PlanCoverage, ResidencyWindow,
+    StructureResidency, TransitionPoint,
+};
 pub use diff::{
     diff_case, diff_corpus, diff_corpus_traced, DiffOptions, DiffSummary, DiffVerdict, Divergence,
 };

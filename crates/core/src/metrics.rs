@@ -11,6 +11,24 @@ use teesec_obs::MetricsSnapshot;
 
 use crate::campaign::CampaignResult;
 
+/// Stamps the exposition with the build-identity info gauge
+/// (`teesec_build_info`): constant value 1, identity in the labels —
+/// the Prometheus "info metric" idiom. Every snapshot builder calls
+/// this so any scrape can be joined against the producing build.
+fn build_info(snap: &mut MetricsSnapshot) {
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    snap.gauge(
+        "teesec_build_info",
+        &[("version", env!("CARGO_PKG_VERSION")), ("profile", profile)],
+        1,
+        "Build identity of the teesec binary producing this exposition (value is always 1)",
+    );
+}
+
 /// Builds the full metrics snapshot for one finished campaign (or a
 /// single-case run routed through the engine).
 ///
@@ -19,6 +37,7 @@ use crate::campaign::CampaignResult;
 /// microarchitectural series only when counters harvesting was on.
 pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::new();
+    build_info(&mut snap);
     let design = result.design.as_str();
 
     snap.counter(
@@ -192,6 +211,51 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         );
     }
 
+    if let Some(pc) = &engine.plan_coverage {
+        // One 0/1 series per declared plan path — absent paths would hide
+        // exactly the gaps this family exists to expose.
+        for cell in pc.cells.iter().filter(|c| c.declared) {
+            snap.gauge(
+                "teesec_plan_path_exercised",
+                &[
+                    ("design", design),
+                    ("structure", cell.cell.structure.display_name()),
+                    ("transition", cell.cell.transition.label()),
+                    ("observer", cell.cell.observer.label()),
+                ],
+                u64::from(cell.cases_exercised > 0),
+                "1 when at least one case exercised the declared plan path",
+            );
+        }
+        // ppm is exactly millionths, which is what the fixed-point micro
+        // gauge renders as a decimal ratio — no floats involved.
+        snap.gauge_micro(
+            "teesec_plan_coverage_ratio",
+            &[("design", design)],
+            pc.coverage_ratio_ppm(),
+            "Fraction of declared plan paths exercised by the campaign",
+        );
+        for res in &pc.residency {
+            let labels = &[
+                ("design", design),
+                ("structure", res.structure.display_name()),
+            ];
+            snap.histogram_labeled(
+                "teesec_secret_residency_cycles",
+                labels,
+                res.windows.clone(),
+                "Cycle-resolved secret-exposure windows per structure (secret write to \
+                 last observable retention)",
+            );
+            snap.gauge(
+                "teesec_secret_residency_worst_cycles",
+                labels,
+                res.worst_cycles,
+                "Longest secret-exposure window observed in the structure",
+            );
+        }
+    }
+
     let Some(obs) = &engine.obs else {
         return snap;
     };
@@ -293,6 +357,7 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
 /// dashboard shows *where* the guided walk is reaching, not just how far.
 pub fn coverage_snapshot(outcome: &crate::fuzz::CoverageOutcome, design: &str) -> MetricsSnapshot {
     let mut snap = MetricsSnapshot::new();
+    build_info(&mut snap);
     snap.counter(
         "teesec_fuzz_cases_executed_total",
         &[("design", design)],
@@ -410,6 +475,40 @@ mod tests {
         assert!(prom.contains("teesec_snapshot_cache_bypasses_total"));
         let m = result.engine.unwrap().snapshot.expect("cache metrics on");
         assert_eq!((m.hits + m.misses + m.bypasses) as usize, result.case_count);
+    }
+
+    #[test]
+    fn plan_coverage_series_land_in_the_snapshot() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(8));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            threads: 2,
+            coverage: true,
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_build_info{"), "{prom}");
+        assert!(prom.contains("version=\"")); // identity rides in the labels
+        assert!(prom.contains("teesec_plan_path_exercised{design=\"boom\""));
+        assert!(prom.contains("transition=\"boot\""));
+        assert!(prom.contains("teesec_plan_coverage_ratio{design=\"boom\"}"));
+        let pc = result
+            .engine
+            .as_ref()
+            .unwrap()
+            .plan_coverage
+            .as_ref()
+            .expect("coverage was on");
+        // Every declared path gets a series, exercised or not.
+        let exercised_lines = prom
+            .lines()
+            .filter(|l| l.starts_with("teesec_plan_path_exercised{"))
+            .count();
+        assert_eq!(exercised_lines, pc.declared());
+        if !pc.residency.is_empty() {
+            assert!(prom.contains("teesec_secret_residency_cycles_bucket{"));
+            assert!(prom.contains("teesec_secret_residency_worst_cycles{"));
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use teesec_tee::SbiCall;
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::introspect::StorageInventory;
 
+use crate::coverage::CellKey;
 use crate::paths::{AccessPath, Initiation, PayloadKind, PermissionPolicy};
 
 /// One profiled access path.
@@ -117,6 +118,24 @@ impl VerificationPlan {
     /// Number of access paths in the plan.
     pub fn path_count(&self) -> usize {
         self.paths.len()
+    }
+
+    /// Every coverage-matrix cell this plan declares: each inventoried
+    /// storage element crossed with each feasible (transition point,
+    /// observer privilege) pair — the denominator of
+    /// `teesec_plan_coverage_ratio` and the universe the campaign gap
+    /// list is computed against.
+    pub fn coverage_cells(&self) -> impl Iterator<Item = CellKey> + '_ {
+        use crate::coverage::TransitionPoint;
+        self.storage.elements.iter().flat_map(|el| {
+            TransitionPoint::all().iter().flat_map(move |&transition| {
+                transition.observers().iter().map(move |&observer| CellKey {
+                    structure: el.structure,
+                    transition,
+                    observer,
+                })
+            })
+        })
     }
 }
 

@@ -56,6 +56,37 @@ pub struct ProvenanceChain {
 }
 
 impl ProvenanceChain {
+    /// The cycle-resolved exposure windows this chain implies, as
+    /// `(structure, start_cycle, end_cycle)` triples: the secret was
+    /// resident in each retention-hop structure (and the observed
+    /// structure itself) from the hop that dragged it there until the
+    /// observation. One window per structure, earliest arrival kept —
+    /// the raw material of the `teesec_secret_residency_cycles`
+    /// histograms.
+    pub fn exposure_windows(&self) -> Vec<(Structure, u64, u64)> {
+        let end = self.observation.cycle;
+        let mut windows: Vec<(Structure, u64, u64)> = Vec::new();
+        let mut push = |structure: Option<Structure>, start: u64| {
+            let s = match structure {
+                Some(s) => s,
+                None => return, // architectural seed: memory, not uarch state
+            };
+            match windows.iter_mut().find(|(ws, _, _)| *ws == s) {
+                Some(w) => w.1 = w.1.min(start),
+                None => windows.push((s, start, end)),
+            }
+        };
+        if let Some(s) = self.observation.structure {
+            push(Some(s), self.origin.cycle);
+        }
+        push(self.origin.structure, self.origin.cycle);
+        for hop in &self.retention {
+            push(hop.structure, hop.cycle);
+        }
+        windows.sort_by_key(|(s, _, _)| s.index());
+        windows
+    }
+
     /// Renders the chain as an indented multi-line narrative
     /// (the `teesec explain` output).
     pub fn render(&self) -> String {

@@ -25,6 +25,7 @@ use teesec_uarch::config::CoreConfig;
 use teesec_uarch::trace::{Domain, FillPurpose, Structure, TraceEvent, TraceEventKind, TraceSink};
 
 use crate::checker::{authorized, classify_rf, finding_key, scan_snapshot};
+use crate::coverage::{CaseCoverage, CellKey, CoverageTracker};
 use crate::provenance::{event_verb, ProvenanceChain, ProvenanceHop};
 use crate::report::{CheckReport, Finding, LeakClass, Principle};
 use crate::runner::RunOutcome;
@@ -41,6 +42,9 @@ struct Slot {
     finding: Finding,
     /// `Some(secret value)` while the D4/D8 classification is pending.
     pending_rf_value: Option<u64>,
+    /// Coverage cell captured at push time, so the late-resolved class
+    /// lands in the window the finding was actually observed in.
+    pending_cell: Option<CellKey>,
 }
 
 /// The checker's per-event trace-scan state machine (shared by the batch
@@ -61,6 +65,9 @@ pub(crate) struct ScanState {
     dedup: BTreeSet<String>,
     slots: Vec<Slot>,
     events_seen: u64,
+    /// Plan-coverage recorder; `None` unless coverage recording was
+    /// requested (the default keeps the hot path untouched).
+    coverage: Option<CoverageTracker>,
 }
 
 impl ScanState {
@@ -75,14 +82,24 @@ impl ScanState {
             dedup: BTreeSet::new(),
             slots: Vec::new(),
             events_seen: 0,
+            coverage: None,
         }
+    }
+
+    /// Turns on plan-coverage recording for this scan.
+    pub(crate) fn enable_coverage(&mut self) {
+        self.coverage = Some(CoverageTracker::new());
     }
 
     fn push(&mut self, f: Finding) {
         if self.dedup.insert(finding_key(&f)) {
+            if let Some(cov) = self.coverage.as_mut() {
+                cov.record_detection(&f);
+            }
             self.slots.push(Slot {
                 finding: f,
                 pending_rf_value: None,
+                pending_cell: None,
             });
         }
     }
@@ -99,6 +116,11 @@ impl ScanState {
     /// Feeds one trace event through the scan.
     pub(crate) fn on_event(&mut self, e: &TraceEvent) {
         self.events_seen += 1;
+        // Coverage first: a domain switch must advance the transition
+        // window before any finding this event pushes is attributed.
+        if let Some(cov) = self.coverage.as_mut() {
+            cov.on_event(e);
+        }
         match (&e.structure, &e.kind) {
             // ---- P1: verbatim secrets in the register file -----------------
             (Structure::RegFile, TraceEventKind::Write { value, .. }) => {
@@ -127,9 +149,14 @@ impl ScanState {
                             // secret (later ones deduplicate to the same
                             // key whichever way it resolves).
                             if self.pending_rf_addrs.insert(rec.addr) {
+                                let pending_cell = self.coverage.as_mut().map(|cov| {
+                                    cov.record_detection(&finding);
+                                    cov.cell(finding.structure, finding.observer)
+                                });
                                 self.slots.push(Slot {
                                     finding,
                                     pending_rf_value: Some(*value),
+                                    pending_cell,
                                 });
                             }
                         } else {
@@ -276,27 +303,33 @@ impl ScanState {
     /// findings plus the dedup key set (carried into the snapshot scan so
     /// trace-time findings suppress equivalent residue findings, exactly
     /// as the single-pass batch scan does).
-    pub(crate) fn into_findings(self) -> (Vec<Finding>, BTreeSet<String>) {
+    pub(crate) fn into_findings(self) -> (Vec<Finding>, BTreeSet<String>, Option<CoverageTracker>) {
         let mut dedup = self.dedup;
+        let mut coverage = self.coverage;
+        let sb_forwarded_secrets = self.sb_forwarded_secrets;
         let findings = self
             .slots
             .into_iter()
             .map(|slot| {
                 let mut f = slot.finding;
                 if let Some(v) = slot.pending_rf_value {
-                    f.class = Some(if self.sb_forwarded_secrets.contains(&v) {
+                    let class = if sb_forwarded_secrets.contains(&v) {
                         LeakClass::D8
                     } else {
                         LeakClass::D4
-                    });
+                    };
+                    f.class = Some(class);
                     // The final key cannot collide: D4/D8 register-file
                     // keys are produced by this arm alone.
                     dedup.insert(finding_key(&f));
+                    if let (Some(cov), Some(cell)) = (coverage.as_mut(), slot.pending_cell) {
+                        cov.resolve_class(cell, class);
+                    }
                 }
                 f
             })
             .collect();
-        (findings, dedup)
+        (findings, dedup, coverage)
     }
 }
 
@@ -517,6 +550,15 @@ impl StreamingChecker {
         }
     }
 
+    /// Like [`StreamingChecker::new`], with plan-coverage recording on:
+    /// [`StreamingChecker::finish_coverage`] then yields the case's
+    /// [`CaseCoverage`] record alongside the report.
+    pub fn with_coverage(tc: &TestCase, cfg: &CoreConfig) -> StreamingChecker {
+        let mut checker = StreamingChecker::new(tc, cfg);
+        checker.scan.enable_coverage();
+        checker
+    }
+
     /// Trace events observed so far (the streaming analog of a buffered
     /// trace's length — useful for memory-bound assertions).
     pub fn events_seen(&self) -> u64 {
@@ -569,6 +611,17 @@ impl StreamingChecker {
     /// end-of-run snapshot scan, reconstructs provenance chains, and
     /// returns the complete report.
     pub fn finish(self, tc: &TestCase, outcome: &RunOutcome) -> CheckReport {
+        self.finish_coverage(tc, outcome).0
+    }
+
+    /// Like [`StreamingChecker::finish`], additionally returning the
+    /// per-case coverage record when the checker was created with
+    /// [`StreamingChecker::with_coverage`] (`None` otherwise).
+    pub fn finish_coverage(
+        self,
+        tc: &TestCase,
+        outcome: &RunOutcome,
+    ) -> (CheckReport, Option<CaseCoverage>) {
         let StreamingChecker {
             case,
             path,
@@ -580,14 +633,20 @@ impl StreamingChecker {
             ..
         } = self;
         let slot_count = scan.finding_count();
-        let (mut findings, mut dedup) = scan.into_findings();
+        let (mut findings, mut dedup, mut coverage) = scan.into_findings();
 
+        let snapshot_from = findings.len();
         let mut push = |findings: &mut Vec<Finding>, f: Finding| {
             if dedup.insert(finding_key(&f)) {
                 findings.push(f);
             }
         };
         scan_snapshot(tc, outcome, &secrets, &mut findings, &mut push);
+        if let Some(cov) = coverage.as_mut() {
+            for f in &findings[snapshot_from..] {
+                cov.record_detection(f);
+            }
+        }
 
         let end_cycle = outcome.cycles;
         let provenance = findings
@@ -596,13 +655,15 @@ impl StreamingChecker {
             .filter_map(|(i, f)| chain_for(f, i, end_cycle, &prov, &m1_at_push, slot_count))
             .collect();
 
-        CheckReport {
+        let report = CheckReport {
             case,
             path,
             design,
             findings,
             provenance,
-        }
+        };
+        let case_coverage = coverage.map(|cov| cov.finish(&report));
+        (report, case_coverage)
     }
 }
 

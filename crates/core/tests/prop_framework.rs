@@ -34,6 +34,7 @@ fn any_params() -> impl Strategy<Value = CaseParams> {
                 lifecycle,
                 irq_at: None,
                 restricted_counters: false,
+                reprobe: false,
             },
         )
 }

@@ -230,6 +230,9 @@ pub struct ScalarMetric {
 pub struct HistogramMetric {
     /// Metric family name.
     pub name: String,
+    /// Label pairs shared by every series of this entry (`le` is appended
+    /// last on the `_bucket` series at render time).
+    pub labels: Vec<(String, String)>,
     /// One-line help text.
     pub help: String,
     /// The samples.
@@ -321,11 +324,29 @@ impl MetricsSnapshot {
         });
     }
 
-    /// Appends a histogram.
+    /// Appends an unlabeled histogram.
     pub fn histogram(&mut self, name: &str, histogram: Histogram, help: &str) {
+        self.histogram_labeled(name, &[], histogram, help);
+    }
+
+    /// Appends a labeled histogram: one `(name, labels)` series of the
+    /// family `name`. The `le` bucket label is appended after `labels` at
+    /// render time, and `# HELP`/`# TYPE` headers are emitted once per
+    /// family even when several labeled series share it.
+    pub fn histogram_labeled(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        histogram: Histogram,
+        help: &str,
+    ) {
         let summary = histogram.summary();
         self.histograms.push(HistogramMetric {
             name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             help: help.to_string(),
             histogram,
             summary,
@@ -367,22 +388,52 @@ impl MetricsSnapshot {
                 }
             }
         }
+        let mut hist_families: Vec<&str> = Vec::new();
         for h in &self.histograms {
-            let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
-            let _ = writeln!(out, "# TYPE {} histogram", h.name);
-            let mut cumulative = 0u64;
-            for (le, n) in h.histogram.nonzero_buckets() {
-                cumulative += n;
-                let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", h.name);
+            if !hist_families.contains(&h.name.as_str()) {
+                hist_families.push(&h.name);
             }
-            let _ = writeln!(
-                out,
-                "{}_bucket{{le=\"+Inf\"}} {}",
-                h.name,
-                h.histogram.count()
-            );
-            let _ = writeln!(out, "{}_sum {}", h.name, h.histogram.sum());
-            let _ = writeln!(out, "{}_count {}", h.name, h.histogram.count());
+        }
+        for family in hist_families {
+            let mut first = true;
+            for h in self.histograms.iter().filter(|h| h.name == family) {
+                if first {
+                    let _ = writeln!(out, "# HELP {} {}", h.name, h.help);
+                    let _ = writeln!(out, "# TYPE {} histogram", h.name);
+                    first = false;
+                }
+                let mut cumulative = 0u64;
+                for (le, n) in h.histogram.nonzero_buckets() {
+                    cumulative += n;
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        h.name,
+                        render_labels_with_le(&h.labels, &le.to_string())
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    h.name,
+                    render_labels_with_le(&h.labels, "+Inf"),
+                    h.histogram.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    h.name,
+                    render_labels(&h.labels),
+                    h.histogram.sum()
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    h.name,
+                    render_labels(&h.labels),
+                    h.histogram.count()
+                );
+            }
         }
         out
     }
@@ -402,6 +453,17 @@ fn render_labels(labels: &[(String, String)]) -> String {
         .iter()
         .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
         .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Renders a Prometheus label set with the `le` bucket label appended last
+/// (Prometheus convention for histogram `_bucket` series).
+fn render_labels_with_le(labels: &[(String, String)], le: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("le=\"{le}\""));
     format!("{{{}}}", body.join(","))
 }
 
@@ -515,6 +577,30 @@ mod tests {
         assert!(text.contains("t_lat_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("t_lat_sum 105"));
         assert!(text.contains("t_lat_count 2"));
+    }
+
+    #[test]
+    fn labeled_histograms_share_one_family_header() {
+        let mut snap = MetricsSnapshot::new();
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(100);
+        b.record(200);
+        snap.histogram_labeled("t_res_cycles", &[("structure", "L1d")], a, "residency");
+        snap.histogram_labeled("t_res_cycles", &[("structure", "Lfb")], b, "residency");
+
+        let text = snap.render_prometheus();
+        // One HELP/TYPE pair for the whole family, both series present.
+        assert_eq!(text.matches("# TYPE t_res_cycles histogram").count(), 1);
+        assert!(
+            text.contains("t_res_cycles_bucket{structure=\"L1d\",le=\"7\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("t_res_cycles_bucket{structure=\"L1d\",le=\"+Inf\"} 1"));
+        assert!(text.contains("t_res_cycles_bucket{structure=\"Lfb\",le=\"255\"} 2"));
+        assert!(text.contains("t_res_cycles_sum{structure=\"L1d\"} 5"));
+        assert!(text.contains("t_res_cycles_count{structure=\"Lfb\"} 2"));
     }
 
     #[test]

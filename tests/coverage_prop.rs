@@ -1,0 +1,139 @@
+//! Property-based invariants for the plan-coverage recorder:
+//!
+//! * every secret-residency window is bounded by its case's simulated
+//!   cycle count and starts at a state-materializing event (a secret
+//!   write / fill / counter bump) found in the buffered trace — or at
+//!   cycle 0, the architectural seed;
+//! * every exercised cell names a declared-or-undeclared matrix entry
+//!   whose (structure, cycle window) actually appears in the trace, and
+//!   every detected cell is also an exercised cell.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use teesec::checker::check_case_coverage;
+use teesec::runner::run_case;
+use teesec::testcase::TestCase;
+use teesec::Fuzzer;
+use teesec_uarch::trace::TraceEventKind;
+use teesec_uarch::CoreConfig;
+
+static BOOM_CORPUS: OnceLock<Vec<TestCase>> = OnceLock::new();
+static XS_CORPUS: OnceLock<Vec<TestCase>> = OnceLock::new();
+
+/// A shared 120-case default-fuzzer pool per design, generated once.
+fn corpus(cfg: &CoreConfig) -> &'static [TestCase] {
+    let cell = if cfg.name == "xiangshan" {
+        &XS_CORPUS
+    } else {
+        &BOOM_CORPUS
+    };
+    cell.get_or_init(|| Fuzzer::with_target(120).generate(cfg))
+}
+
+proptest! {
+    /// Residency windows are physically plausible: `start <= end`, the
+    /// end never exceeds the case's simulated cycle count, and the start
+    /// cycle is either 0 (secret seeded architecturally before the run)
+    /// or carries a materializing trace event — something was actually
+    /// written at the cycle the window claims the secret arrived.
+    #[test]
+    fn residency_windows_are_bounded_and_start_at_a_write(
+        idx in any::<usize>(),
+        clear_hpcs in any::<bool>(),
+        xiangshan in any::<bool>(),
+    ) {
+        let cfg = if xiangshan {
+            CoreConfig::xiangshan()
+        } else {
+            CoreConfig::boom()
+        };
+        let pool = corpus(&cfg);
+        let mut tc = pool[idx % pool.len()].clone();
+        tc.sm_clear_hpcs = clear_hpcs;
+
+        let outcome = run_case(&tc, &cfg).expect("case builds");
+        let (_, cov) = check_case_coverage(&tc, &outcome, &cfg);
+
+        for w in &cov.residency {
+            prop_assert!(
+                w.start_cycle <= w.end_cycle,
+                "{} on {}: window for {:?} runs backwards ({} > {})",
+                tc.name, cfg.name, w.structure, w.start_cycle, w.end_cycle
+            );
+            prop_assert!(
+                w.end_cycle <= outcome.cycles,
+                "{} on {}: window for {:?} outlives the run ({} > {})",
+                tc.name, cfg.name, w.structure, w.end_cycle, outcome.cycles
+            );
+            let starts_at_write = w.start_cycle == 0
+                || outcome.platform.core.trace.events().iter().any(|e| {
+                    e.cycle == w.start_cycle
+                        && matches!(
+                            e.kind,
+                            TraceEventKind::Fill { .. }
+                                | TraceEventKind::Write { .. }
+                                | TraceEventKind::CounterBump { .. }
+                        )
+                });
+            prop_assert!(
+                starts_at_write,
+                "{} on {}: window for {:?} starts at cycle {} with no \
+                 materializing event there",
+                tc.name, cfg.name, w.structure, w.start_cycle
+            );
+        }
+    }
+
+    /// The exercised set is consistent: sorted and duplicate-free, every
+    /// cell's structure appears in the trace at all, and every detected
+    /// cell (a cell with findings) was also exercised.
+    #[test]
+    fn exercised_cells_are_sorted_and_cover_detections(
+        idx in any::<usize>(),
+        xiangshan in any::<bool>(),
+    ) {
+        let cfg = if xiangshan {
+            CoreConfig::xiangshan()
+        } else {
+            CoreConfig::boom()
+        };
+        let pool = corpus(&cfg);
+        let tc = &pool[idx % pool.len()];
+
+        let outcome = run_case(tc, &cfg).expect("case builds");
+        let (report, cov) = check_case_coverage(tc, &outcome, &cfg);
+
+        prop_assert!(
+            cov.exercised.windows(2).all(|p| p[0] < p[1]),
+            "{}: exercised cells not strictly sorted", tc.name
+        );
+        for cell in &cov.exercised {
+            prop_assert!(
+                outcome
+                    .platform
+                    .core
+                    .trace
+                    .events()
+                    .iter()
+                    .any(|e| e.structure == cell.structure),
+                "{}: cell {:?} exercised but its structure never traced",
+                tc.name, cell
+            );
+        }
+        for d in &cov.detected {
+            prop_assert!(
+                cov.exercised.binary_search(&d.cell).is_ok(),
+                "{}: detected cell {:?} was never marked exercised",
+                tc.name, d.cell
+            );
+        }
+        if report.findings.is_empty() {
+            prop_assert!(
+                cov.detected.is_empty(),
+                "{}: detections without findings", tc.name
+            );
+        }
+    }
+}

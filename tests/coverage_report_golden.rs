@@ -1,0 +1,119 @@
+//! Golden coverage-report regression: the structured `teesec
+//! coverage-report --json` payload for a fixed-size campaign on the BOOM
+//! preset is locked into a committed fixture. Any drift — a plan path
+//! appearing or vanishing, a residency histogram shifting, the coverage
+//! ratio moving — fails with the serialized diff.
+//!
+//! Regenerate after an *intentional* plan, tracker, or corpus change with:
+//!
+//! ```text
+//! TEESEC_REGEN_FIXTURES=1 cargo test --test coverage_report_golden
+//! ```
+
+use std::path::PathBuf;
+
+use teesec::checker::check_case_coverage;
+use teesec::runner::run_case;
+use teesec::{Fuzzer, PlanCoverage};
+use teesec_uarch::CoreConfig;
+
+/// Corpus size: large enough to exercise most of the declared matrix and
+/// populate every residency histogram, small enough to keep the test fast.
+const CORPUS: usize = 48;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/coverage_report.json")
+}
+
+/// The same aggregation the engine performs, serially and in corpus order
+/// (the engine merges per-case records in `seq` order, so the result is
+/// identical — `stream_equivalence` holds the two pipelines together).
+fn campaign_coverage() -> PlanCoverage {
+    let cfg = CoreConfig::boom();
+    let corpus = Fuzzer::with_target(CORPUS).generate(&cfg);
+    let mut pc = PlanCoverage::for_design(&cfg);
+    for tc in &corpus {
+        let outcome = run_case(tc, &cfg).expect("case builds");
+        let (_, cov) = check_case_coverage(tc, &outcome, &cfg);
+        pc.absorb(&tc.name, &cov);
+    }
+    pc
+}
+
+#[test]
+fn coverage_report_matches_the_committed_fixture() {
+    let report = campaign_coverage().report_json();
+    let path = fixture_path();
+    if std::env::var_os("TEESEC_REGEN_FIXTURES").is_some() {
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        std::fs::write(&path, json + "\n").expect("write fixture");
+        return;
+    }
+    let raw = std::fs::read_to_string(&path).expect(
+        "coverage-report fixture missing — regenerate with \
+         TEESEC_REGEN_FIXTURES=1 cargo test --test coverage_report_golden",
+    );
+    let golden: serde_json::Value = serde_json::from_str(&raw).expect("parse fixture");
+    assert_eq!(
+        serde_json::to_string_pretty(&report).unwrap(),
+        serde_json::to_string_pretty(&golden).unwrap(),
+        "coverage report drifted from the committed fixture. If this change \
+         is intentional, regenerate with TEESEC_REGEN_FIXTURES=1 \
+         cargo test --test coverage_report_golden"
+    );
+}
+
+fn field<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+    v.get(key).unwrap_or_else(|| panic!("missing key `{key}`"))
+}
+
+fn uint(v: &serde_json::Value, key: &str) -> u64 {
+    match field(v, key) {
+        serde_json::Value::UInt(n) => *n as u64,
+        other => panic!("`{key}` is not an unsigned integer: {other:?}"),
+    }
+}
+
+/// The fixture itself must stay sane regardless of exact numbers: a
+/// partially-covered declared matrix (the seed corpus leaves gaps by
+/// design), at least one concrete gap entry, and nonempty per-structure
+/// residency aggregates with log2 buckets.
+#[test]
+fn fixture_is_well_formed() {
+    if std::env::var_os("TEESEC_REGEN_FIXTURES").is_some() {
+        return;
+    }
+    let raw = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    let golden: serde_json::Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(
+        field(&golden, "design"),
+        &serde_json::Value::String("boom".into())
+    );
+    let declared = uint(&golden, "declared_paths");
+    let exercised = uint(&golden, "exercised_paths");
+    let ratio = uint(&golden, "coverage_ratio_ppm");
+    assert!(declared > 0);
+    assert!(
+        exercised > 0 && exercised < declared,
+        "seed corpus leaves gaps"
+    );
+    assert_eq!(ratio, exercised * 1_000_000 / declared);
+    let gaps = field(&golden, "gaps").as_array().unwrap();
+    assert!(!gaps.is_empty(), "the gap list must name concrete paths");
+    for g in gaps {
+        assert!(matches!(
+            field(g, "structure"),
+            serde_json::Value::String(_)
+        ));
+        assert!(matches!(
+            field(g, "transition"),
+            serde_json::Value::String(_)
+        ));
+    }
+    let residency = field(&golden, "residency").as_array().unwrap();
+    assert!(!residency.is_empty(), "secrets must leave exposure windows");
+    for r in residency {
+        assert!(uint(r, "windows") > 0);
+        assert!(!field(r, "buckets").as_array().unwrap().is_empty());
+    }
+}

@@ -14,8 +14,13 @@ use teesec::metrics::{campaign_snapshot, coverage_snapshot};
 use teesec_trace::Tracer;
 use teesec_uarch::CoreConfig;
 
-/// Families that intentionally carry no unit suffix (dimensionless flags).
-const NO_UNIT_ALLOWLIST: &[&str] = &["teesec_leak_class_detected"];
+/// Families that intentionally carry no unit suffix (dimensionless flags
+/// and info-style gauges).
+const NO_UNIT_ALLOWLIST: &[&str] = &[
+    "teesec_leak_class_detected",
+    "teesec_build_info",
+    "teesec_plan_path_exercised",
+];
 
 /// Recognized unit / kind suffixes a family name may end with.
 const UNIT_SUFFIXES: &[&str] = &[
@@ -114,6 +119,7 @@ fn full_campaign_text() -> String {
         diff: Some(teesec::diff::DiffOptions::default()),
         streaming: true,
         snapshot_cache: true,
+        coverage: true,
         tracer: Tracer::new(2),
         ..EngineOptions::default()
     });
@@ -202,42 +208,81 @@ fn lint(text: &str) {
         );
     }
 
-    // Histogram shape: buckets cumulative non-decreasing, +Inf == _count,
-    // _sum and _count present.
+    // Histogram shape, per label set (labeled histograms like the
+    // secret-residency family emit one bucket series per label
+    // combination): buckets cumulative non-decreasing, +Inf == _count,
+    // _sum and _count present for every label set.
     for (name, f) in &exp.families {
         if f.kind != "histogram" {
             continue;
         }
-        let mut buckets: Vec<(String, u64)> = Vec::new();
-        let mut sum = None;
-        let mut count = None;
+        type Group = (Vec<(String, u64)>, Option<String>, Option<u64>);
+        let mut groups: BTreeMap<String, Group> = BTreeMap::new();
         for (family, sample, labels, value) in &exp.samples {
             if family != name {
                 continue;
             }
             if sample == &format!("{name}_bucket") {
-                let le = labels
-                    .strip_prefix("{le=\"")
-                    .and_then(|l| l.strip_suffix("\"}"))
-                    .unwrap_or_else(|| panic!("{sample}: malformed le label `{labels}`"));
-                buckets.push((le.to_string(), value.parse().unwrap()));
+                let (rest, le) = split_le(sample, labels);
+                groups
+                    .entry(rest)
+                    .or_default()
+                    .0
+                    .push((le, value.parse().unwrap()));
             } else if sample == &format!("{name}_sum") {
-                sum = Some(value.clone());
+                groups.entry(labels.clone()).or_default().1 = Some(value.clone());
             } else if sample == &format!("{name}_count") {
-                count = Some(value.parse::<u64>().unwrap());
+                groups.entry(labels.clone()).or_default().2 = Some(value.parse::<u64>().unwrap());
             }
         }
-        let count = count.unwrap_or_else(|| panic!("{name}: missing _count"));
-        assert!(sum.is_some(), "{name}: missing _sum");
-        assert!(!buckets.is_empty(), "{name}: histogram without buckets");
-        assert!(
-            buckets.windows(2).all(|w| w[0].1 <= w[1].1),
-            "{name}: bucket counts must be cumulative: {buckets:?}"
-        );
-        let (last_le, last_n) = buckets.last().unwrap();
-        assert_eq!(last_le, "+Inf", "{name}: last bucket must be +Inf");
-        assert_eq!(*last_n, count, "{name}: +Inf bucket must equal _count");
+        assert!(!groups.is_empty(), "{name}: histogram without samples");
+        for (labels, (buckets, sum, count)) in &groups {
+            let count = count.unwrap_or_else(|| panic!("{name}{labels}: missing _count"));
+            assert!(sum.is_some(), "{name}{labels}: missing _sum");
+            assert!(
+                !buckets.is_empty(),
+                "{name}{labels}: histogram without buckets"
+            );
+            assert!(
+                buckets.windows(2).all(|w| w[0].1 <= w[1].1),
+                "{name}{labels}: bucket counts must be cumulative: {buckets:?}"
+            );
+            let (last_le, last_n) = buckets.last().unwrap();
+            assert_eq!(last_le, "+Inf", "{name}{labels}: last bucket must be +Inf");
+            assert_eq!(
+                *last_n, count,
+                "{name}{labels}: +Inf bucket must equal _count"
+            );
+        }
     }
+}
+
+/// Splits a bucket sample's label blob into the non-`le` label set (the
+/// group key, matching the family's `_sum`/`_count` labels) and the `le`
+/// bound. `le` is always rendered last.
+fn split_le(sample: &str, labels: &str) -> (String, String) {
+    let inner = labels
+        .strip_prefix('{')
+        .and_then(|l| l.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("{sample}: malformed label set `{labels}`"));
+    let (rest, le) = match inner.rfind(",le=\"") {
+        Some(i) => (&inner[..i], &inner[i + 5..]),
+        None => (
+            "",
+            inner
+                .strip_prefix("le=\"")
+                .unwrap_or_else(|| panic!("{sample}: bucket without le `{labels}`")),
+        ),
+    };
+    let le = le
+        .strip_suffix('"')
+        .unwrap_or_else(|| panic!("{sample}: malformed le label `{labels}`"));
+    let rest = if rest.is_empty() {
+        String::new()
+    } else {
+        format!("{{{rest}}}")
+    };
+    (rest, le.to_string())
 }
 
 #[test]
@@ -256,6 +301,24 @@ fn campaign_exposition_passes_the_lint() {
     assert!(text.contains("# TYPE teesec_worker_busy_ratio gauge"));
     assert!(text.contains("# TYPE teesec_snapshot_cache_capture_us_total counter"));
     assert!(text.contains("phase=\"simulate\""));
+    // The coverage-observability families land in every full campaign
+    // exposition, and build info is stamped on it.
+    assert!(text.contains("# TYPE teesec_build_info gauge"));
+    assert!(text.contains("teesec_build_info{version=\""));
+    assert!(text.contains("# TYPE teesec_plan_path_exercised gauge"));
+    assert!(text.contains("# TYPE teesec_plan_coverage_ratio gauge"));
+    assert!(text.contains("# TYPE teesec_secret_residency_cycles histogram"));
+    assert!(text.contains("# TYPE teesec_secret_residency_worst_cycles gauge"));
+}
+
+#[test]
+fn build_info_is_stamped_on_every_exposition() {
+    for text in [full_campaign_text(), coverage_text()] {
+        assert!(
+            text.contains("teesec_build_info{version=\"") && text.contains("profile=\""),
+            "exposition without build info:\n{text}"
+        );
+    }
 }
 
 #[test]
@@ -280,4 +343,29 @@ fn the_lint_itself_catches_violations() {
     assert!(r.is_err(), "unit-less family must fail");
     // A well-formed family passes.
     lint("# HELP teesec_ok_total x\n# TYPE teesec_ok_total counter\nteesec_ok_total 3\n");
+    // A labeled histogram with two label sets passes: each set has its
+    // own cumulative buckets and _sum/_count.
+    lint(concat!(
+        "# HELP teesec_lab_cycles x\n# TYPE teesec_lab_cycles histogram\n",
+        "teesec_lab_cycles_bucket{s=\"a\",le=\"1\"} 1\n",
+        "teesec_lab_cycles_bucket{s=\"a\",le=\"+Inf\"} 2\n",
+        "teesec_lab_cycles_sum{s=\"a\"} 3\n",
+        "teesec_lab_cycles_count{s=\"a\"} 2\n",
+        "teesec_lab_cycles_bucket{s=\"b\",le=\"1\"} 5\n",
+        "teesec_lab_cycles_bucket{s=\"b\",le=\"+Inf\"} 5\n",
+        "teesec_lab_cycles_sum{s=\"b\"} 4\n",
+        "teesec_lab_cycles_count{s=\"b\"} 5\n",
+    ));
+    // ...but non-cumulative buckets within one label set still fail even
+    // when the interleaved sets would look monotonic combined.
+    let r = std::panic::catch_unwind(|| {
+        lint(concat!(
+            "# HELP teesec_lab_cycles x\n# TYPE teesec_lab_cycles histogram\n",
+            "teesec_lab_cycles_bucket{s=\"a\",le=\"1\"} 4\n",
+            "teesec_lab_cycles_bucket{s=\"a\",le=\"+Inf\"} 2\n",
+            "teesec_lab_cycles_sum{s=\"a\"} 3\n",
+            "teesec_lab_cycles_count{s=\"a\"} 2\n",
+        ))
+    });
+    assert!(r.is_err(), "non-cumulative labeled buckets must fail");
 }

@@ -12,8 +12,13 @@
 
 use std::collections::BTreeMap;
 
+use teesec::coverage::{
+    CaseCoverage, CellKey, DetectedCell, ObserverKind, PlanCoverage, ResidencyWindow,
+    TransitionPoint,
+};
 use teesec::diff::DiffVerdict;
 use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, ObsMetrics};
+use teesec::report::LeakClass;
 use teesec::runner::SnapshotCacheMetrics;
 use teesec_obs::{Histogram, Summary};
 use teesec_trace::{CriticalHop, HopKind, PhaseStat, Straggler, TraceReport, WorkerStat};
@@ -88,6 +93,38 @@ fn sample_report() -> TraceReport {
     }
 }
 
+fn sample_coverage() -> CaseCoverage {
+    let cell = CellKey {
+        structure: Structure::L1d,
+        transition: TransitionPoint::MonitorReturn,
+        observer: ObserverKind::Host,
+    };
+    CaseCoverage {
+        exercised: vec![cell],
+        detected: vec![DetectedCell {
+            cell,
+            classes: vec![LeakClass::D2],
+        }],
+        residency: vec![ResidencyWindow {
+            structure: Structure::L1d,
+            secret_addr: 0x8021_0000,
+            start_cycle: 100,
+            end_cycle: 1200,
+        }],
+    }
+}
+
+fn sample_plan_coverage() -> PlanCoverage {
+    let mut pc = PlanCoverage {
+        design: "boom".into(),
+        cells: Vec::new(),
+        residency: Vec::new(),
+        cases_recorded: 0,
+    };
+    pc.absorb("exp_load_l1_hit__case", &sample_coverage());
+    pc
+}
+
 fn sample_metrics() -> EngineMetrics {
     let mut obs = ObsMetrics::for_design(&CoreConfig::boom());
     obs.record_case(1234, 150, 2000, 300);
@@ -118,6 +155,7 @@ fn sample_metrics() -> EngineMetrics {
             capture_us: 4200,
         }),
         trace: Some(sample_report()),
+        plan_coverage: Some(sample_plan_coverage()),
     }
 }
 
@@ -163,6 +201,13 @@ fn sample_events() -> Vec<EngineEvent> {
                 retires: 400,
                 cycles: 1234,
             },
+            span_id: Some(3),
+            parent_id: Some(2),
+        },
+        EngineEvent::CaseCoverage {
+            seq: 0,
+            case: "exp_load_l1_hit__case".into(),
+            coverage: sample_coverage(),
             span_id: Some(3),
             parent_id: Some(2),
         },
@@ -222,6 +267,7 @@ fn every_variant_is_covered_by_the_fixture() {
             | EngineEvent::CaseFinished { .. }
             | EngineEvent::CaseCounters { .. }
             | EngineEvent::CaseDiff { .. }
+            | EngineEvent::CaseCoverage { .. }
             | EngineEvent::CaseQuarantined { .. }
             | EngineEvent::CampaignFinished { .. } => {}
         }
@@ -232,6 +278,7 @@ fn every_variant_is_covered_by_the_fixture() {
         "CaseFinished",
         "CaseCounters",
         "CaseDiff",
+        "CaseCoverage",
         "CaseQuarantined",
         "CampaignFinished",
     ];
@@ -281,6 +328,10 @@ fn engine_metrics_without_obs_still_parse() {
     assert_eq!(
         back.trace, None,
         "pre-tracing-era metrics parse with trace: None"
+    );
+    assert_eq!(
+        back.plan_coverage, None,
+        "pre-coverage-era metrics parse with plan_coverage: None"
     );
     assert_eq!(back.cases_total, 3);
 

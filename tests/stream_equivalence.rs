@@ -108,6 +108,74 @@ fn irq_sweep_forks_the_setup_prefix_and_stays_byte_identical() {
     assert_eq!(m.bypasses, 0, "{m:?}");
 }
 
+/// Plan-coverage records are part of the equivalence contract too: over
+/// the full default corpus, on both designs, the streaming checker's
+/// per-case [`CaseCoverage`] must serialize byte-identically to the
+/// batch pipeline's, and the campaign-level [`PlanCoverage`] matrices
+/// (and residency histograms) absorbed from them must match exactly.
+#[test]
+fn streaming_coverage_is_byte_identical_to_batch_on_both_designs() {
+    use teesec::checker::check_case_coverage;
+    use teesec::PlanCoverage;
+
+    for cfg in [CoreConfig::boom(), CoreConfig::xiangshan()] {
+        let corpus = Fuzzer::paper_default().generate(&cfg);
+        assert!(!corpus.is_empty());
+        let cache = SnapshotCache::new();
+        let mut batch_pc = PlanCoverage::for_design(&cfg);
+        let mut stream_pc = PlanCoverage::for_design(&cfg);
+        for tc in &corpus {
+            let outcome = run_case(tc, &cfg).expect("batch build");
+            let (_, batch_cov) = check_case_coverage(tc, &outcome, &cfg);
+
+            let mut stream_outcome = run_case_opts(
+                tc,
+                &cfg,
+                RunOptions {
+                    snapshot_cache: Some(&cache),
+                    sink: Some(Box::new(StreamingChecker::with_coverage(tc, &cfg))),
+                    buffer_trace: false,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("streaming build");
+            let checker = stream_outcome
+                .platform
+                .core
+                .trace
+                .take_sink()
+                .expect("sink survives the run")
+                .into_any()
+                .downcast::<StreamingChecker>()
+                .expect("sink is the streaming checker");
+            let (_, stream_cov) = checker.finish_coverage(tc, &stream_outcome);
+            let stream_cov = stream_cov.expect("coverage recording was on");
+
+            assert_eq!(
+                serde_json::to_string(&stream_cov).unwrap(),
+                serde_json::to_string(&batch_cov).unwrap(),
+                "case {} on {}: streaming coverage differs from batch",
+                tc.name,
+                cfg.name
+            );
+            batch_pc.absorb(&tc.name, &batch_cov);
+            stream_pc.absorb(&tc.name, &stream_cov);
+        }
+        assert_eq!(
+            serde_json::to_string(&stream_pc).unwrap(),
+            serde_json::to_string(&batch_pc).unwrap(),
+            "{}: aggregated plan coverage differs between pipelines",
+            cfg.name
+        );
+        assert!(batch_pc.exercised_declared() > 0, "{}", cfg.name);
+        assert!(
+            batch_pc.exercised_declared() < batch_pc.declared(),
+            "{}: the seed corpus is expected to leave gaps",
+            cfg.name
+        );
+    }
+}
+
 /// Snapshot-forked platforms are indistinguishable from freshly-built
 /// ones: same exit, same cycle count, same microarchitectural counter
 /// digest after running the very same case.
