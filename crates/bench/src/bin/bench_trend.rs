@@ -1,22 +1,38 @@
 //! `bench_trend` — cross-PR benchmark consistency check and trend table.
 //!
-//! Usage: `cargo run -p teesec-bench --bin bench_trend [-- <repo-root>]`
+//! Usage: `cargo run -p teesec-bench --bin bench_trend [-- [--check] [<repo-root>]]`
 //!
 //! Loads every `BENCH_*.json` under the repo root (default: two levels up
 //! from this crate, i.e. the workspace root), fails with exit code 1 if
 //! any file violates the shared schema, and prints a per-metric table
 //! with one column per PR so regressions are visible at a glance.
+//!
+//! With `--check`, additionally fails if any metric got more than 10%
+//! worse than the most recent earlier PR reporting the same metric
+//! (speedup-style metrics regress downward, everything else upward).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use teesec_bench::trend;
 
+/// Tolerated worsening before `--check` fails, percent.
+const TOLERANCE_PCT: f64 = 10.0;
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map_or_else(
-        || PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")),
-        PathBuf::from,
-    );
+    let mut check = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other if root.is_none() => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("bench_trend: unexpected argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")));
     let files = match trend::load(&root) {
         Ok(files) => files,
         Err(e) => {
@@ -34,5 +50,19 @@ fn main() -> ExitCode {
     }
     println!();
     print!("{}", trend::trend_table(&files));
+    if check {
+        let regs = trend::check_regressions(&files, TOLERANCE_PCT);
+        if !regs.is_empty() {
+            println!();
+            for r in &regs {
+                eprintln!(
+                    "bench_trend: REGRESSION {}: pr{} = {:.3} vs pr{} = {:.3} ({:.1}% worse, tolerance {TOLERANCE_PCT}%)",
+                    r.metric, r.pr, r.current, r.baseline_pr, r.baseline, r.worse_pct
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("\nbench_trend: no metric regressed more than {TOLERANCE_PCT}% (--check passed)");
+    }
     ExitCode::SUCCESS
 }

@@ -18,7 +18,7 @@ fn run_on(cfg: &CoreConfig) {
     let outcome = run_case(&tc, cfg).expect("build");
     println!("  steps: csrw satp, <enclave page>; ld a5, <unmapped VA>  (Figure 3's 1-2)");
     let mut walk_fills = 0;
-    for e in outcome.platform.core.trace.events() {
+    for e in outcome.platform.core.trace.iter_events() {
         match (&e.structure, &e.kind) {
             (
                 Structure::Lfb,

@@ -30,8 +30,7 @@ fn run_on(cfg: &CoreConfig) {
         .platform
         .core
         .trace
-        .events()
-        .iter()
+        .iter_events()
         .filter(|e| {
             e.structure == Structure::Hpc
                 && e.priv_level != teesec_isa::priv_level::PrivLevel::Machine
@@ -71,7 +70,7 @@ fn run_on(cfg: &CoreConfig) {
                 // Show the chain for the first leaking timing.
                 if best.is_none() {
                     println!("  interrupt at cycle {}:", w + delta);
-                    for e in outcome.platform.core.trace.events() {
+                    for e in outcome.platform.core.trace.iter_events() {
                         match (&e.structure, &e.kind) {
                             (Structure::Hpc, TraceEventKind::Read { index, value })
                                 if e.priv_level != teesec_isa::priv_level::PrivLevel::Machine

@@ -174,6 +174,80 @@ pub fn flatten_metrics(v: &Value) -> Vec<(String, f64)> {
     out
 }
 
+/// One metric that got worse than the tolerance against the most recent
+/// earlier PR reporting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Dotted metric path (`boom_wall_ms.fast_on`).
+    pub metric: String,
+    /// PR the baseline value came from.
+    pub baseline_pr: u64,
+    /// Baseline value.
+    pub baseline: f64,
+    /// PR that regressed.
+    pub pr: u64,
+    /// The regressed value.
+    pub current: f64,
+    /// How much worse, percent (always positive).
+    pub worse_pct: f64,
+}
+
+/// `true` when larger values of a metric are better. Speedup-style
+/// ratios improve upward; everything else the suite reports (wall
+/// times, latencies, memory) improves downward.
+fn higher_is_better(path: &str) -> bool {
+    path.contains("speedup")
+}
+
+/// Compares every metric of every PR against the most recent *earlier*
+/// PR that reports the same dotted path, and returns the metrics that
+/// got more than `tolerance_pct` percent worse. Metrics only one PR
+/// reports (the common case: each PR benches what it changed) have no
+/// baseline and cannot regress.
+///
+/// `files` must be PR-sorted, as [`load`] returns them.
+pub fn check_regressions(files: &[BenchFile], tolerance_pct: f64) -> Vec<Regression> {
+    let per_file: Vec<Vec<(String, f64)>> =
+        files.iter().map(|f| flatten_metrics(&f.value)).collect();
+    let mut out = Vec::new();
+    for (i, metrics) in per_file.iter().enumerate() {
+        for (path, current) in metrics {
+            let baseline = per_file[..i]
+                .iter()
+                .enumerate()
+                .rev()
+                .find_map(|(j, earlier)| {
+                    earlier
+                        .iter()
+                        .find(|(p, _)| p == path)
+                        .map(|(_, v)| (files[j].pr, *v))
+                });
+            let Some((baseline_pr, baseline)) = baseline else {
+                continue;
+            };
+            if baseline == 0.0 {
+                continue; // no meaningful ratio against a zero baseline
+            }
+            let worse_pct = if higher_is_better(path) {
+                100.0 * (baseline - current) / baseline
+            } else {
+                100.0 * (current - baseline) / baseline
+            };
+            if worse_pct > tolerance_pct {
+                out.push(Regression {
+                    metric: path.clone(),
+                    baseline_pr,
+                    baseline,
+                    pr: files[i].pr,
+                    current: *current,
+                    worse_pct,
+                });
+            }
+        }
+    }
+    out
+}
+
 fn fmt_num(n: f64) -> String {
     if n == n.trunc() && n.abs() < 1e15 {
         format!("{}", n as i64)
@@ -277,6 +351,65 @@ mod tests {
         let v: Value = serde_json::from_str(ok).unwrap();
         assert_eq!(schema_check("BENCH_pr9.json", &v), Ok(9));
         assert_eq!(flatten_metrics(&v), vec![("wall_ms.x".to_string(), 1.5)]);
+    }
+
+    fn bench_file(pr: u64, metrics: &str) -> BenchFile {
+        let doc = format!(
+            r#"{{"pr":{pr},"date":"2026-08-07",
+                "environment":{{"cpus":1,"profile":"bench"}},
+                "commands":["x"],{metrics}}}"#
+        );
+        let value: Value = serde_json::from_str(&doc).expect("test JSON parses");
+        BenchFile {
+            name: format!("BENCH_pr{pr}.json"),
+            pr,
+            value,
+        }
+    }
+
+    #[test]
+    fn regression_check_compares_against_most_recent_reporting_pr() {
+        let files = vec![
+            bench_file(2, r#""wall_ms":{"engine":100.0}"#),
+            bench_file(4, r#""other_ms":7.0"#), // does not report wall_ms
+            bench_file(9, r#""wall_ms":{"engine":120.0},"other_ms":7.2"#),
+        ];
+        let regs = check_regressions(&files, 10.0);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "wall_ms.engine");
+        assert_eq!(
+            regs[0].baseline_pr, 2,
+            "baseline skips PRs without the metric"
+        );
+        assert_eq!(regs[0].pr, 9);
+        assert!((regs[0].worse_pct - 20.0).abs() < 1e-9);
+        // Within tolerance: other_ms moved 2.9% < 10%.
+        assert!(check_regressions(&files, 25.0).is_empty());
+    }
+
+    #[test]
+    fn speedup_metrics_regress_downward() {
+        let files = vec![
+            bench_file(7, r#""mixed_corpus_speedup":2.3"#),
+            bench_file(9, r#""mixed_corpus_speedup":1.8"#),
+        ];
+        let regs = check_regressions(&files, 10.0);
+        assert_eq!(regs.len(), 1, "a speedup *drop* is the regression");
+        assert!(regs[0].worse_pct > 20.0);
+        // An improved speedup is never a regression.
+        let files = vec![
+            bench_file(7, r#""mixed_corpus_speedup":2.3"#),
+            bench_file(9, r#""mixed_corpus_speedup":3.1"#),
+        ];
+        assert!(check_regressions(&files, 10.0).is_empty());
+    }
+
+    #[test]
+    fn committed_bench_files_have_no_regressions() {
+        let root = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+        let files = load(root).expect("load");
+        let regs = check_regressions(&files, 10.0);
+        assert!(regs.is_empty(), "committed BENCH files regressed: {regs:?}");
     }
 
     #[test]

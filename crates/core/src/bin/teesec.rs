@@ -505,6 +505,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         streaming: opts.streaming,
         snapshot_cache: opts.snapshot_cache,
         coverage: true,
+        fast_path: None, // process default: TEESEC_FASTPATH
         tracer: tracer.clone(),
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
@@ -527,6 +528,17 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         println!(
             "  snapshot cache: {} hits, {} misses, {} bypasses",
             snap.hits, snap.misses, snap.bypasses
+        );
+    }
+    if let Some(fp) = metrics.fastpath.as_ref() {
+        println!(
+            "  fast path: {} cases, decode {} hits / {} misses / {} invalidations, scans {} run / {} skipped",
+            fp.cases,
+            fp.decode_hits,
+            fp.decode_misses,
+            fp.decode_invalidations,
+            fp.scan_checks,
+            fp.scan_skips
         );
     }
     if let Some(pc) = metrics.plan_coverage.as_ref() {

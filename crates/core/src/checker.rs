@@ -107,7 +107,7 @@ fn check_case_inner(
     if record_coverage {
         scan.enable_coverage();
     }
-    for e in outcome.platform.core.trace.events() {
+    for e in outcome.platform.core.trace.iter_events() {
         scan.on_event(e);
     }
     let (mut findings, mut dedup, mut coverage) = scan.into_findings();

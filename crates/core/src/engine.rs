@@ -34,7 +34,7 @@ use teesec_obs::{Histogram, Summary};
 use teesec_trace::{TraceCtx, TraceReport, Tracer};
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::introspect::StorageInventory;
-use teesec_uarch::{RunExit, StructureCounters, UarchCounters};
+use teesec_uarch::{FastPathStats, RunExit, StructureCounters, UarchCounters};
 
 use crate::campaign::{CampaignResult, CaseResult, PhaseTiming};
 use crate::checker::{check_case, check_case_coverage};
@@ -86,6 +86,14 @@ pub struct EngineOptions {
     /// re-assembling and re-simulating the SM boot. Hit/miss/bypass
     /// counters land in [`EngineMetrics::snapshot`].
     pub snapshot_cache: bool,
+    /// Force the fast-path simulator (page-keyed decode cache +
+    /// dirty-delta storage logging) on or off for every case. `None`
+    /// keeps the process default (`TEESEC_FASTPATH`, on unless set to
+    /// `0`/`off`/`false`/`no`). Both settings are byte-identical on
+    /// reports, coverage, counter digests, and provenance — proven by
+    /// the `fastpath_equivalence` suite. Per-case decode-cache and
+    /// scan-memo counters aggregate into [`EngineMetrics::fastpath`].
+    pub fast_path: Option<bool>,
     /// Span recorder. When enabled ([`Tracer::new`]), the engine emits a
     /// full span tree — `campaign` → per-worker `worker` → `queue_wait` /
     /// `case` → `build` / `simulate` / `scan` / `diff` — plus watchdog
@@ -350,11 +358,53 @@ pub struct EngineMetrics {
     /// in event streams recorded before the field existed (deserializes
     /// to `None`).
     pub plan_coverage: Option<PlanCoverage>,
+    /// Fast-path effectiveness counters (decode-cache hit/miss/
+    /// invalidation, dirty-scan check/skip) summed over every case that
+    /// ran with the fast path on. `None` when every case ran the
+    /// reference path. Absent in event streams recorded before the
+    /// field existed (deserializes to `None`).
+    pub fastpath: Option<FastPathMetrics>,
 }
 
 /// Straggler-table depth of the [`TraceReport`] a traced engine run
 /// attaches to its metrics.
 const TRACE_TOP_STRAGGLERS: usize = 5;
+
+/// Aggregate fast-path effectiveness for one engine run: how well the
+/// page-keyed decode cache and the dirty-scan memoization performed
+/// across every case that ran with the fast path on. Purely
+/// observational — the fast path is byte-identical to the reference
+/// path on all checker-visible output, so none of these counters ever
+/// appear in [`UarchCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FastPathMetrics {
+    /// Cases that ran with the fast path enabled.
+    pub cases: usize,
+    /// Instruction fetches served from a memoized decode slot.
+    pub decode_hits: u64,
+    /// Fetches decoded fresh and memoized.
+    pub decode_misses: u64,
+    /// Decode-cache pages invalidated (version bumps, `fence.i`,
+    /// capacity evictions, explicit flushes).
+    pub decode_invalidations: u64,
+    /// Operand/store-queue stall scans actually performed.
+    pub scan_checks: u64,
+    /// Stall scans elided because no scan input changed since the
+    /// entry's last `Wait` verdict.
+    pub scan_skips: u64,
+}
+
+impl FastPathMetrics {
+    /// Folds one case's harvested [`FastPathStats`] into the aggregate.
+    pub fn absorb(&mut self, s: &FastPathStats) {
+        self.cases += 1;
+        self.decode_hits += s.decode.hits;
+        self.decode_misses += s.decode.misses;
+        self.decode_invalidations += s.decode.invalidations;
+        self.scan_checks += s.scan_checks;
+        self.scan_skips += s.scan_skips;
+    }
+}
 
 /// Aggregate differential-oracle outcomes for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -461,6 +511,9 @@ pub(crate) struct CaseExecution {
     /// Which build path produced the platform (`None` for quarantined
     /// cases that never finished building).
     pub cache: Option<&'static str>,
+    /// Decode-cache and scan-memo counters harvested at case exit;
+    /// `Some` iff the case finished with the fast path on.
+    pub fastpath: Option<FastPathStats>,
 }
 
 /// Per-case execution knobs for [`execute_case`] (the engine-independent
@@ -474,6 +527,8 @@ pub(crate) struct ExecOptions<'c> {
     /// Record per-case plan coverage and residency windows.
     pub coverage: bool,
     pub snapshot_cache: Option<&'c SnapshotCache>,
+    /// Force the fast-path simulator on/off (`None`: process default).
+    pub fast_path: Option<bool>,
     /// Span recorder for the case's phase spans (`None` untraced).
     pub tracer: Option<&'c Tracer>,
     /// Worker index spans are attributed to.
@@ -513,6 +568,7 @@ pub(crate) fn execute_case(
         diff: None,
         coverage: None,
         cache: None,
+        fastpath: None,
     };
     let tctx = TraceCtx {
         tracer: opts.tracer,
@@ -536,6 +592,7 @@ pub(crate) fn execute_case(
                     }) as _
                 }),
                 buffer_trace: !opts.streaming,
+                fast_path: opts.fast_path,
                 trace: tctx,
             },
         )
@@ -571,6 +628,11 @@ pub(crate) fn execute_case(
     drop(scan_span);
     let check_us = t_chk.elapsed().as_micros();
     let counters = opts.counters.then(|| outcome.platform.core.counters());
+    let fastpath = outcome
+        .platform
+        .core
+        .fast_path()
+        .then(|| outcome.platform.core.fast_path_stats());
 
     let mut findings_by_structure = BTreeMap::new();
     for f in &report.findings {
@@ -600,6 +662,7 @@ pub(crate) fn execute_case(
         diff: None,
         coverage,
         cache: Some(outcome.build.label()),
+        fastpath,
     }
 }
 
@@ -721,6 +784,7 @@ impl Engine {
                                 streaming: opts.streaming,
                                 coverage: opts.coverage,
                                 snapshot_cache,
+                                fast_path: opts.fast_path,
                                 tracer: opts.tracer.enabled().then_some(&opts.tracer),
                                 worker,
                                 case_span: case_id,
@@ -837,6 +901,7 @@ impl Engine {
                 .opts
                 .coverage
                 .then(|| PlanCoverage::for_design(&self.cfg)),
+            fastpath: None,
         };
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
@@ -864,6 +929,12 @@ impl Engine {
                     DiffVerdict::Diverged(_) => dm.divergences += 1,
                     DiffVerdict::Skipped { .. } => dm.skipped += 1,
                 }
+            }
+            if let Some(fp) = &exec.fastpath {
+                metrics
+                    .fastpath
+                    .get_or_insert_with(FastPathMetrics::default)
+                    .absorb(fp);
             }
             if let (Some(obs), None) = (metrics.obs.as_mut(), &exec.result.error) {
                 obs.record_case(

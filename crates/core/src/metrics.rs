@@ -178,6 +178,39 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
         );
     }
 
+    if let Some(fp) = &engine.fastpath {
+        snap.counter(
+            "teesec_decode_cache_hits_total",
+            &[("design", design)],
+            fp.decode_hits,
+            "Instruction fetches served from a memoized decode slot",
+        );
+        snap.counter(
+            "teesec_decode_cache_misses_total",
+            &[("design", design)],
+            fp.decode_misses,
+            "Instruction fetches decoded fresh and memoized",
+        );
+        snap.counter(
+            "teesec_decode_cache_invalidations_total",
+            &[("design", design)],
+            fp.decode_invalidations,
+            "Decode-cache pages dropped by version bumps, fence.i, or eviction",
+        );
+        snap.counter(
+            "teesec_dirty_scan_checks_total",
+            &[("design", design)],
+            fp.scan_checks,
+            "Operand and store-queue stall scans actually performed",
+        );
+        snap.counter(
+            "teesec_dirty_scan_skips_total",
+            &[("design", design)],
+            fp.scan_skips,
+            "Stall scans elided because no scan input changed since the last verdict",
+        );
+    }
+
     if let Some(diff) = &engine.diff {
         snap.counter(
             "teesec_diff_cases_compared_total",
@@ -475,6 +508,41 @@ mod tests {
         assert!(prom.contains("teesec_snapshot_cache_bypasses_total"));
         let m = result.engine.unwrap().snapshot.expect("cache metrics on");
         assert_eq!((m.hits + m.misses + m.bypasses) as usize, result.case_count);
+    }
+
+    #[test]
+    fn fastpath_metrics_land_in_the_snapshot() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(4));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            threads: 2,
+            fast_path: Some(true),
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_decode_cache_hits_total"));
+        assert!(prom.contains("teesec_decode_cache_misses_total"));
+        assert!(prom.contains("teesec_decode_cache_invalidations_total"));
+        assert!(prom.contains("teesec_dirty_scan_checks_total"));
+        assert!(prom.contains("teesec_dirty_scan_skips_total"));
+        let m = result
+            .engine
+            .unwrap()
+            .fastpath
+            .expect("fast path forced on");
+        assert_eq!(m.cases, result.case_count);
+        assert!(m.decode_hits > 0, "hot loops must hit the decode cache");
+        assert!(m.scan_skips > 0, "stalled entries must skip rescans");
+
+        // Forced off, the aggregate must be absent and the series quiet.
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(2));
+        let (result, _) = campaign.run_engine(EngineOptions {
+            fast_path: Some(false),
+            ..EngineOptions::default()
+        });
+        let snap = campaign_snapshot(&result);
+        assert!(!snap.render_prometheus().contains("teesec_decode_cache"));
+        assert!(result.engine.unwrap().fastpath.is_none());
     }
 
     #[test]

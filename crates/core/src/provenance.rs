@@ -167,7 +167,7 @@ pub fn trace_chain(
     outcome: &RunOutcome,
     secrets: &SecretCatalog,
 ) -> Option<ProvenanceChain> {
-    let events = outcome.platform.core.trace.events();
+    let events: Vec<&TraceEvent> = outcome.platform.core.trace.iter_events().collect();
     let end_cycle = outcome.cycles;
 
     // The observation: trace findings carry their own cycle; snapshot
@@ -202,6 +202,7 @@ pub fn trace_chain(
             let owner = rec.owner;
             let carrying: Vec<&TraceEvent> = events
                 .iter()
+                .copied()
                 .filter(|e| e.cycle <= obs_cycle && carries_secret(e, rec.value, secrets))
                 .collect();
             // Prefer the first materialization in the owner's own domain

@@ -133,6 +133,11 @@ pub struct RunOptions<'c> {
     /// `build` and `simulate` spans (under the context's parent span)
     /// plus periodic `sim_cycles` counter samples.
     pub trace: TraceCtx<'c>,
+    /// Force the simulator fast path on/off for this run (`None` keeps
+    /// the process default, see `teesec_uarch::fast_path_default`). Both
+    /// settings are byte-identical in every checker observable; off is
+    /// the reference path the equivalence harness compares against.
+    pub fast_path: Option<bool>,
 }
 
 impl Default for RunOptions<'_> {
@@ -143,6 +148,7 @@ impl Default for RunOptions<'_> {
             sink: None,
             buffer_trace: true,
             trace: TraceCtx::default(),
+            fast_path: None,
         }
     }
 }
@@ -170,11 +176,14 @@ pub fn run_case_opts(
         Some(cache) => cache.platform_for(tc, cfg, limit)?,
         None => (case_builder(tc, cfg).build()?, BuildKind::Fresh),
     };
+    if let Some(on) = opts.fast_path {
+        platform.core.set_fast_path(on);
+    }
     if let Some(mut sink) = opts.sink.take() {
         // A forked platform's buffer already holds the boot-prefix events
         // (a fresh build's is empty): replay them so the sink sees the
         // full event sequence from reset.
-        for e in platform.core.trace.events() {
+        for e in platform.core.trace.iter_events() {
             sink.on_event(e);
         }
         platform.core.trace.set_sink(sink);
@@ -385,6 +394,11 @@ impl SnapshotCache {
         // run's first `at - 1` cycles: the interrupt only asserts from
         // cycle `at` onward.
         platform.run(at - 1);
+        if platform.core.fast_path() {
+            // Freeze the setup prefix: sibling forks share it by
+            // refcount instead of deep-copying the event buffer.
+            platform.core.trace.freeze();
+        }
         let snap = Arc::new(PrefixSnapshot {
             prefix_cycles: platform.core.cycle,
             platform,

@@ -12,7 +12,7 @@ use teesec_uarch::trace::{Trace, TraceEventKind};
 /// enough to diff across runs of a deterministic test case.
 pub fn render_simlog(trace: &Trace) -> String {
     let mut out = String::new();
-    for e in trace.events() {
+    for e in trace.iter_events() {
         let _ = write!(
             out,
             "cycle {:>8} [{}/{:?}] {:<16} ",

@@ -376,6 +376,11 @@ impl PlatformSnapshot {
             return Err(BuildError::SnapshotBoot);
         }
         let boot_cycles = core.cycle;
+        if core.fast_path() {
+            // Dirty-delta storage: freeze the boot prefix so every fork
+            // shares it by refcount and only logs its own delta.
+            core.trace.freeze();
+        }
         Ok(PlatformSnapshot {
             core,
             satp_val,
@@ -400,8 +405,8 @@ impl PlatformSnapshot {
 
     /// The boot-prefix trace events a fork starts with (replayed into a
     /// streaming sink before live events arrive).
-    pub fn boot_events(&self) -> &[teesec_uarch::trace::TraceEvent] {
-        self.core.trace.events()
+    pub fn boot_events(&self) -> impl Iterator<Item = &teesec_uarch::trace::TraceEvent> {
+        self.core.trace.iter_events()
     }
 }
 
@@ -537,8 +542,7 @@ mod tests {
         let saw_enclave_domain = p
             .core
             .trace
-            .events()
-            .iter()
+            .iter_events()
             .any(|e| e.domain == Domain::Enclave(0));
         assert!(saw_enclave_domain, "trace must attribute enclave execution");
         assert_eq!(

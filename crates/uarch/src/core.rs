@@ -5,6 +5,7 @@
 //! precise trap/interrupt handling.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 use teesec_isa::csr::{self, CsrAddr, Mstatus};
 use teesec_isa::inst::{CsrOp, CsrSrc, Inst};
@@ -17,6 +18,7 @@ use crate::btb::{Bht, Ftb, Ubtb};
 use crate::config::CoreConfig;
 use crate::counters::{StructureCounters, UarchCounters};
 use crate::csr_file::{CsrError, CsrFile};
+use crate::decode::{DecodeCache, DecodeCacheStats};
 use crate::lsu::{LoadRequest, Lsu, XlateRequest};
 use crate::mem::Memory;
 use crate::tlb::Tlb;
@@ -161,6 +163,86 @@ pub struct Core {
     /// `fetch_fence_hit` — the snapshot point for platform checkpointing.
     fetch_fence: Option<u64>,
     fetch_fence_hit: bool,
+    /// Fast-path switch (page-keyed decode cache + dirty-scan elision).
+    /// Defaults from `TEESEC_FASTPATH`; both settings are byte-identical
+    /// in every architectural and traced observable.
+    fast_path: bool,
+    /// Pre-decoded instruction cache (consulted only on the fast path;
+    /// clones empty, see [`DecodeCache`]).
+    decode_cache: DecodeCache,
+    /// Fetch-line memo (fast path only; clones cold, see [`FetchMemo`]).
+    fetch_memo: FetchMemo,
+    /// Dirty-scan watermark: every waiting ROB entry at a position below
+    /// it was scanned after the last change to anything its scan reads,
+    /// and stalled — so the execute walk starts here. Writebacks and
+    /// store resolutions at position `p` pull it down to `p + 1` (their
+    /// effects are only visible to younger scans); retires, traps, and
+    /// serializing instructions reset it to 0.
+    scan_from: usize,
+    /// Fast-path diagnostics: scans performed / scans elided.
+    scan_checks: u64,
+    scan_skips: u64,
+}
+
+/// The single I-cache line the fetch stage is currently streaming
+/// through, with its translation and lazily memoized per-slot decodes. A
+/// hit elides the ITLB probe, the PMP check, the L1I lookup, and decode.
+///
+/// Byte-identity safety: (a) a resident L1I line is immutable, so the
+/// memoized words equal what `Cache::read` would return — including
+/// staleness against memory, because the I-side is incoherent by design
+/// until `fence.i`; (b) the I-side structures are touched *only* by
+/// fetch, so collapsing consecutive recency stamps of the
+/// most-recently-used line/TLB entry preserves the relative LRU order
+/// that eviction decisions compare — future fills and their trace events
+/// are unchanged; (c) translation, privilege, and PMP verdicts are
+/// pinned by dropping the memo at every serializing instruction, trap,
+/// and run entry, and every full-path fetch (line switch, fill, or
+/// fault) rebuilds it.
+#[derive(Debug, Default)]
+struct FetchMemo {
+    valid: bool,
+    /// Line-aligned virtual fetch address.
+    va_line: u64,
+    /// Line-aligned physical address it translates to.
+    pa_line: u64,
+    /// `(word, memoized decode)` per 4-byte slot; decode is pure, so the
+    /// memoized result is identical to a fresh `Inst::decode`.
+    slots: Vec<(u32, Option<Option<Inst>>)>,
+}
+
+impl Clone for FetchMemo {
+    /// Forks start cold, mirroring [`DecodeCache`]: the memo is pure
+    /// acceleration state, never worth carrying across a snapshot fork.
+    fn clone(&self) -> FetchMemo {
+        FetchMemo::default()
+    }
+}
+
+/// Fast-path effectiveness counters, exported by the engine as the
+/// `teesec_decode_cache_*` and `teesec_dirty_scan_*` Prometheus families.
+/// Deliberately *not* part of [`UarchCounters`]: the counter digest is a
+/// byte-identity observable across fast-path settings, these are not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastPathStats {
+    /// Decode-cache hit/miss/invalidation counts.
+    pub decode: DecodeCacheStats,
+    /// Operand/store-queue scans actually performed (fast path on).
+    pub scan_checks: u64,
+    /// Scans elided because the dirty epoch was unchanged.
+    pub scan_skips: u64,
+}
+
+/// Process-wide fast-path default: on unless `TEESEC_FASTPATH` is set to
+/// `0`, `off`, `false` or `no`.
+pub fn fast_path_default() -> bool {
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        !matches!(
+            std::env::var("TEESEC_FASTPATH").as_deref(),
+            Ok("0" | "off" | "false" | "no")
+        )
+    })
 }
 
 impl Core {
@@ -194,9 +276,72 @@ impl Core {
             retire_log: Vec::new(),
             fetch_fence: None,
             fetch_fence_hit: false,
+            fast_path: fast_path_default(),
+            decode_cache: DecodeCache::new(),
+            fetch_memo: FetchMemo::default(),
+            scan_from: 0,
+            scan_checks: 0,
+            scan_skips: 0,
             mem,
             config,
         }
+    }
+
+    /// Enables or disables the fast path (decode cache + dirty-scan
+    /// elision). Both settings produce byte-identical runs; off is the
+    /// reference path the equivalence harness compares against.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        self.lsu.set_fast_path(on);
+        self.scan_from = 0;
+        self.fetch_memo.valid = false;
+        if !on {
+            self.decode_cache.flush();
+        }
+    }
+
+    /// Whether the fast path is enabled.
+    pub fn fast_path(&self) -> bool {
+        self.fast_path
+    }
+
+    /// Fast-path effectiveness counters (zeroes when the fast path never
+    /// ran; decode stats reset on `Clone`, see [`DecodeCache`]).
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        let (lsu_checks, lsu_skips) = self.lsu.fastpath_counters();
+        FastPathStats {
+            decode: self.decode_cache.stats,
+            scan_checks: self.scan_checks + lsu_checks,
+            scan_skips: self.scan_skips + lsu_skips,
+        }
+    }
+
+    /// Resets the dirty-scan watermark: every waiting entry will be
+    /// rescanned. Called wherever state that scans read may have changed
+    /// beyond a known ROB position — retires shift every position, traps
+    /// and serializing instructions can change anything — and defensively
+    /// at the public run entry points (external code may have poked
+    /// `mem`/`csr`/registers between runs).
+    #[inline]
+    fn invalidate_scans(&mut self) {
+        self.scan_from = 0;
+    }
+
+    /// Marks entries *younger* than `pos` for rescan. Writebacks,
+    /// store-address computation, and translation completions at `pos`
+    /// feed only younger entries' scans (operand and store-queue scans
+    /// read strictly older entries), so the watermark never needs to drop
+    /// below `pos + 1` for them.
+    #[inline]
+    fn invalidate_scans_after(&mut self, pos: usize) {
+        self.scan_from = self.scan_from.min(pos + 1);
+    }
+
+    /// Drops the fetch-line memo: translation, privilege, PMP, or L1I
+    /// state may have changed.
+    #[inline]
+    fn invalidate_fetch_memo(&mut self) {
+        self.fetch_memo.valid = false;
     }
 
     /// Arms (or clears, with `None`) the fetch fence: the fetch stage halts
@@ -219,6 +364,9 @@ impl Core {
     /// cycle have run, and fetch stopped just *before* fetching `pc`.
     /// Complete the interrupted cycle later with [`Core::resume_fetch`].
     pub fn run_until_fetch(&mut self, pc: u64, max_cycles: u64) -> bool {
+        self.invalidate_scans();
+        self.invalidate_fetch_memo();
+        self.lsu.note_external_change();
         self.set_fetch_fence(Some(pc));
         while !self.fetch_fence_hit && !self.halted && self.cycle < max_cycles {
             self.step();
@@ -268,6 +416,7 @@ impl Core {
 
     /// Sets an architectural register (test setup).
     pub fn set_reg(&mut self, r: Reg, v: u64) {
+        self.invalidate_scans();
         if !r.is_zero() {
             self.arch_rf[r.index() as usize] = v;
             self.spec_rf[r.index() as usize] = v;
@@ -374,6 +523,9 @@ impl Core {
     /// until quiescent so buffered committed stores reach memory (hardware
     /// drains its store buffer eventually; tests inspect raw memory).
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        self.invalidate_scans();
+        self.invalidate_fetch_memo();
+        self.lsu.note_external_change();
         while !self.halted {
             if self.cycle >= max_cycles {
                 return RunExit::CycleLimit;
@@ -505,6 +657,10 @@ impl Core {
     }
 
     fn writeback(&mut self, pos: usize, value: u64) {
+        // A completed writer can only unblock *younger* scans — operand
+        // and store-queue scans read strictly older entries, so memos of
+        // entries ahead of `pos` stay valid.
+        self.invalidate_scans_after(pos);
         self.rob[pos].result = Some(value);
         let Ok(inst) = self.rob[pos].inst else { return };
         let Some(d) = inst.dest() else { return };
@@ -563,6 +719,9 @@ impl Core {
         }
         for c in self.lsu.take_xlate_completions() {
             if let Some(pos) = self.rob.iter().position(|e| e.seq == c.seq) {
+                // A store turning Done can unblock younger loads' scans
+                // — and only those; scans never read younger entries.
+                self.invalidate_scans_after(pos);
                 self.rob[pos].exception = c.exception;
                 if let Some(s) = self.rob[pos].store.as_mut() {
                     s.pa = c.pa;
@@ -613,12 +772,27 @@ impl Core {
     }
 
     fn execute_stage(&mut self) {
+        let fast = self.fast_path;
         let mut issued = 0usize;
-        let mut pos = 0usize;
+        // Dirty-scan elision: every waiting entry below the watermark was
+        // scanned after the last change to anything its scan reads, and
+        // stalled — a rescan would return the same verdict. The walk
+        // starts at the watermark, which during a long stall sits past
+        // the whole ROB and skips the stage outright.
+        let mut pos = if fast {
+            let start = self.scan_from.min(self.rob.len());
+            self.scan_skips += start as u64;
+            start
+        } else {
+            0
+        };
         while pos < self.rob.len() && issued < self.config.width * 2 {
             if self.rob[pos].state != EntryState::Waiting || self.rob[pos].serializing {
                 pos += 1;
                 continue;
+            }
+            if fast {
+                self.scan_checks += 1;
             }
             if !self.operands_ready(pos) {
                 pos += 1;
@@ -773,6 +947,10 @@ impl Core {
                     let vaddr = src(self, rs1).wrapping_add(offset as i64 as u64);
                     let value = src(self, rs2);
                     let bytes = width.bytes();
+                    // The store's address is now known: younger loads'
+                    // disambiguation verdicts can change (older entries
+                    // never scan this one).
+                    self.invalidate_scans_after(pos);
                     self.rob[pos].store = Some(StoreInfo {
                         pa: None,
                         vaddr,
@@ -808,6 +986,15 @@ impl Core {
                 _ => {}
             }
             pos += 1;
+        }
+        if fast {
+            // Everything below `pos` has now been scanned against current
+            // state: a mid-walk writeback or store resolution at `p` only
+            // invalidates entries younger than `p`, which the walk
+            // visited afterwards. (`min` guards against a mid-walk
+            // squash; an early exit on the issue budget leaves the
+            // watermark at the first unvisited entry.)
+            self.scan_from = pos.min(self.rob.len());
         }
     }
 
@@ -933,6 +1120,10 @@ impl Core {
     }
 
     fn retire_head(&mut self) {
+        // Retiring shifts every ROB position, moves the head's result
+        // into the architectural file, and releases a head store to the
+        // store buffer — all of which scans read.
+        self.invalidate_scans();
         let head = self.rob.pop_front().expect("retire requires a head");
         if let (Ok(inst), Some(v)) = (head.inst, head.result) {
             if let Some(d) = inst.dest() {
@@ -974,6 +1165,13 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn execute_system_at_head(&mut self) {
+        // Serializing instructions may touch CSRs (satp, PMP, mstatus.SUM),
+        // privilege, or the head entry itself — all scan inputs, and all
+        // fetch-memo inputs (satp, priv, PMP, fence.i's L1I flush). The
+        // PMP also feeds stalled loads' access-retry verdicts in the LSU.
+        self.invalidate_scans();
+        self.invalidate_fetch_memo();
+        self.lsu.note_external_change();
         let head = self.rob.front().expect("caller checked");
         let pc = head.pc;
         let seq = head.seq;
@@ -1052,6 +1250,7 @@ impl Core {
             Inst::FenceI => {
                 // fence.i synchronizes the instruction stream with memory.
                 self.l1i.flush_all();
+                self.decode_cache.flush();
             }
             Inst::SfenceVma => {
                 self.lsu
@@ -1324,6 +1523,9 @@ impl Core {
     }
 
     fn enter_trap(&mut self, cause: u64, tval: u64, epc: u64) {
+        self.invalidate_scans();
+        self.invalidate_fetch_memo();
+        self.lsu.note_external_change();
         self.csr.mepc = epc;
         self.csr.mcause = cause;
         self.csr.mtval = tval;
@@ -1364,7 +1566,15 @@ impl Core {
                 self.fetch_fence_hit = true;
                 return;
             }
-            let (word, fetch_exc) = self.fetch_word(pc);
+            // Fast path: the line memo serves the word, the translation,
+            // and the decode without touching the ITLB, PMP, or L1I.
+            let (word, pa, fetch_exc, predecoded) = match self.fetch_memo_probe(pc) {
+                Some((w, pa, d)) => (w, pa, None, Some(d)),
+                None => {
+                    let (w, pa, e) = self.fetch_word(pc);
+                    (w, pa, e, None)
+                }
+            };
             let decoded = match fetch_exc {
                 Some(e) => {
                     // Dispatch a poisoned entry that raises at commit.
@@ -1372,10 +1582,21 @@ impl Core {
                     self.fetch_stalled = true; // wait for the fault to commit
                     return;
                 }
-                None => Inst::decode(word),
+                None => match predecoded {
+                    Some(d) => d,
+                    // Decode is a pure function of the word, so the
+                    // memoized result (validated against the page version
+                    // *and* the fetched word itself) is identical to a
+                    // fresh decode.
+                    None if self.fast_path => {
+                        let version = self.mem.page_version(pa);
+                        self.decode_cache.decode(pa, version, word)
+                    }
+                    None => Inst::decode(word).ok(),
+                },
             };
             match decoded {
-                Err(_) => {
+                None => {
                     self.push_entry(
                         pc,
                         pc + 4,
@@ -1386,7 +1607,7 @@ impl Core {
                     self.fetch_stalled = true;
                     return;
                 }
-                Ok(inst) => {
+                Some(inst) => {
                     let serializing = matches!(
                         inst,
                         Inst::Csr { .. }
@@ -1482,22 +1703,23 @@ impl Core {
     }
 
     /// Fetches the instruction word at `pc`, performing I-side translation
-    /// and PMP checking. Returns the word and an optional fetch fault.
-    fn fetch_word(&mut self, pc: u64) -> (u32, Option<Exception>) {
+    /// and PMP checking. Returns the word, the physical address it came
+    /// from (decode-cache key), and an optional fetch fault.
+    fn fetch_word(&mut self, pc: u64) -> (u32, u64, Option<Exception>) {
         let pa = if self.priv_level != PrivLevel::Machine && self.csr.satp.is_sv39() {
             let va = VirtAddr(pc);
             if !va.is_canonical() {
-                return (0, Some(Exception::InstPageFault(pc)));
+                return (0, 0, Some(Exception::InstPageFault(pc)));
             }
             let pte = match self.itlb.lookup(va) {
                 Some(p) => p,
                 None => match self.functional_iwalk(va) {
                     Ok(p) => p,
-                    Err(e) => return (0, Some(e)),
+                    Err(e) => return (0, 0, Some(e)),
                 },
             };
             if !pte.permits(AccessKind::Execute, self.priv_level, false) {
-                return (0, Some(Exception::InstPageFault(pc)));
+                return (0, 0, Some(Exception::InstPageFault(pc)));
             }
             pte.pa().0 | va.page_offset()
         } else {
@@ -1508,7 +1730,7 @@ impl Core {
             .pmp
             .allows(pa, 4, AccessKind::Execute, self.priv_level)
         {
-            return (0, Some(Exception::InstAccessFault(pc)));
+            return (0, 0, Some(Exception::InstAccessFault(pc)));
         }
         // I-side cache: fills are traced like every other storage element
         // (fetch latency itself is not modeled; see DESIGN.md).
@@ -1532,7 +1754,58 @@ impl Core {
             });
         }
         let word = self.l1i.read(pa, 4).expect("line just ensured resident") as u32;
-        (word, None)
+        if self.fast_path {
+            self.install_fetch_memo(pc, pa);
+        }
+        (word, pa, None)
+    }
+
+    /// Probes the fetch-line memo for `pc`. A hit returns the word, its
+    /// physical address, and the (lazily memoized) decode — eliding the
+    /// ITLB probe, PMP check, L1I lookup, and decode the full path would
+    /// perform with identical results (see [`FetchMemo`]).
+    fn fetch_memo_probe(&mut self, pc: u64) -> Option<(u32, u64, Option<Inst>)> {
+        if !self.fast_path || !self.fetch_memo.valid || pc & 3 != 0 {
+            return None;
+        }
+        let m = &mut self.fetch_memo;
+        if pc & !(self.config.line_size - 1) != m.va_line {
+            return None;
+        }
+        let off = pc - m.va_line;
+        let (word, decoded) = &mut m.slots[(off / 4) as usize];
+        let d = match decoded {
+            Some(d) => *d,
+            None => {
+                let d = Inst::decode(*word).ok();
+                *decoded = Some(d);
+                d
+            }
+        };
+        let hit = (*word, m.pa_line + off, d);
+        self.decode_cache.stats.hits += 1;
+        Some(hit)
+    }
+
+    /// (Re)points the fetch-line memo at the line containing `pa`, which
+    /// the full fetch path just translated, permission-checked, and
+    /// accessed — so its recency stamps are current and the line is
+    /// resident.
+    fn install_fetch_memo(&mut self, pc: u64, pa: u64) {
+        let line_mask = self.config.line_size - 1;
+        let Some(line) = self.l1i.peek_line(pa) else {
+            return;
+        };
+        let m = &mut self.fetch_memo;
+        m.valid = true;
+        m.va_line = pc & !line_mask;
+        m.pa_line = pa & !line_mask;
+        m.slots.clear();
+        m.slots.extend(
+            line.data
+                .chunks_exact(4)
+                .map(|c| (u32::from_le_bytes([c[0], c[1], c[2], c[3]]), None)),
+        );
     }
 
     /// I-side page walk. Modeled functionally (no cache traffic): the
@@ -1893,8 +2166,7 @@ mod tests {
         run(&mut core);
         let switches: Vec<Domain> = core
             .trace
-            .events()
-            .iter()
+            .iter_events()
             .filter_map(|e| match e.kind {
                 TraceEventKind::DomainSwitch { to } => Some(to),
                 _ => None,

@@ -42,6 +42,7 @@ pub mod config;
 pub mod core;
 pub mod counters;
 pub mod csr_file;
+pub mod decode;
 pub mod introspect;
 pub mod iss;
 pub mod lsu;
@@ -51,7 +52,8 @@ pub mod trace;
 pub mod trap;
 
 pub use config::CoreConfig;
-pub use core::{Core, RetiredInst, RunExit};
+pub use core::{fast_path_default, Core, FastPathStats, RetiredInst, RunExit};
 pub use counters::{StructureCounters, UarchCounters};
+pub use decode::{DecodeCache, DecodeCacheStats};
 pub use iss::{Iss, IssExit, IssStep};
 pub use trace::{Domain, Structure, Trace};

@@ -141,6 +141,13 @@ struct LoadOp {
     exception: Option<Exception>,
     /// The miss counter fires once per load, not once per retry tick.
     miss_counted: bool,
+    /// [`Lsu::epoch`] value of the last [`Lsu::try_access`] attempt.
+    /// On the fast path a load stalled in [`LoadLane::Access`] skips its
+    /// per-cycle retry while the epoch is unchanged: the stall verdict
+    /// reads only the store buffer, L1D/LFB state, and the PMP — all of
+    /// which bump the epoch when they change — and a failed attempt has
+    /// no side effects, so the elided retries are provably identical.
+    attempt_epoch: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +269,16 @@ pub struct Lsu {
     xlate_completions: Vec<XlateCompletion>,
     next_req_id: u64,
     next_walk_id: u64,
+    /// Fast-path switch mirrored from the core ([`Lsu::set_fast_path`]).
+    fast_path: bool,
+    /// Change counter over every input of the access-retry verdict
+    /// (store buffer, L1D, LFB, fill completions, PMP). Starts at 1 so a
+    /// zero-initialized [`LoadOp::attempt_epoch`] always scans first.
+    epoch: u64,
+    /// Access retries actually performed (fast path only).
+    retry_checks: u64,
+    /// Access retries elided as provably-unchanged (fast path only).
+    retry_skips: u64,
 }
 
 impl Lsu {
@@ -283,8 +300,36 @@ impl Lsu {
             xlate_completions: Vec::new(),
             next_req_id: 0,
             next_walk_id: 0,
+            fast_path: crate::core::fast_path_default(),
+            epoch: 1,
+            retry_checks: 0,
+            retry_skips: 0,
             cfg: cfg.clone(),
         }
+    }
+
+    /// Mirrors the core's fast-path switch. Bumps the epoch so every
+    /// stalled load rescans on the next tick regardless of direction.
+    pub fn set_fast_path(&mut self, on: bool) {
+        self.fast_path = on;
+        self.epoch += 1;
+    }
+
+    /// `(retries performed, retries elided)` under the fast path.
+    pub fn fastpath_counters(&self) -> (u64, u64) {
+        (self.retry_checks, self.retry_skips)
+    }
+
+    /// Invalidates memoized access-retry verdicts after a change the LSU
+    /// cannot see itself (PMP reconfiguration, trap-driven state edits).
+    pub fn note_external_change(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Records a change to an access-retry verdict input.
+    #[inline]
+    fn note_change(&mut self) {
+        self.epoch += 1;
     }
 
     /// Enqueues a demand load.
@@ -301,6 +346,7 @@ impl Lsu {
             pa: None,
             exception: None,
             miss_counted: false,
+            attempt_epoch: 0,
         });
     }
 
@@ -334,6 +380,7 @@ impl Lsu {
             domain,
             cycle,
         });
+        self.note_change();
         if self.cfg.store_buffer_entries > 0 {
             trace.record(TraceEvent {
                 cycle,
@@ -405,12 +452,14 @@ impl Lsu {
 
     /// Flushes the L1D (mitigation).
     pub fn flush_l1d(&mut self, cycle: u64, trace: &mut Trace, p: PrivLevel, d: Domain) {
+        self.note_change();
         self.l1d.flush_all();
         trace.record(flush_event(cycle, p, d, Structure::L1d));
     }
 
     /// Flushes the LFB (mitigation).
     pub fn flush_lfb(&mut self, cycle: u64, trace: &mut Trace, p: PrivLevel, d: Domain) {
+        self.note_change();
         self.lfb.flush_all();
         trace.record(flush_event(cycle, p, d, Structure::Lfb));
     }
@@ -419,6 +468,7 @@ impl Lsu {
     /// event — this is the drain a cache-flush operation performs before
     /// invalidating lines, not a distinct mitigation).
     pub fn drain_all_stores(&mut self, mem: &mut Memory) {
+        self.note_change();
         while let Some(e) = self.store_buffer.pop_front() {
             mem.write_uint(e.pa, e.value, e.width);
             if self.l1d.contains(e.pa) {
@@ -436,6 +486,7 @@ impl Lsu {
     /// already absorbed their stores, and letting them land later would
     /// re-install (possibly secret) lines into a just-flushed cache.
     fn cancel_outstanding_store_refills(&mut self) {
+        self.note_change();
         let cancelled: Vec<MemReq> = self
             .mem_reqs
             .iter()
@@ -461,6 +512,7 @@ impl Lsu {
         p: PrivLevel,
         d: Domain,
     ) {
+        self.note_change();
         while let Some(e) = self.store_buffer.pop_front() {
             mem.write_uint(e.pa, e.value, e.width);
             if self.l1d.contains(e.pa) {
@@ -546,6 +598,11 @@ impl Lsu {
             .copied()
             .collect();
         self.mem_reqs.retain(|r| r.complete_at > cycle);
+        if !ready.is_empty() {
+            // Completions fill the L1D/LFB and may pop a draining store —
+            // any stalled load's retry verdict can flip.
+            self.note_change();
+        }
         for req in ready {
             let line_size = self.l1d.line_size();
             // Obtain the line: from L2 if present, else from memory (which
@@ -955,7 +1012,18 @@ impl Lsu {
                     }
                 }
                 LoadLane::Access => {
-                    self.try_access(i, cycle, priv_level, domain, csr, mem, trace);
+                    // Fast path: a stalled load's retry verdict cannot
+                    // change until some verdict input does (every such
+                    // change bumps `epoch`), and a failed attempt has no
+                    // side effects — skip the redundant re-probe.
+                    if self.fast_path && self.loads[i].attempt_epoch == self.epoch {
+                        self.retry_skips += 1;
+                    } else {
+                        if self.fast_path {
+                            self.retry_checks += 1;
+                        }
+                        self.try_access(i, cycle, priv_level, domain, csr, mem, trace);
+                    }
                 }
             }
         }
@@ -974,6 +1042,7 @@ impl Lsu {
         mem: &mut Memory,
         trace: &mut Trace,
     ) {
+        self.loads[i].attempt_epoch = self.epoch;
         let req = self.loads[i].req;
         let pa = self.loads[i].pa.expect("access stage requires a PA");
         if !pa.is_multiple_of(req.width) {
@@ -1346,6 +1415,7 @@ impl Lsu {
         if self.l1d.contains(e.pa) {
             self.perform_store_write(e, mem);
             self.store_buffer.pop_front();
+            self.note_change();
             return;
         }
         // Write-allocate: fetch the old line through the LFB first. The

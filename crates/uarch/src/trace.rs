@@ -391,8 +391,16 @@ pub trait TraceSink: Send + Sync {
 }
 
 /// The growing execution trace.
+///
+/// Storage is split into an immutable *frozen prefix* and a live tail.
+/// [`Trace::freeze`] moves the tail into the reference-counted prefix, so
+/// cloning a frozen trace — as platform snapshot forks do for the shared
+/// boot/setup prefix — is O(1) instead of a deep event copy, and each
+/// fork then only owns its delta. Readers see one contiguous stream via
+/// [`Trace::iter_events`].
 #[derive(Default)]
 pub struct Trace {
+    frozen: Option<std::sync::Arc<[TraceEvent]>>,
     events: Vec<TraceEvent>,
     stats: TraceStats,
     enabled: bool,
@@ -403,6 +411,7 @@ pub struct Trace {
 impl std::fmt::Debug for Trace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Trace")
+            .field("frozen", &self.frozen_len())
             .field("events", &self.events)
             .field("stats", &self.stats)
             .field("enabled", &self.enabled)
@@ -418,6 +427,10 @@ impl Clone for Trace {
     /// without one (attach a fresh sink with [`Trace::set_sink`]).
     fn clone(&self) -> Trace {
         Trace {
+            // The frozen prefix is shared, not copied: forking a
+            // snapshotted platform costs one refcount bump however long
+            // the boot trace is.
+            frozen: self.frozen.clone(),
             events: self.events.clone(),
             stats: self.stats.clone(),
             enabled: self.enabled,
@@ -431,6 +444,7 @@ impl Trace {
     /// Creates an enabled, empty, buffering trace.
     pub fn new() -> Trace {
         Trace {
+            frozen: None,
             events: Vec::new(),
             stats: TraceStats::default(),
             enabled: true,
@@ -491,9 +505,35 @@ impl Trace {
         }
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Moves every buffered event into the immutable shared prefix.
+    /// Purely a storage-representation change: [`Trace::iter_events`]
+    /// yields the identical sequence before and after. Call at snapshot
+    /// points so clones share the prefix instead of deep-copying it.
+    pub fn freeze(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut v: Vec<TraceEvent> = match self.frozen.take() {
+            Some(a) => a.to_vec(),
+            None => Vec::with_capacity(self.events.len()),
+        };
+        v.append(&mut self.events);
+        self.frozen = Some(v.into());
+    }
+
+    /// Number of events in the frozen (snapshot-shared) prefix.
+    pub fn frozen_len(&self) -> usize {
+        self.frozen.as_deref().map_or(0, |a| a.len())
+    }
+
+    /// All recorded events in order: frozen prefix first, then the live
+    /// tail.
+    pub fn iter_events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.frozen
+            .as_deref()
+            .into_iter()
+            .flatten()
+            .chain(self.events.iter())
     }
 
     /// Running per-structure event counts (maintained by [`Trace::record`],
@@ -504,21 +544,23 @@ impl Trace {
 
     /// Iterates events touching one structure.
     pub fn for_structure(&self, s: Structure) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.structure == s)
+        self.iter_events().filter(move |e| e.structure == s)
     }
 
-    /// Number of recorded events.
+    /// Number of recorded events (frozen prefix + live tail).
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.frozen_len() + self.events.len()
     }
 
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
-    /// Discards all recorded events and resets the running stats.
+    /// Discards all recorded events (frozen and live) and resets the
+    /// running stats.
     pub fn clear(&mut self) {
+        self.frozen = None;
         self.events.clear();
         self.stats = TraceStats::default();
     }
@@ -545,8 +587,8 @@ mod tests {
         t.record(ev(1, Structure::L1d));
         t.record(ev(2, Structure::Lfb));
         assert_eq!(t.len(), 2);
-        assert_eq!(t.events()[0].cycle, 1);
-        assert_eq!(t.events()[1].structure, Structure::Lfb);
+        assert_eq!(t.iter_events().next().unwrap().cycle, 1);
+        assert_eq!(t.iter_events().nth(1).unwrap().structure, Structure::Lfb);
     }
 
     #[test]

@@ -68,7 +68,7 @@ proptest! {
                 tc.name, cfg.name, w.structure, w.end_cycle, outcome.cycles
             );
             let starts_at_write = w.start_cycle == 0
-                || outcome.platform.core.trace.events().iter().any(|e| {
+                || outcome.platform.core.trace.iter_events().any(|e| {
                     e.cycle == w.start_cycle
                         && matches!(
                             e.kind,
@@ -115,8 +115,7 @@ proptest! {
                     .platform
                     .core
                     .trace
-                    .events()
-                    .iter()
+                    .iter_events()
                     .any(|e| e.structure == cell.structure),
                 "{}: cell {:?} exercised but its structure never traced",
                 tc.name, cell

@@ -137,8 +137,7 @@ fn domain_attribution_follows_lifecycle() {
     let switches: Vec<Domain> = p
         .core
         .trace
-        .events()
-        .iter()
+        .iter_events()
         .filter_map(|e| match e.kind {
             TraceEventKind::DomainSwitch { to } => Some(to),
             _ => None,

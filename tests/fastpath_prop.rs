@@ -1,0 +1,290 @@
+//! Property-based soundness for the fast-path simulator's invalidation
+//! edges — the places where memoized fetch/decode state must be dropped
+//! for the fast path to stay byte-identical to the reference:
+//!
+//! * random gadgets that *rewrite their own code pages* must see the
+//!   decode cache invalidated (page-version bump + fence.i flush), with
+//!   and without explicit synchronization;
+//! * *satp remaps* must never replay the old address space's decodes at
+//!   a re-used virtual address;
+//! * `Platform::clone()` mid-run with the fast path on (a CoW fork that
+//!   deliberately colds the decode cache and fetch memo) must behave
+//!   exactly like the uninterrupted run.
+
+use proptest::prelude::*;
+
+use teesec_isa::reg::Reg;
+use teesec_tee::platform::Platform;
+use teesec_uarch::core::Core;
+use teesec_uarch::mem::Memory;
+use teesec_uarch::CoreConfig;
+
+#[path = "common/gadgets.rs"]
+mod gadgets;
+use gadgets::{emit_alu_body, satp_remap_gadget, smc_gadget_program, BASE, REMAP_PA1, REMAP_PA2};
+
+const BOUND: u64 = 500_000;
+
+/// Runs `words` at [`BASE`] on a fresh core with the fast path forced to
+/// `fast`, to completion. Panics if the program never halts.
+fn run_program(words: &[u32], extra: &[(u64, u64)], cfg: &CoreConfig, fast: bool) -> Core {
+    let mut mem = Memory::new();
+    mem.load_words(BASE, words);
+    for &(addr, value) in extra {
+        mem.write_u64(addr, value);
+    }
+    let mut core = Core::new(cfg.clone(), mem, BASE);
+    core.trace.set_enabled(false);
+    core.set_fast_path(fast);
+    while !core.halted && core.cycle < BOUND {
+        core.step();
+    }
+    assert!(core.halted, "program did not halt within {BOUND} cycles");
+    core.drain();
+    core
+}
+
+/// Asserts the two runs are state-identical: cycle count, registers,
+/// memory, and the full counter digest.
+fn assert_same_state(fast: &Core, reference: &Core, what: &str) {
+    assert_eq!(fast.cycle, reference.cycle, "{what}: cycle count diverged");
+    for r in Reg::all() {
+        assert_eq!(
+            fast.reg(r),
+            reference.reg(r),
+            "{what}: register {r} diverged"
+        );
+    }
+    assert!(
+        fast.mem.first_difference(&reference.mem).is_none(),
+        "{what}: memory diverged"
+    );
+    assert_eq!(
+        fast.counters(),
+        reference.counters(),
+        "{what}: counters diverged"
+    );
+}
+
+proptest! {
+    /// Self-modifying code: every store into an executing page bumps the
+    /// page version, so the fast path re-decodes exactly what the
+    /// reference path fetches — synced (fence + fence.i) or racing the
+    /// front end (stale fetches are reference behavior, and must be
+    /// *identically* stale).
+    #[test]
+    fn self_modifying_gadget_fast_path_matches_reference(
+        seed in any::<u64>(),
+        patches in 1usize..5,
+        sync in any::<bool>(),
+        xiangshan in any::<bool>(),
+    ) {
+        let cfg = if xiangshan {
+            CoreConfig::xiangshan()
+        } else {
+            CoreConfig::boom()
+        };
+        let (words, expected) = smc_gadget_program(seed, patches, sync);
+        let reference = run_program(&words, &[], &cfg, false);
+        let fast = run_program(&words, &[], &cfg, true);
+        assert_same_state(&fast, &reference, &format!("smc seed {seed}"));
+        if sync {
+            prop_assert_eq!(
+                fast.reg(Reg::A0), expected,
+                "seed {}: a synced patch did not execute — stale decode served", seed
+            );
+        }
+    }
+
+    /// satp remap: re-entering the same VA under a different root must
+    /// fetch (and decode) the *new* physical page. The decode cache is
+    /// keyed physically and the fetch memo dies at every serializing
+    /// instruction, so both arms must execute page 1 then page 2 — and
+    /// leave the exact a0 the two pages' immediates sum to.
+    #[test]
+    fn satp_remap_never_replays_the_old_address_space(seed in any::<u64>()) {
+        let cfg = CoreConfig::boom();
+        let (supervisor, pages, tables, expected) = satp_remap_gadget(seed);
+        let with_pages = |fast: bool| {
+            let mut mem = Memory::new();
+            mem.load_words(BASE, &supervisor);
+            mem.load_words(REMAP_PA1, &pages[0]);
+            mem.load_words(REMAP_PA2, &pages[1]);
+            for &(addr, value) in &tables {
+                mem.write_u64(addr, value);
+            }
+            let mut core = Core::new(cfg.clone(), mem, BASE);
+            core.trace.set_enabled(false);
+            core.set_fast_path(fast);
+            while !core.halted && core.cycle < BOUND {
+                core.step();
+            }
+            assert!(core.halted, "remap gadget did not halt");
+            core.drain();
+            core
+        };
+        let reference = with_pages(false);
+        let fast = with_pages(true);
+        assert_same_state(&fast, &reference, &format!("satp remap seed {seed}"));
+        prop_assert_eq!(
+            fast.reg(Reg::A0), expected,
+            "seed {}: wrong a0 — a stale translation or decode survived the remap", seed
+        );
+        prop_assert_eq!(fast.reg(Reg::S2), 2, "both S-mode entries must have trapped back");
+    }
+
+    /// `Platform::clone()` mid-run with the fast path on is
+    /// indistinguishable from never forking: the clone's decode cache and
+    /// fetch memo start cold (CoW halves' page versions advance
+    /// independently), and cold caches are an elision-only slowdown,
+    /// never a behavior change.
+    #[test]
+    fn platform_clone_mid_run_with_fast_path_matches_uninterrupted(
+        seed in any::<u64>(),
+        split in 1u64..4_000,
+    ) {
+        let mut p = Platform::builder(CoreConfig::boom())
+            .host_code(|a, _| emit_alu_body(a, seed, 40))
+            .build()
+            .expect("platform build");
+        p.core.trace.set_enabled(false);
+        p.core.set_fast_path(true);
+        let mut straight = p.clone();
+
+        let fork_at = p.core.cycle + split;
+        while !p.core.halted && p.core.cycle < fork_at {
+            p.core.step();
+        }
+        let mut resumed = p.clone(); // the mid-run CoW fork
+        prop_assert!(resumed.core.fast_path(), "fork must inherit the fast path");
+        drop(p); // the original may die; the fork must not care
+
+        let bound = straight.core.cycle + BOUND;
+        while !resumed.core.halted && resumed.core.cycle < bound {
+            resumed.core.step();
+        }
+        while !straight.core.halted && straight.core.cycle < bound {
+            straight.core.step();
+        }
+        prop_assert!(resumed.core.halted, "seed {seed}: forked platform did not halt");
+        prop_assert!(straight.core.halted, "seed {seed}: straight platform did not halt");
+        resumed.core.drain();
+        straight.core.drain();
+        assert_same_state(
+            &resumed.core,
+            &straight.core,
+            &format!("platform fork seed {seed}"),
+        );
+    }
+}
+
+/// Regression for the `Memory::write_bytes` page-chunked path at the
+/// core level. Aligned stores can never straddle a 4 KiB page, so the
+/// spanning writer is the DMA-style `write_bytes` — exactly what
+/// snapshot restores and image loads use. Mid-run, an 8-byte write
+/// straddling the boundary into the page the core is *about to execute*
+/// must bump both touched pages' versions exactly once, and the decode
+/// cache must re-decode the patched word instead of serving the
+/// placeholder it may already have cached.
+#[test]
+fn page_spanning_write_into_executing_page_invalidates_decode() {
+    use teesec_isa::asm::Assembler;
+    use teesec_isa::csr;
+    use teesec_isa::inst::{AluOp, Inst};
+
+    const NOP: u32 = 0x0000_0013;
+    let page1 = BASE + 0x1000;
+    let imm = 77i32;
+    let patched = Inst::AluImm {
+        op: AluOp::Add,
+        rd: Reg::A0,
+        rs1: Reg::A0,
+        imm,
+        word: false,
+    }
+    .encode();
+    // Low word re-writes the pad nop with identical bytes (still a
+    // write); high word replaces page 1's first instruction.
+    let value = ((patched as u64) << 32) | NOP as u64;
+
+    let mut a = Assembler::new(BASE);
+    a.la(Reg::T5, "handler");
+    a.csrw(csr::MTVEC, Reg::T5);
+    // A warm-up loop long enough that the patch below lands while the
+    // core is still spinning here, well before fetch reaches page 1.
+    a.li(Reg::T4, 40);
+    a.label("spin");
+    a.addi(Reg::T4, Reg::T4, -1);
+    a.bnez(Reg::T4, "spin");
+    a.inst(Inst::FenceI); // discard anything fetch speculated past the loop
+    while a.cursor() < page1 {
+        a.nop();
+    }
+    a.addi(Reg::A0, Reg::A0, 1); // first word of page 1: gets patched
+    a.j("handler");
+    a.label("handler");
+    a.inst(Inst::Ebreak);
+    let words = a.assemble().expect("assemble");
+
+    let run = |fast: bool| {
+        let mut mem = Memory::new();
+        mem.load_words(BASE, &words);
+        let mut core = Core::new(CoreConfig::boom(), mem, BASE);
+        core.trace.set_enabled(false);
+        core.set_fast_path(fast);
+        // Start the pipeline, then patch while the core spins in page 0.
+        for _ in 0..5 {
+            core.step();
+        }
+        assert!(!core.halted);
+        let v0 = (core.mem.page_version(BASE), core.mem.page_version(page1));
+        core.mem.write_bytes(page1 - 4, &value.to_le_bytes());
+        assert_eq!(
+            core.mem.page_version(BASE),
+            v0.0 + 1,
+            "one spanning write must bump the first page's version exactly once"
+        );
+        assert_eq!(
+            core.mem.page_version(page1),
+            v0.1 + 1,
+            "one spanning write must bump the second page's version exactly once"
+        );
+        while !core.halted && core.cycle < BOUND {
+            core.step();
+        }
+        assert!(core.halted, "spanning-write gadget did not halt");
+        core.drain();
+        core
+    };
+    let reference = run(false);
+    let fast = run(true);
+    assert_same_state(&fast, &reference, "page-spanning write");
+    assert_eq!(
+        fast.reg(Reg::A0),
+        imm as u64,
+        "the patched first word of the executing page must execute"
+    );
+}
+
+/// Deterministic witness that the self-modifying-code path really
+/// exercises the invalidation machinery (so the proptest above is not
+/// vacuously comparing two cold-cache runs).
+#[test]
+fn synced_smc_gadget_invalidates_the_decode_cache() {
+    let (words, expected) = smc_gadget_program(0xD15A_55EB, 3, true);
+    let core = run_program(&words, &[], &CoreConfig::boom(), true);
+    assert_eq!(
+        core.reg(Reg::A0),
+        expected,
+        "every patch must have executed"
+    );
+    let stats = core.fast_path_stats();
+    assert!(
+        stats.decode.invalidations > 0,
+        "rewriting an executing page must invalidate the decode cache: {stats:?}"
+    );
+    assert!(
+        stats.decode.hits > 0,
+        "the cache must also have been in use"
+    );
+}

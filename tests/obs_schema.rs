@@ -17,7 +17,7 @@ use teesec::coverage::{
     TransitionPoint,
 };
 use teesec::diff::DiffVerdict;
-use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, ObsMetrics};
+use teesec::engine::{DiffMetrics, EngineEvent, EngineMetrics, FastPathMetrics, ObsMetrics};
 use teesec::report::LeakClass;
 use teesec::runner::SnapshotCacheMetrics;
 use teesec_obs::{Histogram, Summary};
@@ -156,6 +156,14 @@ fn sample_metrics() -> EngineMetrics {
         }),
         trace: Some(sample_report()),
         plan_coverage: Some(sample_plan_coverage()),
+        fastpath: Some(FastPathMetrics {
+            cases: 2,
+            decode_hits: 5000,
+            decode_misses: 700,
+            decode_invalidations: 3,
+            scan_checks: 900,
+            scan_skips: 2100,
+        }),
     }
 }
 
@@ -332,6 +340,10 @@ fn engine_metrics_without_obs_still_parse() {
     assert_eq!(
         back.plan_coverage, None,
         "pre-coverage-era metrics parse with plan_coverage: None"
+    );
+    assert_eq!(
+        back.fastpath, None,
+        "pre-fastpath-era metrics parse with fastpath: None"
     );
     assert_eq!(back.cases_total, 3);
 

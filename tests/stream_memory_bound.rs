@@ -77,8 +77,8 @@ fn streaming_retains_constant_events_while_the_run_grows() {
 
     // ...yet the retained buffer did not grow with the run: both variants
     // hold exactly the boot prefix recorded before the sink was attached.
-    let retained_short = short_out.platform.core.trace.events().len();
-    let retained_long = long_out.platform.core.trace.events().len();
+    let retained_short = short_out.platform.core.trace.len();
+    let retained_long = long_out.platform.core.trace.len();
     assert_eq!(
         retained_long, retained_short,
         "streaming retention must be O(boot prefix), independent of run length"
@@ -87,7 +87,7 @@ fn streaming_retains_constant_events_while_the_run_grows() {
     // The batch pipeline, by contrast, buffers O(cycles): its long-case
     // buffer dwarfs the streaming one's.
     let batch_long = run_case(&long, &cfg).expect("batch build");
-    let batch_retained = batch_long.platform.core.trace.events().len();
+    let batch_retained = batch_long.platform.core.trace.len();
     assert!(
         batch_retained as u64 > retained_long as u64 + long_checker.events_seen() / 2,
         "batch should retain O(cycles) events (batch {batch_retained}, streaming {retained_long})"
