@@ -11,6 +11,8 @@
 //!                 [--events FILE] [--metrics-out FILE] [--diff]
 //!                 [--streaming on|off] [--snapshot-cache on|off]
 //!                 [--trace-out FILE]       # Perfetto span trace
+//!                 [--serve ADDR]           # live /metrics /events /status ...
+//!                 [--checkpoint-every N]   # atomic partial metrics snapshots
 //! teesec matrix  [--cases N]               # the Table 3 matrix
 //! teesec diff    [gadget ...] [--design D] [--cases N] [--stride N]
 //!                [--output FILE] [--trace-out FILE]  # core-vs-ISS oracle
@@ -19,6 +21,14 @@
 //!                        [--fail-under-ratio PCT]   # plan-coverage heatmap + gaps
 //! teesec trace-report <trace.json> [--json] # critical path + stragglers
 //! ```
+//!
+//! `--serve ADDR` (run / campaign / diff / coverage / coverage-report)
+//! embeds the zero-dependency telemetry server for the duration of the
+//! command: `GET /metrics` (Prometheus text), `/events` (SSE stream of
+//! the engine's JSONL events with `Last-Event-ID` resume), `/status`
+//! (progress + ETA JSON), `/coverage` (live plan-coverage report),
+//! `/trace` (partial Chrome trace), `/health`. `--serve-linger SECS`
+//! keeps the server up after completion so a final scrape can land.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -35,6 +45,8 @@ use teesec::paths::AccessPath;
 use teesec::runner::run_case;
 use teesec::simlog::render_simlog;
 use teesec::VerificationPlan;
+use teesec_obs::MetricsSnapshot;
+use teesec_telemetry::{MetricsHub, ProgressModel, TelemetryServer};
 use teesec_trace::{Trace, Tracer};
 use teesec_uarch::CoreConfig;
 
@@ -43,18 +55,22 @@ fn usage() -> ExitCode {
         "usage:\n  teesec list-gadgets\n  teesec plan [--design boom|xiangshan] [--json]\n  \
          teesec run <access-gadget> [--design boom|xiangshan] [--simlog FILE] [--checker-log FILE]\n  \
          \x20          [--events FILE] [--metrics-out FILE] [--trace-out FILE]\n  \
+         \x20          [--serve ADDR] [--serve-linger SECS]\n  \
          teesec explain <access-gadget> [--design boom|xiangshan] [--json]\n  \
          teesec campaign [--design boom|xiangshan] [--cases N] [--threads N] [--output FILE]\n  \
          \x20               [--events FILE] [--metrics-out FILE] [--case-cycle-budget N] [--quiet] [--diff]\n  \
          \x20               [--streaming on|off] [--snapshot-cache on|off]  (both default on)\n  \
-         \x20               [--trace-out FILE]\n  \
+         \x20               [--trace-out FILE] [--serve ADDR] [--serve-linger SECS]\n  \
+         \x20               [--checkpoint-every N]  (0 disables; rides --metrics-out)\n  \
          teesec matrix [--cases N]\n  \
          teesec diff [gadget ...] [--design boom|xiangshan] [--cases N] [--stride N] [--output FILE]\n  \
-         \x20           [--trace-out FILE]\n  \
+         \x20           [--trace-out FILE] [--serve ADDR] [--serve-linger SECS]\n  \
          teesec coverage [--design boom|xiangshan] [--seeds N] [--cases N] [--metrics-out FILE]\n  \
+         \x20               [--serve ADDR] [--serve-linger SECS]\n  \
          teesec coverage-report [--design boom|xiangshan] [--cases N] [--threads N] [--json]\n  \
          \x20                      [--output FILE] [--metrics-out FILE] [--fail-under-ratio PCT]\n  \
-         \x20                      [--reprobe]\n  \
+         \x20                      [--reprobe] [--serve ADDR] [--serve-linger SECS]\n  \
+         \x20                      [--checkpoint-every N]\n  \
          teesec trace-report <trace.json> [--json]"
     );
     ExitCode::from(2)
@@ -80,6 +96,9 @@ struct Opts {
     seeds: usize,
     fail_under_ratio: Option<u64>,
     reprobe: bool,
+    serve: Option<String>,
+    serve_linger: u64,
+    checkpoint_every: usize,
     positional: Vec<String>,
 }
 
@@ -117,6 +136,9 @@ fn parse(args: &[String]) -> Option<Opts> {
         seeds: 6,
         fail_under_ratio: None,
         reprobe: false,
+        serve: None,
+        serve_linger: 0,
+        checkpoint_every: 50,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -193,6 +215,18 @@ fn parse(args: &[String]) -> Option<Opts> {
                 o.fail_under_ratio = Some(args.get(i)?.parse().ok()?);
             }
             "--reprobe" => o.reprobe = true,
+            "--serve" => {
+                i += 1;
+                o.serve = Some(args.get(i)?.clone());
+            }
+            "--serve-linger" => {
+                i += 1;
+                o.serve_linger = args.get(i)?.parse().ok()?;
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                o.checkpoint_every = args.get(i)?.parse().ok()?;
+            }
             p if !p.starts_with('-') => o.positional.push(p.to_string()),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -308,6 +342,98 @@ fn cmd_plan(opts: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Starts the embedded telemetry server when `--serve` was given.
+/// `Ok(None)` without the flag; `Err` (with the failure printed) when the
+/// bind fails. The bound address is printed so `--serve 127.0.0.1:0`
+/// callers can discover the ephemeral port.
+fn start_telemetry(opts: &Opts) -> Result<Option<(MetricsHub, TelemetryServer)>, ExitCode> {
+    let Some(addr) = &opts.serve else {
+        return Ok(None);
+    };
+    let hub = MetricsHub::default();
+    match teesec_telemetry::serve(hub.clone(), addr.as_str()) {
+        Ok(server) => {
+            println!("telemetry: serving on http://{}", server.local_addr());
+            Ok(Some((hub, server)))
+        }
+        Err(e) => {
+            eprintln!("cannot serve telemetry on `{addr}`: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// Graceful telemetry drain: marks the campaign complete (ending open
+/// SSE streams with an `end` event), honors `--serve-linger`, then joins
+/// the accept loop so no scrape races process exit.
+fn finish_telemetry(opts: &Opts, telemetry: Option<(MetricsHub, TelemetryServer)>) {
+    let Some((hub, mut server)) = telemetry else {
+        return;
+    };
+    hub.set_complete(true); // idempotent — the engine already set it
+    if opts.serve_linger > 0 {
+        println!(
+            "telemetry: lingering {}s before shutdown",
+            opts.serve_linger
+        );
+        std::thread::sleep(std::time::Duration::from_secs(opts.serve_linger));
+    }
+    server.shutdown();
+}
+
+/// Checkpointing rides `--metrics-out`: the periodic partial snapshots
+/// land on the same path the final exposition overwrites, so a killed
+/// run leaves the freshest checkpoint exactly where the finished run
+/// would have left its result. `--checkpoint-every 0` disables.
+fn checkpoint_options(
+    opts: &Opts,
+    coverage_out: Option<String>,
+) -> Option<teesec::CheckpointOptions> {
+    let path = opts.metrics_out.as_ref()?;
+    (opts.checkpoint_every > 0).then(|| teesec::CheckpointOptions {
+        path: path.clone(),
+        every: opts.checkpoint_every,
+        coverage_out,
+    })
+}
+
+/// Writes the final `--metrics-out` exposition of a served run. The
+/// Prometheus text is the hub's last publication verbatim — the engine
+/// publishes it from the returned result after the final ring-buffer
+/// push, so the on-disk file and the last live `/metrics` scrape are
+/// byte-identical. The JSON sibling is re-rendered from the same result.
+fn write_served_snapshot_files(
+    hub: &MetricsHub,
+    result: &teesec::CampaignResult,
+    path: &str,
+) -> std::io::Result<()> {
+    let snap = teesec::live_campaign_snapshot(result, 1_000_000, hub.events_dropped_total());
+    let prom = hub.metrics().unwrap_or_else(|| snap.render_prometheus());
+    fs::write(path, prom)?;
+    fs::write(format!("{path}.json"), snap.render_json())
+}
+
+/// Dispatches the metrics-out write through the live (served) or plain
+/// path, reporting failures uniformly.
+fn write_metrics_out(
+    hub: Option<&MetricsHub>,
+    result: &teesec::CampaignResult,
+    path: &str,
+) -> bool {
+    let res = match hub {
+        Some(hub) => write_served_snapshot_files(hub, result, path),
+        None => {
+            let snap = teesec::metrics::campaign_snapshot(result);
+            teesec::metrics::write_snapshot_files(&snap, path)
+        }
+    };
+    if let Err(e) = res {
+        eprintln!("cannot write metrics snapshot `{path}`: {e}");
+        return false;
+    }
+    true
+}
+
 fn cmd_run(opts: &Opts) -> ExitCode {
     let Some(gadget) = opts.positional.first() else {
         eprintln!("`teesec run` requires an access gadget id (see list-gadgets)");
@@ -357,7 +483,11 @@ fn cmd_run(opts: &Opts) -> ExitCode {
     // engine (simulation is deterministic, so results are identical) to
     // produce the JSONL event stream, the metrics snapshot, and/or the
     // Perfetto span trace.
-    if opts.events.is_some() || opts.metrics_out.is_some() || opts.trace_out.is_some() {
+    if opts.events.is_some()
+        || opts.metrics_out.is_some()
+        || opts.trace_out.is_some()
+        || opts.serve.is_some()
+    {
         let events = match &opts.events {
             Some(p) => match EventSink::file(p) {
                 Ok(sink) => Some(sink),
@@ -368,9 +498,16 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             },
             None => None,
         };
-        let tracer = match &opts.trace_out {
-            Some(_) => Tracer::new(1),
-            None => Tracer::disabled(),
+        // Serving implies tracing: `/trace` and the `/status` worker
+        // table need live spans even without a `--trace-out` file.
+        let tracer = if opts.trace_out.is_some() || opts.serve.is_some() {
+            Tracer::new(1)
+        } else {
+            Tracer::disabled()
+        };
+        let telemetry = match start_telemetry(opts) {
+            Ok(t) => t,
+            Err(code) => return code,
         };
         let engine = teesec::Engine::new(
             opts.design.clone(),
@@ -379,6 +516,8 @@ fn cmd_run(opts: &Opts) -> ExitCode {
                 counters: true,
                 events,
                 tracer: tracer.clone(),
+                telemetry: telemetry.as_ref().map(|(h, _)| h.clone()),
+                checkpoint: checkpoint_options(opts, None),
                 ..EngineOptions::default()
             },
         );
@@ -395,13 +534,12 @@ fn cmd_run(opts: &Opts) -> ExitCode {
             }
         }
         if let Some(p) = &opts.metrics_out {
-            let snap = teesec::metrics::campaign_snapshot(&result);
-            if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
-                eprintln!("cannot write metrics snapshot `{p}`: {e}");
+            if !write_metrics_out(telemetry.as_ref().map(|(h, _)| h), &result, p) {
                 return ExitCode::FAILURE;
             }
             println!("metrics snapshot written to {p} (+ {p}.json)");
         }
+        finish_telemetry(opts, telemetry);
     }
     if report.clean() {
         ExitCode::SUCCESS
@@ -485,9 +623,14 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         },
         None => None,
     };
-    let tracer = match &opts.trace_out {
-        Some(_) => Tracer::new(opts.threads.max(1)),
-        None => Tracer::disabled(),
+    let tracer = if opts.trace_out.is_some() || opts.serve.is_some() {
+        Tracer::new(opts.threads.max(1))
+    } else {
+        Tracer::disabled()
+    };
+    let telemetry = match start_telemetry(opts) {
+        Ok(t) => t,
+        Err(code) => return code,
     };
     let campaign =
         Campaign::new(opts.design.clone(), Fuzzer::with_target(opts.cases)).keep_reports();
@@ -507,6 +650,8 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         coverage: true,
         fast_path: None, // process default: TEESEC_FASTPATH
         tracer: tracer.clone(),
+        telemetry: telemetry.as_ref().map(|(h, _)| h.clone()),
+        checkpoint: checkpoint_options(opts, None),
     });
     let metrics = result.engine.as_ref().expect("engine metrics");
     println!(
@@ -575,9 +720,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         }
     }
     if let Some(p) = &opts.metrics_out {
-        let snap = teesec::metrics::campaign_snapshot(&result);
-        if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
-            eprintln!("cannot write metrics snapshot `{p}`: {e}");
+        if !write_metrics_out(telemetry.as_ref().map(|(h, _)| h), &result, p) {
             return ExitCode::FAILURE;
         }
         println!("metrics snapshot written to {p} (+ {p}.json)");
@@ -587,6 +730,7 @@ fn cmd_campaign(opts: &Opts) -> ExitCode {
         fs::write(p, serde_json::to_string_pretty(&blob).expect("serialize")).expect("write");
         println!("full results written to {p}");
     }
+    finish_telemetry(opts, telemetry);
     // With --diff, a divergence means the core disagrees with its own
     // reference model — fail the run so CI notices.
     if metrics.diff.as_ref().is_some_and(|d| d.divergences > 0) {
@@ -631,11 +775,60 @@ fn cmd_diff(opts: &Opts) -> ExitCode {
         stride: opts.stride,
         ..DiffOptions::default()
     };
-    let tracer = match &opts.trace_out {
-        Some(_) => Tracer::new(1),
-        None => Tracer::disabled(),
+    let tracer = if opts.trace_out.is_some() || opts.serve.is_some() {
+        Tracer::new(1)
+    } else {
+        Tracer::disabled()
     };
-    let summary = teesec::diff_corpus_traced(&corpus, &opts.design, &diff_opts, &tracer);
+    let telemetry = match start_telemetry(opts) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let hub = telemetry.as_ref().map(|(h, _)| h);
+    let t0 = std::time::Instant::now();
+    if let Some(hub) = hub {
+        hub.set_up(true);
+        if tracer.enabled() {
+            hub.set_tracer(tracer.clone());
+        }
+        publish_diff_live(
+            hub,
+            &opts.design.name,
+            &Default::default(),
+            0,
+            corpus.len(),
+            &t0,
+        );
+    }
+    let total = corpus.len();
+    let summary = teesec::diff_corpus_with(&corpus, &opts.design, &diff_opts, &tracer, {
+        let design = opts.design.name.clone();
+        move |done, summary| {
+            if let Some(hub) = hub {
+                if let Some(case) = summary.cases.last() {
+                    let verdict = match &case.verdict {
+                        DiffVerdict::Match { .. } => "match",
+                        DiffVerdict::Diverged(_) => "diverged",
+                        DiffVerdict::Skipped { .. } => "skipped",
+                    };
+                    let body = serde_json::json!({
+                        "seq": done - 1,
+                        "case": case.case,
+                        "verdict": verdict,
+                    });
+                    let event = serde_json::json!({ "DiffCase": body });
+                    hub.push_event(&serde_json::to_string(&event).expect("serialize diff event"));
+                }
+                if done % 8 == 0 || done == total {
+                    publish_diff_live(hub, &design, summary, done, total, &t0);
+                }
+            }
+        }
+    });
+    if let Some(hub) = hub {
+        publish_diff_live(hub, &opts.design.name, &summary, total, total, &t0);
+        hub.set_complete(true);
+    }
     for case in &summary.cases {
         match &case.verdict {
             DiffVerdict::Diverged(d) => {
@@ -668,11 +861,85 @@ fn cmd_diff(opts: &Opts) -> ExitCode {
         .expect("write");
         println!("full verdicts written to {p}");
     }
+    finish_telemetry(opts, telemetry);
     if summary.divergences > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Publishes the live artifacts of a `teesec diff --serve` sweep: a
+/// stamped diff-counter exposition for `/metrics` and a compact `/status`
+/// document. The serial oracle has no engine aggregates, so the document
+/// is the diff-specific subset of the campaign one.
+fn publish_diff_live(
+    hub: &MetricsHub,
+    design: &str,
+    summary: &teesec::DiffSummary,
+    done: usize,
+    total: usize,
+    t0: &std::time::Instant,
+) {
+    let model = ProgressModel {
+        done,
+        total,
+        quarantined: 0,
+        elapsed_us: t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        threads: 1,
+        mean_case_us: None,
+    };
+    let dropped = hub.events_dropped_total();
+    let labels = &[("design", design)];
+    let mut snap = MetricsSnapshot::new();
+    snap.counter(
+        "teesec_diff_cases_compared_total",
+        labels,
+        summary.cases.len() as u64,
+        "Cases the differential oracle looked at",
+    );
+    snap.counter(
+        "teesec_diff_matches_total",
+        labels,
+        summary.matches,
+        "Cases where core and ISS agreed at every compared point",
+    );
+    snap.counter(
+        "teesec_diff_divergences_total",
+        labels,
+        summary.divergences,
+        "Cases where the machines diverged",
+    );
+    snap.counter(
+        "teesec_diff_skipped_total",
+        labels,
+        summary.skipped,
+        "Cases outside the oracle's model",
+    );
+    snap.counter(
+        "teesec_diff_retires_compared_total",
+        labels,
+        summary.retires_compared,
+        "Retirements compared in lockstep across matching cases",
+    );
+    teesec::metrics::stamp_live(&mut snap, design, model.progress_ppm(), dropped);
+    hub.publish_metrics(snap.render_prometheus());
+    let status = serde_json::json!({
+        "design": design,
+        "complete": done == total,
+        "cases_done": done,
+        "cases_total": total,
+        "matches": summary.matches,
+        "divergences": summary.divergences,
+        "skipped": summary.skipped,
+        "retires_compared": summary.retires_compared,
+        "progress_ppm": model.progress_ppm(),
+        "elapsed_us": model.elapsed_us,
+        "eta_us": model.eta_us(),
+        "events_dropped_total": dropped,
+    });
+    hub.publish_status(serde_json::to_string_pretty(&status).expect("serialize status"));
+    hub.set_progress_ppm(model.progress_ppm());
 }
 
 /// Serializes `tracer`'s recorded spans as Chrome/Perfetto trace JSON at
@@ -747,6 +1014,10 @@ fn cmd_coverage_report(opts: &Opts) -> ExitCode {
             }
         }
     }
+    let telemetry = match start_telemetry(opts) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
     let engine = teesec::Engine::new(
         opts.design.clone(),
         EngineOptions {
@@ -755,6 +1026,13 @@ fn cmd_coverage_report(opts: &Opts) -> ExitCode {
             streaming: opts.streaming,
             snapshot_cache: opts.snapshot_cache,
             coverage: true,
+            tracer: if opts.serve.is_some() {
+                Tracer::new(opts.threads.max(1))
+            } else {
+                Tracer::disabled()
+            },
+            telemetry: telemetry.as_ref().map(|(h, _)| h.clone()),
+            checkpoint: checkpoint_options(opts, opts.output.clone()),
             ..EngineOptions::default()
         },
     );
@@ -811,15 +1089,14 @@ fn cmd_coverage_report(opts: &Opts) -> ExitCode {
         }
     }
     if let Some(p) = &opts.metrics_out {
-        let snap = teesec::metrics::campaign_snapshot(&result);
-        if let Err(e) = teesec::metrics::write_snapshot_files(&snap, p) {
-            eprintln!("cannot write metrics snapshot `{p}`: {e}");
+        if !write_metrics_out(telemetry.as_ref().map(|(h, _)| h), &result, p) {
             return ExitCode::FAILURE;
         }
         if !opts.json {
             println!("metrics snapshot written to {p} (+ {p}.json)");
         }
     }
+    finish_telemetry(opts, telemetry);
     if let Some(pct) = opts.fail_under_ratio {
         let ratio_ppm = pc.coverage_ratio_ppm();
         if ratio_ppm < pct.saturating_mul(10_000) {
@@ -837,7 +1114,41 @@ fn cmd_coverage_report(opts: &Opts) -> ExitCode {
 /// `teesec coverage`: one coverage-guided fuzzing session. `--seeds` sets
 /// the systematic seed count, `--cases` the guided-phase budget.
 fn cmd_coverage(opts: &Opts) -> ExitCode {
+    let telemetry = match start_telemetry(opts) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    // The guided fuzzer runs serially with no engine hooks, so the live
+    // surface is bracketed: an empty stamped exposition up front (no 503
+    // for early scrapers), the full session snapshot at the end.
+    if let Some((hub, _)) = &telemetry {
+        hub.set_up(true);
+        let mut snap = MetricsSnapshot::new();
+        teesec::metrics::stamp_live(&mut snap, &opts.design.name, 0, 0);
+        hub.publish_metrics(snap.render_prometheus());
+    }
     let outcome = CoverageFuzzer::new(opts.seeds, opts.cases).run(&opts.design);
+    if let Some((hub, _)) = &telemetry {
+        let mut snap = teesec::metrics::coverage_snapshot(&outcome, &opts.design.name);
+        teesec::metrics::stamp_live(
+            &mut snap,
+            &opts.design.name,
+            1_000_000,
+            hub.events_dropped_total(),
+        );
+        hub.publish_metrics(snap.render_prometheus());
+        let status = serde_json::json!({
+            "design": opts.design.name,
+            "complete": true,
+            "cases_done": outcome.executed,
+            "cases_total": outcome.executed,
+            "coverage_buckets": outcome.map.len(),
+            "corpus_entries": outcome.corpus.len(),
+            "progress_ppm": 1_000_000u64,
+        });
+        hub.publish_status(serde_json::to_string_pretty(&status).expect("serialize status"));
+        hub.set_progress_ppm(1_000_000);
+    }
     println!(
         "{}: {} cases executed, coverage {} buckets (seeds alone: {}), corpus {} entries",
         opts.design.name,
@@ -867,5 +1178,6 @@ fn cmd_coverage(opts: &Opts) -> ExitCode {
         .expect("write");
         println!("full session written to {p}");
     }
+    finish_telemetry(opts, telemetry);
     ExitCode::SUCCESS
 }

@@ -510,6 +510,19 @@ pub fn diff_corpus_traced(
     opts: &DiffOptions,
     tracer: &Tracer,
 ) -> DiffSummary {
+    diff_corpus_with(cases, cfg, opts, tracer, |_, _| {})
+}
+
+/// [`diff_corpus_traced`] with a per-case observer: after each verdict
+/// folds in, `on_case(cases_done, &summary_so_far)` fires — the hook the
+/// CLI uses to publish live progress while a long diff sweep runs.
+pub fn diff_corpus_with(
+    cases: &[TestCase],
+    cfg: &CoreConfig,
+    opts: &DiffOptions,
+    tracer: &Tracer,
+    mut on_case: impl FnMut(usize, &DiffSummary),
+) -> DiffSummary {
     let mut summary = DiffSummary::default();
     for (seq, tc) in cases.iter().enumerate() {
         let mut case_span = tracer.span(0, "case", 0);
@@ -548,6 +561,7 @@ pub fn diff_corpus_traced(
             case: tc.name.clone(),
             verdict,
         });
+        on_case(seq + 1, &summary);
     }
     summary
 }

@@ -24,13 +24,14 @@
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 use teesec_obs::{Histogram, Summary};
+use teesec_telemetry::{MetricsHub, ProgressModel};
 use teesec_trace::{TraceCtx, TraceReport, Tracer};
 use teesec_uarch::config::CoreConfig;
 use teesec_uarch::introspect::StorageInventory;
@@ -102,6 +103,35 @@ pub struct EngineOptions {
     /// [`Tracer::snapshot`] for `--trace-out`. The default (disabled)
     /// tracer makes every instrumentation point a no-op.
     pub tracer: Tracer,
+    /// Live-telemetry hub (the `--serve` flag). When set, the engine
+    /// mirrors every [`EngineEvent`] into the hub's SSE ring buffer and
+    /// periodically publishes a rendered `/metrics` exposition, a
+    /// `/status` progress document, and (with coverage on) a live
+    /// `/coverage` report. The final publication is built from the same
+    /// [`CampaignResult`] the run returns, so the last live scrape and a
+    /// `--metrics-out` file written from that result are byte-identical.
+    pub telemetry: Option<MetricsHub>,
+    /// Crash-durable checkpointing: every
+    /// [`CheckpointOptions::every`] finished cases the engine atomically
+    /// rewrites the metrics exposition (and optionally the coverage
+    /// report) with a `"partial": true` marker in the JSON, so a killed
+    /// campaign always leaves parseable mid-flight artifacts behind.
+    pub checkpoint: Option<CheckpointOptions>,
+}
+
+/// Where and how often the engine checkpoints mid-flight artifacts
+/// (see [`EngineOptions::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Prometheus text lands here, JSON at `<path>.json` — the same
+    /// layout as `--metrics-out`, which normally shares this path so the
+    /// final write simply overwrites the last checkpoint.
+    pub path: String,
+    /// Checkpoint cadence in finished cases (clamped to ≥ 1).
+    pub every: usize,
+    /// Optional plan-coverage report checkpoint (requires
+    /// [`EngineOptions::coverage`]).
+    pub coverage_out: Option<String>,
 }
 
 /// A thread-safe JSONL sink for [`EngineEvent`]s.
@@ -171,7 +201,13 @@ impl EventSink {
     /// stderr and latches the sink into a drop-everything state —
     /// observability must never kill (or flood) a run.
     pub fn emit(&self, event: &EngineEvent) {
-        let line = serde_json::to_string(event).expect("serialize event");
+        self.emit_line(&serde_json::to_string(event).expect("serialize event"));
+    }
+
+    /// Writes one pre-serialized JSON line — the shared tail of [`emit`]
+    /// (`EventSink::emit`) and the dual sink+hub emission path, which
+    /// serializes each event exactly once.
+    pub(crate) fn emit_line(&self, line: &str) {
         let mut inner = self.inner.lock().expect("event sink poisoned");
         if inner.failed {
             return;
@@ -406,6 +442,22 @@ impl FastPathMetrics {
     }
 }
 
+/// Serializes `event` once and fans the line out to the JSONL sink and
+/// the telemetry hub's SSE ring — whichever are present. With neither,
+/// the event is never even serialized, so un-narrated runs pay nothing.
+fn emit_event(sink: Option<&EventSink>, hub: Option<&MetricsHub>, event: &EngineEvent) {
+    if sink.is_none() && hub.is_none() {
+        return;
+    }
+    let line = serde_json::to_string(event).expect("serialize event");
+    if let Some(sink) = sink {
+        sink.emit_line(&line);
+    }
+    if let Some(hub) = hub {
+        hub.push_event(&line);
+    }
+}
+
 /// Aggregate differential-oracle outcomes for one engine run.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiffMetrics {
@@ -420,6 +472,58 @@ pub struct DiffMetrics {
     pub skipped: usize,
     /// Total retirements compared in lockstep across all matching cases.
     pub retires_compared: u64,
+}
+
+impl DiffMetrics {
+    /// Folds one case's oracle verdict into the aggregate.
+    pub fn fold(&mut self, verdict: &DiffVerdict) {
+        self.cases_compared += 1;
+        match verdict {
+            DiffVerdict::Match { retires, .. } => {
+                self.matches += 1;
+                self.retires_compared += retires;
+            }
+            DiffVerdict::Diverged(_) => self.divergences += 1,
+            DiffVerdict::Skipped { .. } => self.skipped += 1,
+        }
+    }
+}
+
+impl EngineMetrics {
+    /// Folds one finished case into the aggregate — the single folding
+    /// path shared by the end-of-run merge loop and the live-telemetry
+    /// publisher, so a mid-flight `/metrics` scrape aggregates cases
+    /// exactly the way the final exposition does.
+    pub(crate) fn fold_case(&mut self, exec: &CaseExecution) {
+        self.cases_quarantined += usize::from(exec.result.error.is_some());
+        self.cases_budget_exceeded += usize::from(exec.budget_exceeded);
+        self.findings_total += exec.result.finding_count;
+        if let (Some(pc), Some(cc)) = (self.plan_coverage.as_mut(), &exec.coverage) {
+            pc.absorb(&exec.result.name, cc);
+        }
+        for (s, n) in &exec.findings_by_structure {
+            *self.findings_by_structure.entry(s.clone()).or_insert(0) += n;
+        }
+        if let (Some(dm), Some(verdict)) = (self.diff.as_mut(), &exec.diff) {
+            dm.fold(verdict);
+        }
+        if let Some(fp) = &exec.fastpath {
+            self.fastpath
+                .get_or_insert_with(FastPathMetrics::default)
+                .absorb(fp);
+        }
+        if let (Some(obs), None) = (self.obs.as_mut(), &exec.result.error) {
+            obs.record_case(
+                exec.result.cycles,
+                exec.build_us,
+                exec.simulate_us,
+                exec.check_us,
+            );
+            if let Some(counters) = &exec.counters {
+                obs.uarch.absorb(counters);
+            }
+        }
+    }
 }
 
 /// Deep-observability aggregates for one engine run: log₂-bucketed
@@ -691,6 +795,227 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// Finished cases between two live-telemetry publications. Publishing
+/// renders a full Prometheus exposition plus the status and coverage
+/// documents, so it is amortized over a small batch of cases rather
+/// than done per case.
+const LIVE_PUBLISH_EVERY: usize = 8;
+
+/// Minimum wall-clock gap between two live publications. Fast corpora
+/// finish hundreds of cases per second; without this gate the case-count
+/// cadence alone would spend more worker time rendering expositions than
+/// any scraper could consume (a 1 Hz Prometheus scrape sees at most one
+/// publication per second anyway).
+const LIVE_PUBLISH_MIN_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// The running mid-flight aggregate behind the live publisher and the
+/// crash-durability checkpointer: every finished case is folded in by
+/// its worker (via [`EngineMetrics::fold_case`], the same path the
+/// end-of-run merge uses), and a publishing worker clones the whole
+/// state out of the lock so rendering never blocks its peers.
+#[derive(Clone)]
+struct LiveState {
+    metrics: EngineMetrics,
+    cases: Vec<CaseResult>,
+    classes: std::collections::BTreeSet<crate::report::LeakClass>,
+    finished: usize,
+    last_publish: usize,
+    last_publish_at: Instant,
+    last_checkpoint: usize,
+}
+
+/// Builds the interim [`CampaignResult`] a mid-flight publication or
+/// checkpoint describes: the cases folded so far, with wall time,
+/// snapshot-cache counters, and trace analysis sampled live.
+fn live_result(
+    cfg: &CoreConfig,
+    opts: &EngineOptions,
+    st: &LiveState,
+    wall_us: u128,
+    cache: Option<&SnapshotCache>,
+) -> CampaignResult {
+    let mut metrics = st.metrics.clone();
+    metrics.wall_us = wall_us;
+    metrics.snapshot = cache.map(SnapshotCache::metrics);
+    metrics.trace = opts
+        .tracer
+        .enabled()
+        .then(|| opts.tracer.snapshot().analyze(TRACE_TOP_STRAGGLERS));
+    CampaignResult {
+        design: cfg.name.clone(),
+        case_count: st.finished,
+        cases: st.cases.clone(),
+        classes_found: st.classes.clone(),
+        timing: PhaseTiming::default(),
+        engine: Some(metrics),
+    }
+}
+
+/// Renders the `/status` progress document: campaign identity and
+/// counts, the shared [`ProgressModel`]'s progress/ETA, per-phase
+/// percentile digests, worker busy ratios, and the cache/fast-path
+/// effectiveness counters. Optional aggregates render as `null` (or an
+/// empty array) when the producing option is off.
+fn render_status(
+    result: &CampaignResult,
+    model: &ProgressModel,
+    complete: bool,
+    events_dropped: u64,
+) -> String {
+    use serde_json::Value;
+    let engine = result.engine.as_ref();
+    let uint = |v: u64| Value::UInt(u128::from(v));
+    let phases = engine.and_then(|e| e.obs.as_ref()).map_or_else(
+        || Value::Array(Vec::new()),
+        |obs| {
+            Value::Array(
+                obs.phase_summaries()
+                    .iter()
+                    .map(|(name, s)| {
+                        Value::Object(vec![
+                            ("phase".to_string(), Value::String((*name).to_string())),
+                            ("count".to_string(), uint(s.count)),
+                            ("p50".to_string(), uint(s.p50)),
+                            ("p90".to_string(), uint(s.p90)),
+                            ("p99".to_string(), uint(s.p99)),
+                        ])
+                    })
+                    .collect(),
+            )
+        },
+    );
+    let workers = engine.and_then(|e| e.trace.as_ref()).map_or_else(
+        || Value::Array(Vec::new()),
+        |trace| {
+            Value::Array(
+                trace
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        Value::Object(vec![
+                            ("worker".to_string(), Value::UInt(w.worker as u128)),
+                            ("busy_ppm".to_string(), uint(w.busy_ratio_ppm)),
+                        ])
+                    })
+                    .collect(),
+            )
+        },
+    );
+    let snapshot_cache = engine
+        .and_then(|e| e.snapshot.as_ref())
+        .map_or(Value::Null, |s| {
+            Value::Object(vec![
+                ("hits".to_string(), uint(s.hits)),
+                ("misses".to_string(), uint(s.misses)),
+                ("bypasses".to_string(), uint(s.bypasses)),
+                ("capture_us".to_string(), uint(s.capture_us)),
+            ])
+        });
+    let fastpath = engine
+        .and_then(|e| e.fastpath.as_ref())
+        .map_or(Value::Null, |fp| {
+            Value::Object(vec![
+                ("cases".to_string(), Value::UInt(fp.cases as u128)),
+                ("decode_hits".to_string(), uint(fp.decode_hits)),
+                ("decode_misses".to_string(), uint(fp.decode_misses)),
+                (
+                    "decode_invalidations".to_string(),
+                    uint(fp.decode_invalidations),
+                ),
+                ("scan_checks".to_string(), uint(fp.scan_checks)),
+                ("scan_skips".to_string(), uint(fp.scan_skips)),
+            ])
+        });
+    let coverage_ratio = engine
+        .and_then(|e| e.plan_coverage.as_ref())
+        .map_or(Value::Null, |pc| uint(pc.coverage_ratio_ppm()));
+    let status = Value::Object(vec![
+        ("design".to_string(), Value::String(result.design.clone())),
+        ("complete".to_string(), Value::Bool(complete)),
+        ("cases_done".to_string(), Value::UInt(model.done as u128)),
+        ("cases_total".to_string(), Value::UInt(model.total as u128)),
+        (
+            "quarantined".to_string(),
+            Value::UInt(model.quarantined as u128),
+        ),
+        (
+            "budget_exceeded".to_string(),
+            Value::UInt(engine.map_or(0, |e| e.cases_budget_exceeded) as u128),
+        ),
+        (
+            "findings_total".to_string(),
+            Value::UInt(engine.map_or(0, |e| e.findings_total) as u128),
+        ),
+        ("progress_ppm".to_string(), uint(model.progress_ppm())),
+        ("elapsed_us".to_string(), uint(model.elapsed_us)),
+        (
+            "eta_us".to_string(),
+            model.eta_us().map_or(Value::Null, uint),
+        ),
+        ("phases".to_string(), phases),
+        ("workers".to_string(), workers),
+        ("snapshot_cache".to_string(), snapshot_cache),
+        ("fastpath".to_string(), fastpath),
+        ("coverage_ratio_ppm".to_string(), coverage_ratio),
+        ("events_dropped_total".to_string(), uint(events_dropped)),
+    ]);
+    serde_json::to_string_pretty(&status).expect("serialize status document")
+}
+
+/// Publishes the full live-artifact set for one interim (or final)
+/// result: the stamped `/metrics` exposition, the `/status` document,
+/// and — with plan coverage on — the `/coverage` report.
+fn publish_live(hub: &MetricsHub, result: &CampaignResult, model: &ProgressModel, complete: bool) {
+    let dropped = hub.events_dropped_total();
+    let snap = crate::metrics::live_campaign_snapshot(result, model.progress_ppm(), dropped);
+    hub.publish_metrics(snap.render_prometheus());
+    hub.publish_status(render_status(result, model, complete, dropped));
+    if let Some(pc) = result
+        .engine
+        .as_ref()
+        .and_then(|e| e.plan_coverage.as_ref())
+    {
+        hub.publish_coverage(
+            serde_json::to_string_pretty(&pc.report_json()).expect("serialize coverage report"),
+        );
+    }
+    hub.set_progress_ppm(model.progress_ppm());
+}
+
+/// Atomically checkpoints the mid-flight metrics exposition (and the
+/// coverage report, when requested) with the `"partial": true` JSON
+/// marker. Checkpoint I/O failures are reported once to stderr and
+/// never take down the run — same contract as the event sink.
+fn write_checkpoint(
+    ckpt: &CheckpointOptions,
+    result: &CampaignResult,
+    progress_ppm: u64,
+    events_dropped: u64,
+) {
+    let snap = crate::metrics::live_campaign_snapshot(result, progress_ppm, events_dropped);
+    if let Err(e) = crate::metrics::write_checkpoint_files(&snap, &ckpt.path) {
+        eprintln!("teesec: metrics checkpoint failed: {e}");
+    }
+    if let (Some(path), Some(pc)) = (
+        &ckpt.coverage_out,
+        result
+            .engine
+            .as_ref()
+            .and_then(|e| e.plan_coverage.as_ref()),
+    ) {
+        let json =
+            serde_json::to_string_pretty(&pc.report_json()).expect("serialize coverage report");
+        if let Err(e) = crate::metrics::write_partial_json(&json, path) {
+            eprintln!("teesec: coverage checkpoint failed: {e}");
+        }
+    }
+}
+
+/// Saturating microseconds since `t0` (u128 → u64 for [`ProgressModel`]).
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
 /// A fault-isolated, work-stealing executor over an explicit corpus.
 ///
 /// Usually reached through
@@ -727,18 +1052,54 @@ impl Engine {
         campaign_span.arg("cases", corpus.len());
         campaign_span.arg("threads", threads);
         let campaign_id = campaign_span.id();
-        if let Some(sink) = &self.opts.events {
-            sink.emit(&EngineEvent::CampaignStarted {
+        let hub = self.opts.telemetry.as_ref();
+        if let Some(hub) = hub {
+            hub.set_up(true);
+            if self.opts.tracer.enabled() {
+                hub.set_tracer(self.opts.tracer.clone());
+            }
+        }
+        emit_event(
+            self.opts.events.as_ref(),
+            hub,
+            &EngineEvent::CampaignStarted {
                 design: self.cfg.name.clone(),
                 case_count: corpus.len(),
                 threads,
-            });
-        }
+            },
+        );
 
         let cursor = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let quarantined_ctr = AtomicUsize::new(0);
+        let case_us_sum = AtomicU64::new(0);
         let snapshot_cache = self.opts.snapshot_cache.then(SnapshotCache::new);
+        let live = (hub.is_some() || self.opts.checkpoint.is_some()).then(|| {
+            Mutex::new(LiveState {
+                metrics: self.seed_metrics(threads, corpus.len()),
+                cases: Vec::new(),
+                classes: std::collections::BTreeSet::new(),
+                finished: 0,
+                last_publish: 0,
+                last_publish_at: Instant::now(),
+                last_checkpoint: 0,
+            })
+        });
+        // Serve real (empty) artifacts from the first accept onward —
+        // a scraper that beats the first publish batch must not see 503.
+        if let (Some(hub), Some(live)) = (hub, &live) {
+            let st = live.lock().expect("live state poisoned").clone();
+            let result = live_result(&self.cfg, &self.opts, &st, 0, snapshot_cache.as_ref());
+            let model = ProgressModel {
+                done: 0,
+                total: corpus.len(),
+                quarantined: 0,
+                elapsed_us: 0,
+                threads,
+                mean_case_us: None,
+            };
+            publish_live(hub, &result, &model, false);
+        }
         let mut per_worker: Vec<Vec<(usize, CaseExecution)>> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -746,6 +1107,8 @@ impl Engine {
                 let cursor = &cursor;
                 let done = &done;
                 let quarantined_ctr = &quarantined_ctr;
+                let case_us_sum = &case_us_sum;
+                let live = &live;
                 let opts = &self.opts;
                 let cfg = &self.cfg;
                 let snapshot_cache = snapshot_cache.as_ref();
@@ -765,14 +1128,18 @@ impl Engine {
                         let case_id = case_span.id();
                         let sid = (case_id != 0).then_some(case_id);
                         let pid = (worker_id != 0).then_some(worker_id);
-                        if let Some(sink) = &opts.events {
-                            sink.emit(&EngineEvent::CaseStarted {
-                                seq,
-                                case: tc.name.clone(),
-                                worker,
-                                span_id: sid,
-                                parent_id: pid,
-                            });
+                        if opts.events.is_some() || opts.telemetry.is_some() {
+                            emit_event(
+                                opts.events.as_ref(),
+                                opts.telemetry.as_ref(),
+                                &EngineEvent::CaseStarted {
+                                    seq,
+                                    case: tc.name.clone(),
+                                    worker,
+                                    span_id: sid,
+                                    parent_id: pid,
+                                },
+                            );
                         }
                         let mut exec = execute_case(
                             tc,
@@ -821,46 +1188,135 @@ impl Engine {
                             case_span.arg("trace_events", counters.trace_events);
                         }
                         drop(case_span);
-                        if let Some(sink) = &opts.events {
-                            sink.emit(&case_event(seq, &exec, sid, pid));
+                        if opts.events.is_some() || opts.telemetry.is_some() {
+                            let sink = opts.events.as_ref();
+                            let hub = opts.telemetry.as_ref();
+                            emit_event(sink, hub, &case_event(seq, &exec, sid, pid));
                             if let Some(counters) = &exec.counters {
-                                sink.emit(&EngineEvent::CaseCounters {
-                                    seq,
-                                    case: exec.result.name.clone(),
-                                    counters: counters.clone(),
-                                    span_id: sid,
-                                    parent_id: pid,
-                                });
+                                emit_event(
+                                    sink,
+                                    hub,
+                                    &EngineEvent::CaseCounters {
+                                        seq,
+                                        case: exec.result.name.clone(),
+                                        counters: counters.clone(),
+                                        span_id: sid,
+                                        parent_id: pid,
+                                    },
+                                );
                             }
                             if let Some(verdict) = &exec.diff {
-                                sink.emit(&EngineEvent::CaseDiff {
-                                    seq,
-                                    case: exec.result.name.clone(),
-                                    verdict: verdict.clone(),
-                                    span_id: sid,
-                                    parent_id: pid,
-                                });
+                                emit_event(
+                                    sink,
+                                    hub,
+                                    &EngineEvent::CaseDiff {
+                                        seq,
+                                        case: exec.result.name.clone(),
+                                        verdict: verdict.clone(),
+                                        span_id: sid,
+                                        parent_id: pid,
+                                    },
+                                );
                             }
                             if let Some(coverage) = &exec.coverage {
-                                sink.emit(&EngineEvent::CaseCoverage {
-                                    seq,
-                                    case: exec.result.name.clone(),
-                                    coverage: coverage.clone(),
-                                    span_id: sid,
-                                    parent_id: pid,
-                                });
+                                emit_event(
+                                    sink,
+                                    hub,
+                                    &EngineEvent::CaseCoverage {
+                                        seq,
+                                        case: exec.result.name.clone(),
+                                        coverage: coverage.clone(),
+                                        span_id: sid,
+                                        parent_id: pid,
+                                    },
+                                );
                             }
                         }
                         if exec.result.error.is_some() {
                             quarantined_ctr.fetch_add(1, Ordering::Relaxed);
                         }
+                        let case_us = (exec.build_us + exec.simulate_us + exec.check_us)
+                            .min(u128::from(u64::MAX)) as u64;
+                        case_us_sum.fetch_add(case_us, Ordering::Relaxed);
                         let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(live) = live {
+                            // Fold under the lock; the worker that crosses a
+                            // cadence threshold clones the state out and does
+                            // the (comparatively expensive) rendering and I/O
+                            // outside it.
+                            let decision = {
+                                let mut st = live.lock().expect("live state poisoned");
+                                st.metrics.fold_case(&exec);
+                                st.classes.extend(exec.result.classes.iter().copied());
+                                st.cases.push(exec.result.clone());
+                                st.finished += 1;
+                                let publish = opts.telemetry.is_some()
+                                    && st.finished - st.last_publish >= LIVE_PUBLISH_EVERY
+                                    && st.last_publish_at.elapsed() >= LIVE_PUBLISH_MIN_INTERVAL;
+                                if publish {
+                                    st.last_publish = st.finished;
+                                    st.last_publish_at = Instant::now();
+                                }
+                                let checkpoint = opts.checkpoint.as_ref().is_some_and(|c| {
+                                    st.finished - st.last_checkpoint >= c.every.max(1)
+                                });
+                                if checkpoint {
+                                    st.last_checkpoint = st.finished;
+                                }
+                                (publish || checkpoint).then(|| (st.clone(), publish, checkpoint))
+                            };
+                            if let Some((st, publish, checkpoint)) = decision {
+                                let result = live_result(
+                                    cfg,
+                                    opts,
+                                    &st,
+                                    t0.elapsed().as_micros(),
+                                    snapshot_cache,
+                                );
+                                let model = ProgressModel {
+                                    done: st.finished,
+                                    total: corpus.len(),
+                                    quarantined: st.metrics.cases_quarantined,
+                                    elapsed_us: elapsed_us(t0),
+                                    threads,
+                                    mean_case_us: (st.finished > 0).then(|| {
+                                        case_us_sum.load(Ordering::Relaxed) / st.finished as u64
+                                    }),
+                                };
+                                if publish {
+                                    if let Some(hub) = opts.telemetry.as_ref() {
+                                        publish_live(hub, &result, &model, false);
+                                    }
+                                }
+                                if checkpoint {
+                                    if let Some(ckpt) = opts.checkpoint.as_ref() {
+                                        let dropped = opts
+                                            .telemetry
+                                            .as_ref()
+                                            .map_or(0, MetricsHub::events_dropped_total);
+                                        write_checkpoint(
+                                            ckpt,
+                                            &result,
+                                            model.progress_ppm(),
+                                            dropped,
+                                        );
+                                    }
+                                }
+                            }
+                        }
                         if opts.progress {
-                            let q = quarantined_ctr.load(Ordering::Relaxed);
-                            eprint!(
-                                "\r[{finished}/{}] cases done, {q} quarantined",
-                                corpus.len()
-                            );
+                            let model = ProgressModel {
+                                done: finished,
+                                total: corpus.len(),
+                                quarantined: quarantined_ctr.load(Ordering::Relaxed),
+                                elapsed_us: elapsed_us(t0),
+                                threads,
+                                mean_case_us: (finished > 0)
+                                    .then(|| case_us_sum.load(Ordering::Relaxed) / finished as u64),
+                            };
+                            // Trailing pad overwrites residue when the
+                            // rendered ETA shrinks between repaints.
+                            eprint!("\r{}   ", model.render_line());
                         }
                         out.push((seq, exec));
                     }
@@ -877,32 +1333,15 @@ impl Engine {
         }
         drop(campaign_span);
 
-        let mut metrics = EngineMetrics {
-            threads,
-            cases_total: corpus.len(),
-            cases_quarantined: 0,
-            cases_budget_exceeded: 0,
-            findings_total: 0,
-            findings_by_structure: BTreeMap::new(),
-            cases_per_worker: per_worker.iter().map(Vec::len).collect(),
-            wall_us: t0.elapsed().as_micros(),
-            obs: self
-                .opts
-                .counters
-                .then(|| ObsMetrics::for_design(&self.cfg)),
-            diff: self.opts.diff.is_some().then(DiffMetrics::default),
-            snapshot: snapshot_cache.as_ref().map(SnapshotCache::metrics),
-            trace: self
-                .opts
-                .tracer
-                .enabled()
-                .then(|| self.opts.tracer.snapshot().analyze(TRACE_TOP_STRAGGLERS)),
-            plan_coverage: self
-                .opts
-                .coverage
-                .then(|| PlanCoverage::for_design(&self.cfg)),
-            fastpath: None,
-        };
+        let mut metrics = self.seed_metrics(threads, corpus.len());
+        metrics.cases_per_worker = per_worker.iter().map(Vec::len).collect();
+        metrics.wall_us = t0.elapsed().as_micros();
+        metrics.snapshot = snapshot_cache.as_ref().map(SnapshotCache::metrics);
+        metrics.trace = self
+            .opts
+            .tracer
+            .enabled()
+            .then(|| self.opts.tracer.snapshot().analyze(TRACE_TOP_STRAGGLERS));
         let mut flat: Vec<(usize, CaseExecution)> = per_worker.into_iter().flatten().collect();
         flat.sort_by_key(|(seq, _)| *seq);
 
@@ -910,43 +1349,7 @@ impl Engine {
         let mut classes_found = std::collections::BTreeSet::new();
         let mut reports = Vec::new();
         for (_, exec) in flat {
-            metrics.cases_quarantined += usize::from(exec.result.error.is_some());
-            metrics.cases_budget_exceeded += usize::from(exec.budget_exceeded);
-            metrics.findings_total += exec.result.finding_count;
-            if let (Some(pc), Some(cc)) = (metrics.plan_coverage.as_mut(), &exec.coverage) {
-                pc.absorb(&exec.result.name, cc);
-            }
-            for (s, n) in exec.findings_by_structure {
-                *metrics.findings_by_structure.entry(s).or_insert(0) += n;
-            }
-            if let (Some(dm), Some(verdict)) = (metrics.diff.as_mut(), &exec.diff) {
-                dm.cases_compared += 1;
-                match verdict {
-                    DiffVerdict::Match { retires, .. } => {
-                        dm.matches += 1;
-                        dm.retires_compared += retires;
-                    }
-                    DiffVerdict::Diverged(_) => dm.divergences += 1,
-                    DiffVerdict::Skipped { .. } => dm.skipped += 1,
-                }
-            }
-            if let Some(fp) = &exec.fastpath {
-                metrics
-                    .fastpath
-                    .get_or_insert_with(FastPathMetrics::default)
-                    .absorb(fp);
-            }
-            if let (Some(obs), None) = (metrics.obs.as_mut(), &exec.result.error) {
-                obs.record_case(
-                    exec.result.cycles,
-                    exec.build_us,
-                    exec.simulate_us,
-                    exec.check_us,
-                );
-                if let Some(counters) = &exec.counters {
-                    obs.uarch.absorb(counters);
-                }
-            }
+            metrics.fold_case(&exec);
             // Table 2 semantics: "simulate" covers platform build + run.
             timing.simulate_us += exec.build_us + exec.simulate_us;
             timing.check_us += exec.check_us;
@@ -957,23 +1360,75 @@ impl Engine {
             }
         }
 
-        if let Some(sink) = &self.opts.events {
-            sink.emit(&EngineEvent::CampaignFinished {
+        emit_event(
+            self.opts.events.as_ref(),
+            hub,
+            &EngineEvent::CampaignFinished {
                 metrics: metrics.clone(),
-            });
+            },
+        );
+        if let Some(sink) = &self.opts.events {
             sink.flush();
         }
-        (
-            CampaignResult {
-                design: self.cfg.name.clone(),
-                case_count: cases.len(),
-                cases,
-                classes_found,
-                timing,
-                engine: Some(metrics),
-            },
-            reports,
-        )
+        let result = CampaignResult {
+            design: self.cfg.name.clone(),
+            case_count: cases.len(),
+            cases,
+            classes_found,
+            timing,
+            engine: Some(metrics),
+        };
+        // The final publication is built from the returned result itself
+        // (after the last ring-buffer push), so the last live `/metrics`
+        // scrape is byte-identical to a `--metrics-out` exposition
+        // rendered from the same result.
+        if let Some(hub) = hub {
+            let em = result
+                .engine
+                .as_ref()
+                .expect("engine metrics just attached");
+            let model = ProgressModel {
+                done: result.case_count,
+                total: result.case_count,
+                quarantined: em.cases_quarantined,
+                elapsed_us: elapsed_us(t0),
+                threads,
+                mean_case_us: (result.case_count > 0)
+                    .then(|| case_us_sum.load(Ordering::Relaxed) / result.case_count as u64),
+            };
+            publish_live(hub, &result, &model, true);
+            hub.set_complete(true);
+        }
+        (result, reports)
+    }
+
+    /// Seeds an [`EngineMetrics`] with the option-dependent aggregates
+    /// (deep obs, diff, plan coverage) present-but-zeroed — the shared
+    /// starting point of the end-of-run merge loop and the live
+    /// publisher's running state, so both aggregate identically.
+    fn seed_metrics(&self, threads: usize, cases_total: usize) -> EngineMetrics {
+        EngineMetrics {
+            threads,
+            cases_total,
+            cases_quarantined: 0,
+            cases_budget_exceeded: 0,
+            findings_total: 0,
+            findings_by_structure: BTreeMap::new(),
+            cases_per_worker: Vec::new(),
+            wall_us: 0,
+            obs: self
+                .opts
+                .counters
+                .then(|| ObsMetrics::for_design(&self.cfg)),
+            diff: self.opts.diff.is_some().then(DiffMetrics::default),
+            snapshot: None,
+            trace: None,
+            plan_coverage: self
+                .opts
+                .coverage
+                .then(|| PlanCoverage::for_design(&self.cfg)),
+            fastpath: None,
+        }
     }
 }
 

@@ -81,13 +81,15 @@ pub use coverage::{
     StructureResidency, TransitionPoint,
 };
 pub use diff::{
-    diff_case, diff_corpus, diff_corpus_traced, DiffOptions, DiffSummary, DiffVerdict, Divergence,
+    diff_case, diff_corpus, diff_corpus_traced, diff_corpus_with, DiffOptions, DiffSummary,
+    DiffVerdict, Divergence,
 };
 pub use engine::{
-    DiffMetrics, Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink, ObsMetrics,
+    CheckpointOptions, DiffMetrics, Engine, EngineEvent, EngineMetrics, EngineOptions, EventSink,
+    ObsMetrics,
 };
 pub use fuzz::Fuzzer;
-pub use metrics::campaign_snapshot;
+pub use metrics::{campaign_snapshot, live_campaign_snapshot};
 pub use minimize::{minimize_case, Minimized};
 pub use paths::AccessPath;
 pub use plan::VerificationPlan;

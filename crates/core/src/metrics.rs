@@ -385,6 +385,101 @@ pub fn campaign_snapshot(result: &CampaignResult) -> MetricsSnapshot {
     snap
 }
 
+/// Stamps the live-telemetry families onto an existing snapshot:
+/// `teesec_up` (1 while the producing process is alive),
+/// `teesec_campaign_progress_ratio` (fraction of the corpus finished),
+/// and `teesec_events_dropped_total` (ring-buffer evictions seen by
+/// lagging SSE subscribers).
+///
+/// The final `--metrics-out` file written by a served campaign carries
+/// the same stamp with `progress_ppm = 1_000_000`, so the last live
+/// `/metrics` scrape and the on-disk exposition are byte-identical.
+pub fn stamp_live(
+    snap: &mut MetricsSnapshot,
+    design: &str,
+    progress_ppm: u64,
+    events_dropped: u64,
+) {
+    snap.gauge(
+        "teesec_up",
+        &[],
+        1,
+        "1 while the teesec process serving this exposition is alive",
+    );
+    snap.gauge_micro(
+        "teesec_campaign_progress_ratio",
+        &[("design", design)],
+        progress_ppm,
+        "Fraction of the campaign corpus finished (1.0 once complete)",
+    );
+    snap.counter(
+        "teesec_events_dropped_total",
+        &[],
+        events_dropped,
+        "Telemetry events evicted from the ring buffer past a lagging subscriber",
+    );
+}
+
+/// [`campaign_snapshot`] plus the [`stamp_live`] families — what a live
+/// `/metrics` scrape of an in-flight (or just-finished) campaign serves.
+pub fn live_campaign_snapshot(
+    result: &CampaignResult,
+    progress_ppm: u64,
+    events_dropped: u64,
+) -> MetricsSnapshot {
+    let mut snap = campaign_snapshot(result);
+    stamp_live(&mut snap, &result.design, progress_ppm, events_dropped);
+    snap
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in
+/// `<path>.tmp` first and are renamed into place, so a reader (or a
+/// crash) never observes a half-written file.
+fn atomic_write(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Inserts `"partial": true` as the first member of a rendered
+/// top-level JSON object. Checkpoint JSON carries the marker so a
+/// consumer can tell a mid-flight snapshot from a finished one; the
+/// Prometheus text is left untouched (the lint grammar rejects foreign
+/// comments, and scrapers key off `teesec_campaign_progress_ratio`).
+fn mark_partial(json: &str) -> String {
+    match serde_json::parse_value(json) {
+        Ok(serde_json::Value::Object(mut members)) => {
+            members.insert(0, ("partial".to_string(), serde_json::Value::Bool(true)));
+            serde_json::to_string_pretty(&serde_json::Value::Object(members))
+                .unwrap_or_else(|_| json.to_string())
+        }
+        _ => json.to_string(),
+    }
+}
+
+/// Writes a mid-flight checkpoint of `snap`: atomic Prometheus text at
+/// `path` and atomic JSON (with the `"partial": true` marker) at
+/// `<path>.json`. A campaign killed between checkpoints always leaves
+/// both files parseable.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system errors.
+pub fn write_checkpoint_files(snap: &MetricsSnapshot, path: &str) -> std::io::Result<()> {
+    atomic_write(path, &snap.render_prometheus())?;
+    atomic_write(&format!("{path}.json"), &mark_partial(&snap.render_json()))
+}
+
+/// Atomically writes a JSON document (e.g. a plan-coverage report) with
+/// the `"partial": true` checkpoint marker inserted at the top level.
+///
+/// # Errors
+///
+/// Propagates the underlying file-system errors.
+pub fn write_partial_json(json: &str, path: &str) -> std::io::Result<()> {
+    atomic_write(path, &mark_partial(json))
+}
+
 /// Folds one coverage-guided fuzzing session into a metrics snapshot:
 /// session totals plus one covered-bucket gauge per structure, so a
 /// dashboard shows *where* the guided walk is reaching, not just how far.
@@ -589,6 +684,70 @@ mod tests {
         assert!(prom.contains("teesec_fuzz_coverage_buckets{design=\"boom\"}"));
         assert!(prom.contains("teesec_fuzz_corpus_entries"));
         assert!(prom.contains("teesec_fuzz_structure_coverage_buckets"));
+    }
+
+    #[test]
+    fn live_snapshot_stamps_up_progress_and_dropped_events() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(2));
+        let (result, _) = campaign.run_engine(EngineOptions::default());
+        let snap = live_campaign_snapshot(&result, 500_000, 3);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("teesec_up 1"), "{prom}");
+        assert!(
+            prom.contains("teesec_campaign_progress_ratio{design=\"boom\"} 0.500000"),
+            "{prom}"
+        );
+        assert!(prom.contains("teesec_events_dropped_total 3"), "{prom}");
+        // The stamp is additive: the plain families are still present.
+        assert!(prom.contains("teesec_cases_total"));
+    }
+
+    #[test]
+    fn finished_live_snapshot_is_plain_snapshot_plus_stamp() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(2));
+        let (result, _) = campaign.run_engine(EngineOptions::default());
+        let live = live_campaign_snapshot(&result, 1_000_000, 0);
+        let mut stamped = campaign_snapshot(&result);
+        stamp_live(&mut stamped, &result.design, 1_000_000, 0);
+        assert_eq!(live.render_prometheus(), stamped.render_prometheus());
+    }
+
+    #[test]
+    fn checkpoint_files_are_atomic_and_marked_partial() {
+        let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(2));
+        let (result, _) = campaign.run_engine(EngineOptions::default());
+        let snap = live_campaign_snapshot(&result, 500_000, 0);
+        let dir = std::env::temp_dir().join(format!("teesec-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("metrics.prom");
+        let path = path.to_str().expect("utf-8 temp path");
+        write_checkpoint_files(&snap, path).expect("checkpoint");
+        // The temp staging files must be renamed away, never left behind.
+        assert!(!std::path::Path::new(&format!("{path}.tmp")).exists());
+        assert!(!std::path::Path::new(&format!("{path}.json.tmp")).exists());
+        let prom = std::fs::read_to_string(path).expect("prom");
+        assert_eq!(prom, snap.render_prometheus(), "prom text is unmodified");
+        let json = std::fs::read_to_string(format!("{path}.json")).expect("json");
+        let value = serde_json::parse_value(&json).expect("checkpoint JSON parses");
+        let members = value.as_object().expect("top-level object");
+        assert_eq!(members[0].0, "partial", "marker leads the object");
+        assert!(matches!(members[0].1, serde_json::Value::Bool(true)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_json_round_trips_through_the_marker() {
+        let dir = std::env::temp_dir().join(format!("teesec-pjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("report.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        write_partial_json("{\n  \"design\": \"boom\"\n}", path).expect("write");
+        let back = std::fs::read_to_string(path).expect("read");
+        let value = serde_json::parse_value(&back).expect("parses");
+        let members = value.as_object().expect("object");
+        assert_eq!(members[0].0, "partial");
+        assert_eq!(members[1].0, "design");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

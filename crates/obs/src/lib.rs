@@ -27,6 +27,11 @@ use serde::{Deserialize, Serialize};
 /// Number of histogram buckets: one for zero plus one per `u64` bit length.
 pub const BUCKETS: usize = 65;
 
+/// The `Content-Type` of the Prometheus text exposition format version
+/// [`MetricsSnapshot::render_prometheus`] emits — what a conforming
+/// `/metrics` endpoint must send.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 /// A log₂-bucketed histogram of `u64` samples.
 ///
 /// Bucket 0 counts exact zeros; bucket `i` (1..=64) counts samples whose

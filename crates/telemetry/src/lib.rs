@@ -1,0 +1,34 @@
+//! Live campaign telemetry for the TEESec framework.
+//!
+//! Three pieces, all free of external dependencies (shim-crate style, like
+//! `teesec-obs` and `teesec-trace`):
+//!
+//! * [`MetricsHub`] — an in-flight publication point the engine's workers
+//!   feed. It holds the latest rendered Prometheus scrape, status JSON, and
+//!   coverage report, plus a bounded event ring ([`MetricsHub::push_event`])
+//!   that Server-Sent-Events subscribers tail with `Last-Event-ID` resume.
+//!   Evictions that overrun a lagging subscriber are counted in
+//!   `teesec_events_dropped_total` rather than silently lost.
+//! * [`serve`] / [`TelemetryServer`] — a tiny HTTP/1.1 exposition server on
+//!   `std::net::TcpListener` with the endpoints `GET /metrics` (Prometheus
+//!   text), `/events` (SSE), `/status`, `/coverage`, `/trace`, and
+//!   `/health`. One thread accepts, one short-lived thread per connection
+//!   responds; the whole thing drains on drop.
+//! * [`ProgressModel`] — the single source of truth for "cases done/total,
+//!   ETA" shared by the engine's stderr progress line and the `/status`
+//!   endpoint, so the two can never disagree.
+//!
+//! The engine publishes by rendering strings *outside* the hub lock and
+//! swapping them in; scrapes are therefore a lock-free-in-spirit read of
+//! pre-rendered bytes and never contend with case execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hub;
+mod progress;
+mod server;
+
+pub use hub::{EventBatch, MetricsHub, Subscription, DEFAULT_EVENT_CAPACITY};
+pub use progress::ProgressModel;
+pub use server::{serve, TelemetryServer};

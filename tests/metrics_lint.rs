@@ -1,16 +1,20 @@
 //! Lint-style locks on the Prometheus text exposition: every family that
-//! `campaign_snapshot` / `coverage_snapshot` can ever emit must carry
-//! exactly one `# HELP`/`# TYPE` header (before its first sample), use a
-//! consistent unit suffix, and keep histogram buckets cumulative. A new
-//! metric that violates the house conventions fails here, not in a
-//! dashboard three weeks later.
+//! `campaign_snapshot` / `coverage_snapshot` / `live_campaign_snapshot`
+//! can ever emit must carry exactly one `# HELP`/`# TYPE` header (before
+//! its first sample), use a consistent unit suffix, and keep histogram
+//! buckets cumulative. The live `/metrics` scrape is held to the same
+//! discipline, and its family set must stay a subset of the final
+//! exposition's. A new metric that violates the house conventions fails
+//! here, not in a dashboard three weeks later.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use teesec::campaign::Campaign;
 use teesec::engine::EngineOptions;
 use teesec::fuzz::{CoverageFuzzer, Fuzzer};
+use teesec::live_campaign_snapshot;
 use teesec::metrics::{campaign_snapshot, coverage_snapshot};
+use teesec_telemetry::MetricsHub;
 use teesec_trace::Tracer;
 use teesec_uarch::CoreConfig;
 
@@ -20,6 +24,7 @@ const NO_UNIT_ALLOWLIST: &[&str] = &[
     "teesec_leak_class_detected",
     "teesec_build_info",
     "teesec_plan_path_exercised",
+    "teesec_up",
 ];
 
 /// Recognized unit / kind suffixes a family name may end with.
@@ -111,7 +116,7 @@ fn parse(text: &str) -> Exposition {
 
 /// A full-featured engine run (counters + diff + streaming + snapshot
 /// cache + tracing) so every optional family appears in the exposition.
-fn full_campaign_text() -> String {
+fn full_campaign_result() -> teesec::CampaignResult {
     let campaign = Campaign::new(CoreConfig::boom(), Fuzzer::with_target(6));
     let (result, _) = campaign.run_engine(EngineOptions {
         threads: 2,
@@ -123,7 +128,11 @@ fn full_campaign_text() -> String {
         tracer: Tracer::new(2),
         ..EngineOptions::default()
     });
-    campaign_snapshot(&result).render_prometheus()
+    result
+}
+
+fn full_campaign_text() -> String {
+    campaign_snapshot(&full_campaign_result()).render_prometheus()
 }
 
 fn coverage_text() -> String {
@@ -368,4 +377,103 @@ fn the_lint_itself_catches_violations() {
         ))
     });
     assert!(r.is_err(), "non-cumulative labeled buckets must fail");
+}
+
+/// The family names of every sample in an exposition.
+fn family_set(text: &str) -> BTreeSet<String> {
+    parse(text).families.into_keys().collect()
+}
+
+#[test]
+fn live_exposition_passes_the_lint_and_stamps_the_live_families() {
+    let text = live_campaign_snapshot(&full_campaign_result(), 500_000, 3).render_prometheus();
+    lint(&text);
+    assert!(text.contains("# TYPE teesec_up gauge"), "{text}");
+    assert!(text.contains("teesec_up 1"), "{text}");
+    assert!(
+        text.contains("# TYPE teesec_campaign_progress_ratio gauge"),
+        "{text}"
+    );
+    assert!(
+        text.contains("teesec_campaign_progress_ratio{design=\"boom\"} 0.500000"),
+        "{text}"
+    );
+    assert!(
+        text.contains("# TYPE teesec_events_dropped_total counter"),
+        "{text}"
+    );
+    assert!(text.contains("teesec_events_dropped_total 3"), "{text}");
+}
+
+#[test]
+fn served_scrape_carries_the_prometheus_content_type_and_lints() {
+    use std::io::{Read, Write};
+
+    let hub = MetricsHub::default();
+    hub.publish_metrics(
+        live_campaign_snapshot(&full_campaign_result(), 1_000_000, 0).render_prometheus(),
+    );
+    let server = teesec_telemetry::serve(hub, "127.0.0.1:0").expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, body) = response.split_once("\r\n\r\n").expect("header terminator");
+    assert!(head.contains("200 OK"), "{head}");
+    assert!(
+        head.contains(&format!(
+            "Content-Type: {}",
+            teesec_obs::PROMETHEUS_CONTENT_TYPE
+        )),
+        "{head}"
+    );
+    lint(body);
+}
+
+#[test]
+fn live_scrape_families_are_a_subset_of_the_finals() {
+    // Capture a mid-flight exposition off a real campaign (the engine
+    // publishes before spawning workers, so one is up immediately) and
+    // the final one after the run returns. Families visible live — some,
+    // like the residency histograms, only materialize once cases land —
+    // must all still exist in the final exposition, so a dashboard built
+    // against a mid-flight scrape never dangles.
+    let hub = MetricsHub::default();
+    let run = {
+        let hub = hub.clone();
+        std::thread::spawn(move || {
+            Campaign::new(CoreConfig::boom(), Fuzzer::with_target(400)).run_engine(EngineOptions {
+                threads: 2,
+                counters: true,
+                coverage: true,
+                telemetry: Some(hub),
+                ..EngineOptions::default()
+            })
+        })
+    };
+    let live = loop {
+        if let Some(text) = hub.metrics() {
+            break text;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    run.join().expect("campaign thread");
+    let final_text = hub.metrics().expect("final exposition");
+
+    lint(&live);
+    lint(&final_text);
+    let (live_families, final_families) = (family_set(&live), family_set(&final_text));
+    let dangling: Vec<&String> = live_families.difference(&final_families).collect();
+    assert!(
+        dangling.is_empty(),
+        "live families missing from the final exposition: {dangling:?}"
+    );
+    for stamp in [
+        "teesec_up",
+        "teesec_campaign_progress_ratio",
+        "teesec_events_dropped_total",
+    ] {
+        assert!(live_families.contains(stamp), "{stamp} missing live");
+        assert!(final_families.contains(stamp), "{stamp} missing final");
+    }
 }
